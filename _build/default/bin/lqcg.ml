@@ -1,0 +1,143 @@
+(* lqcg — command-line front end to the query-compilation library.
+
+   Subcommands:
+     engines              list execution strategies
+     tables  [--sf]       generate TPC-H data and show cardinalities
+     run     [-e] [-q]    run a TPC-H query on an engine
+     plan    [-e] [-q]    show the optimized tree and generated source
+     profile [-e] [-q]    run under the cache simulator *)
+
+open Cmdliner
+open Lq_value
+module Engine_intf = Lq_catalog.Engine_intf
+
+let sf_arg =
+  Arg.(value & opt float 0.01 & info [ "sf" ] ~docv:"SF" ~doc:"TPC-H scale factor.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt string "compiled-c"
+    & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"Execution strategy (see $(b,engines)).")
+
+let query_arg =
+  Arg.(
+    value
+    & opt string "Q1"
+    & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"TPC-H query: Q1, Q2, Q2corr, Q3, Q5, Q6, Q10, Q12 or Q14.")
+
+let resolve_engine name =
+  match Lq_core.Engines.by_name name with
+  | Some e -> e
+  | None ->
+    Printf.eprintf "unknown engine %S (try `lqcg engines`)\n" name;
+    exit 2
+
+let resolve_query name =
+  match String.uppercase_ascii name with
+  | "Q1" -> Lq_tpch.Queries.q1
+  | "Q2" -> Lq_tpch.Queries.q2
+  | "Q2CORR" -> Lq_tpch.Queries.q2_correlated
+  | "Q3" -> Lq_tpch.Queries.q3
+  | other -> (
+    match List.assoc_opt other Lq_tpch.Queries.extended with
+    | Some q -> q
+    | None ->
+      Printf.eprintf "unknown query %S (Q1, Q2, Q2corr, Q3, Q5, Q6, Q10, Q12, Q14)\n"
+        name;
+      exit 2)
+
+let load sf =
+  let catalog = Lq_tpch.Dbgen.load ~sf () in
+  (catalog, Lq_core.Provider.create catalog)
+
+let engines_cmd =
+  let doc = "List the execution strategies." in
+  let run () =
+    List.iter
+      (fun (e : Engine_intf.t) -> Printf.printf "%-28s %s\n" e.name e.describe)
+      Lq_core.Engines.all
+  in
+  Cmd.v (Cmd.info "engines" ~doc) Term.(const run $ const ())
+
+let tables_cmd =
+  let doc = "Generate TPC-H data and print table cardinalities." in
+  let run sf =
+    let catalog, _ = load sf in
+    List.iter
+      (fun name ->
+        let t = Lq_catalog.Catalog.table catalog name in
+        Printf.printf "%-10s %8d rows   flat:%b\n" name
+          (Lq_catalog.Catalog.row_count t)
+          (Lq_catalog.Catalog.is_flat t))
+      (Lq_catalog.Catalog.names catalog)
+  in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ sf_arg)
+
+let run_cmd =
+  let doc = "Run a TPC-H query on an engine." in
+  let run sf engine_name query_name =
+    let _, provider = load sf in
+    let engine = resolve_engine engine_name in
+    let query = resolve_query query_name in
+    match
+      Lq_core.Provider.run provider ~engine ~params:Lq_tpch.Queries.extended_params query
+    with
+    | exception Engine_intf.Unsupported msg -> Printf.printf "unsupported: %s\n" msg
+    | rows ->
+      let t0 = Unix.gettimeofday () in
+      let rows2 =
+        Lq_core.Provider.run provider ~engine ~params:Lq_tpch.Queries.extended_params
+          query
+      in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      ignore rows;
+      Printf.printf "%d rows in %.1f ms (warm plan)\n" (List.length rows2) ms;
+      List.iter (fun r -> Printf.printf "%s\n" (Value.to_string r)) rows2
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
+
+let plan_cmd =
+  let doc = "Show the optimized expression tree and the generated source." in
+  let run sf engine_name query_name =
+    let _, provider = load sf in
+    let engine = resolve_engine engine_name in
+    let query = resolve_query query_name in
+    Printf.printf "=== optimized expression tree ===\n%s\n\n"
+      (Lq_expr.Pretty.query_to_string (Lq_core.Provider.optimized provider query));
+    (try
+       Printf.printf "=== equivalent SQL ===\n%s\n\n" (Lq_expr.Sql.to_sql query)
+     with Lq_expr.Sql.Not_representable msg ->
+       Printf.printf "=== equivalent SQL === (not representable: %s)\n\n" msg);
+    match Lq_core.Provider.prepare_only provider ~engine query with
+    | exception Engine_intf.Unsupported msg -> Printf.printf "unsupported: %s\n" msg
+    | prepared, _ -> (
+      Printf.printf "=== code generation: %.2f ms ===\n" prepared.Engine_intf.codegen_ms;
+      match prepared.Engine_intf.source with
+      | Some src -> print_endline src
+      | None -> print_endline "(interpreted engine: no generated source)")
+  in
+  Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
+
+let profile_cmd =
+  let doc = "Run a query under the trace-driven cache simulator." in
+  let run sf engine_name query_name =
+    let _, provider = load sf in
+    let engine = resolve_engine engine_name in
+    let query = resolve_query query_name in
+    let hierarchy = Lq_cachesim.Hierarchy.default () in
+    match
+      Lq_core.Provider.run_instrumented provider ~engine
+        ~params:Lq_tpch.Queries.extended_params hierarchy query
+    with
+    | exception Engine_intf.Unsupported msg -> Printf.printf "unsupported: %s\n" msg
+    | rows ->
+      Printf.printf "%d rows\n%s\n" (List.length rows)
+        (Lq_cachesim.Hierarchy.report hierarchy)
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
+
+let () =
+  let doc = "query compilation for managed runtimes (VLDB 2014 reproduction)" in
+  let info = Cmd.info "lqcg" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ engines_cmd; tables_cmd; run_cmd; plan_cmd; profile_cmd ]))

@@ -1,0 +1,6 @@
+let () =
+  List.iter (fun (n, q) ->
+    Printf.printf "===== %s =====\n" n;
+    (try print_endline (Lq_expr.Sql.to_sql q)
+     with Lq_expr.Sql.Not_representable m -> Printf.printf "not representable: %s\n" m))
+    ([ "Q1", Lq_tpch.Queries.q1; "Q3", Lq_tpch.Queries.q3; "Q14", Lq_tpch.Queries.q14 ])

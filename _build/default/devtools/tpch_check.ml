@@ -1,0 +1,50 @@
+open Lq_value
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let cat = Lq_tpch.Dbgen.load ~sf:0.003 () in
+  Printf.printf "load: %.0f ms\n%!" ((Unix.gettimeofday () -. t0) *. 1000.);
+  let prov = Lq_core.Provider.create cat in
+  let params = Lq_tpch.Queries.default_params in
+  List.iter (fun (qname, q) ->
+    let expected = Lq_core.Provider.reference prov ~params q in
+    Printf.printf "%s reference rows: %d\n%!" qname (List.length expected);
+    List.iter (fun (eng : Lq_catalog.Engine_intf.t) ->
+      try
+        let t = Unix.gettimeofday () in
+        let got = Lq_core.Provider.run prov ~engine:eng ~params q in
+        let ms = (Unix.gettimeofday () -. t) *. 1000. in
+        if List.length got = List.length expected && List.for_all2 Value.equal expected got
+        then Printf.printf "  %-28s OK   (%.1f ms)\n%!" eng.name ms
+        else begin
+          Printf.printf "  %-28s MISMATCH (%d vs %d rows)\n%!" eng.name (List.length got) (List.length expected);
+          (match (got, expected) with
+           | g :: _, e :: _ -> Printf.printf "    got %s\n    exp %s\n" (Value.to_string g) (Value.to_string e)
+           | _ -> ());
+          exit 1
+        end
+      with Lq_catalog.Engine_intf.Unsupported msg ->
+        Printf.printf "  %-28s unsupported: %s\n%!" eng.name msg)
+      Lq_core.Engines.all)
+    ([ ("Q2corr", Lq_tpch.Queries.q2_correlated) ] @ Lq_tpch.Queries.all);
+  (* workloads at a couple of selectivities *)
+  List.iter (fun (wname, w) ->
+    List.iter (fun sel ->
+      let params = Lq_tpch.Workloads.params ~sel in
+      let expected = Lq_core.Provider.reference prov ~params w in
+      List.iter (fun (eng : Lq_catalog.Engine_intf.t) ->
+        try
+          let got = Lq_core.Provider.run prov ~engine:eng ~params w in
+          if not (List.length got = List.length expected && List.for_all2 Value.equal expected got)
+          then begin Printf.printf "workload %s sel %.1f engine %s MISMATCH\n" wname sel eng.name; exit 1 end
+        with Lq_catalog.Engine_intf.Unsupported _ -> ())
+        Lq_core.Engines.all)
+      [0.1; 0.5; 1.0];
+    Printf.printf "workload %-12s OK across engines and selectivities\n%!" wname)
+    [ "aggregation", Lq_tpch.Workloads.aggregation;
+      "sorting", Lq_tpch.Workloads.sorting;
+      "join", Lq_tpch.Workloads.join;
+      "agg_n4", Lq_tpch.Workloads.aggregation_n 4 ];
+  Printf.printf "cache stats: %d hits %d misses\n"
+    (Lq_core.Provider.cache_stats prov).hits (Lq_core.Provider.cache_stats prov).misses;
+  print_endline "tpch check OK"

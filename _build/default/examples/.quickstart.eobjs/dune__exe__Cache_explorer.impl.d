@@ -1,0 +1,1 @@
+examples/cache_explorer.ml: Array List Lq_cachesim Lq_catalog Lq_core Lq_expr Lq_tpch Printf Sys

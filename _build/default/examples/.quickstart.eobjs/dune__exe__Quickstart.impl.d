@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Lq_catalog Lq_core Lq_expr Lq_value Printf Schema String Value Vtype

@@ -1,0 +1,1 @@
+examples/sales_analytics.ml: Array List Lq_catalog Lq_core Lq_exec Lq_expr Lq_hybrid Lq_value Printf Schema Unix Value Vtype

@@ -1,0 +1,1 @@
+examples/tpch_report.ml: Array List Lq_catalog Lq_core Lq_expr Lq_metrics Lq_tpch Lq_value Printf String Sys Unix Value

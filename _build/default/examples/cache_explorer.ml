@@ -1,0 +1,57 @@
+(* Cache explorer: the Fig. 14 machinery as an interactive tool — run a
+   query on each engine under the trace-driven cache hierarchy and print
+   the full per-level profile, showing *why* the compiled strategies miss
+   less: compact flat rows, implicit projections, no per-aggregate passes.
+
+     dune exec examples/cache_explorer.exe -- [sf] *)
+
+open Lq_expr.Dsl
+module Engine_intf = Lq_catalog.Engine_intf
+
+let () =
+  let sf = if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.004 in
+  let catalog = Lq_tpch.Dbgen.load ~sf () in
+  let provider = Lq_core.Provider.create catalog in
+  (* An aggregation query with deliberately duplicated aggregates: the
+     baseline walks the grouped objects once per aggregate (§2.3). *)
+  let query =
+    source "lineitem"
+    |> where "l" (v "l" $. "l_shipdate" <=: date "1998-09-02")
+    |> group_by
+         ~key:("l", v "l" $. "l_returnflag")
+         ~result:
+           ( "g",
+             record
+               [
+                 ("flag", v "g" $. "Key");
+                 ("qty", sum (v "g") "x" (v "x" $. "l_quantity"));
+                 ("price", sum (v "g") "x" (v "x" $. "l_extendedprice"));
+                 ("avg_qty", avg (v "g") "x" (v "x" $. "l_quantity"));
+                 ("n", count (v "g"));
+               ] )
+  in
+  Printf.printf "query:\n  %s\n\n" (Lq_expr.Pretty.query_to_string query);
+  Printf.printf "cache hierarchy: L1d 32K/8w, L2 256K/8w, L3 3M/12w, 64B lines\n";
+  List.iter
+    (fun (engine : Engine_intf.t) ->
+      let hierarchy = Lq_cachesim.Hierarchy.default () in
+      match Lq_core.Provider.run_instrumented provider ~engine hierarchy query with
+      | _ ->
+        Printf.printf "\n--- %s ---\n%s\n" engine.name
+          (Lq_cachesim.Hierarchy.report hierarchy);
+        Printf.printf "modelled reads: %d, LLC misses: %d\n"
+          (Lq_cachesim.Hierarchy.reads hierarchy)
+          (Lq_cachesim.Hierarchy.llc_misses hierarchy)
+      | exception Engine_intf.Unsupported msg ->
+        Printf.printf "\n--- %s ---\nunsupported: %s\n" engine.name msg)
+    [
+      Lq_core.Engines.linq_to_objects;
+      Lq_core.Engines.compiled_csharp;
+      Lq_core.Engines.compiled_c;
+      Lq_core.Engines.hybrid;
+      Lq_core.Engines.hybrid_buffered;
+    ];
+  print_endline "\nreading the numbers:";
+  print_endline "- the baseline re-walks every group's objects once per aggregate;";
+  print_endline "- the C backend scans compact flat rows (several rows per line);";
+  print_endline "- the hybrids touch the objects once, then work on staged copies."

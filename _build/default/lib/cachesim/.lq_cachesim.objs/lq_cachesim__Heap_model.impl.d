@@ -1,0 +1,1 @@
+lib/cachesim/heap_model.ml: Array Lq_storage

@@ -1,0 +1,1 @@
+lib/cachesim/hierarchy.ml: Level Printf String

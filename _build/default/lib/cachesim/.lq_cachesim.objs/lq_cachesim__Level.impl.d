@@ -1,0 +1,1 @@
+lib/cachesim/level.ml: Array

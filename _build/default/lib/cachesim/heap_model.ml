@@ -1,0 +1,13 @@
+type t = { mutable allocated : int }
+
+let create () = { allocated = 0 }
+let header_bytes = 16
+let slot_bytes = 8
+
+let alloc_object t ~nfields =
+  t.allocated <- t.allocated + 1;
+  Lq_storage.Addr_space.alloc (header_bytes + (nfields * slot_bytes))
+
+let alloc_rows t ~nrows ~nfields = Array.init nrows (fun _ -> alloc_object t ~nfields)
+let field_addr ~base ~slot = base + header_bytes + (slot * slot_bytes)
+let objects_allocated t = t.allocated

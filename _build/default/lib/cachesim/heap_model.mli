@@ -1,0 +1,31 @@
+(** Synthetic managed-heap placement model.
+
+    The boxed engines do not read flat buffers, so instrumented runs model
+    where the CLR-style generational heap would have put their objects:
+    each boxed row is an object — a header word plus one slot per field —
+    allocated bump-style in load order (a compacted gen-2 heap); every
+    intermediate result object allocated during the query lands further
+    along, away from the source data, which is exactly the locality penalty
+    §7.4 attributes to LINQ-to-objects pipelines.
+
+    Addresses come from the same {!Lq_storage.Addr_space} as the flat
+    stores, so traces from boxed and flat structures never alias. *)
+
+type t
+
+val create : unit -> t
+
+val header_bytes : int
+(** Object header modelled at 16 bytes. *)
+
+val slot_bytes : int
+(** One field slot modelled at 8 bytes (a reference or inlined scalar). *)
+
+val alloc_object : t -> nfields:int -> int
+(** Base address of a freshly allocated object. *)
+
+val alloc_rows : t -> nrows:int -> nfields:int -> int array
+(** Bases for a whole collection, allocated consecutively. *)
+
+val field_addr : base:int -> slot:int -> int
+val objects_allocated : t -> int

@@ -1,0 +1,39 @@
+type t = { l1 : Level.t; l2 : Level.t; l3 : Level.t; mutable reads : int }
+
+let default_l1 () = Level.create ~name:"L1d" ~size_bytes:(32 * 1024) ~ways:8 ~line_bytes:64
+let default_l2 () = Level.create ~name:"L2" ~size_bytes:(256 * 1024) ~ways:8 ~line_bytes:64
+
+let default_l3 () =
+  (* 3 MiB/12-way as on the i5-2415M; 12 ways keep the set count (4096) a
+     power of two. *)
+  Level.create ~name:"L3" ~size_bytes:(3 * 1024 * 1024) ~ways:12 ~line_bytes:64
+
+let create ?(l1 = default_l1 ()) ?(l2 = default_l2 ()) ?(l3 = default_l3 ()) () =
+  { l1; l2; l3; reads = 0 }
+
+let default () = create ()
+
+let read t addr =
+  t.reads <- t.reads + 1;
+  if not (Level.access t.l1 addr) then
+    if not (Level.access t.l2 addr) then ignore (Level.access t.l3 addr : bool)
+
+let tracer t = read t
+let l1 t = t.l1
+let l2 t = t.l2
+let l3 t = t.l3
+let llc_misses t = Level.misses t.l3
+let reads t = t.reads
+
+let reset t =
+  Level.reset t.l1;
+  Level.reset t.l2;
+  Level.reset t.l3;
+  t.reads <- 0
+
+let report t =
+  let line level =
+    Printf.sprintf "%-4s accesses=%-10d hits=%-10d misses=%-10d" (Level.name level)
+      (Level.accesses level) (Level.hits level) (Level.misses level)
+  in
+  String.concat "\n" [ line t.l1; line t.l2; line t.l3 ]

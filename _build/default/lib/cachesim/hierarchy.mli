@@ -1,0 +1,26 @@
+(** Three-level cache hierarchy (inclusive read path).
+
+    A read probes L1, then L2, then L3; [llc_misses] is the Fig. 14
+    metric. The default geometry matches the paper's test machine class
+    (Intel i5-2415M: 32 KiB/8-way L1d, 256 KiB/8-way L2, 3 MiB/12-way L3,
+    64-byte lines). *)
+
+type t
+
+val create : ?l1:Level.t -> ?l2:Level.t -> ?l3:Level.t -> unit -> t
+val default : unit -> t
+
+val read : t -> int -> unit
+val tracer : t -> int -> unit
+(** [tracer t] is [read t], shaped for the [?trace] hooks of the storage
+    and execution layers. *)
+
+val l1 : t -> Level.t
+val l2 : t -> Level.t
+val l3 : t -> Level.t
+val llc_misses : t -> int
+val reads : t -> int
+val reset : t -> unit
+
+val report : t -> string
+(** Multi-line accesses/hits/misses table. *)

@@ -1,0 +1,67 @@
+type t = {
+  name : string;
+  line_bytes : int;
+  ways : int;
+  sets : int;
+  tags : int array;  (** sets*ways; -1 = invalid *)
+  stamps : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ~name ~size_bytes ~ways ~line_bytes =
+  if size_bytes mod (ways * line_bytes) <> 0 then
+    invalid_arg "Level.create: size not a multiple of way size";
+  let sets = size_bytes / (ways * line_bytes) in
+  if not (is_pow2 sets && is_pow2 line_bytes) then
+    invalid_arg "Level.create: sets and line size must be powers of two";
+  {
+    name;
+    line_bytes;
+    ways;
+    sets;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+  }
+
+let name t = t.name
+let line_bytes t = t.line_bytes
+
+let access t addr =
+  let line = addr / t.line_bytes in
+  let set = line land (t.sets - 1) in
+  let base = set * t.ways in
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let rec find i = if i = t.ways then -1 else if t.tags.(base + i) = line then i else find (i + 1) in
+  match find 0 with
+  | way when way >= 0 ->
+    t.stamps.(base + way) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  | _ ->
+    (* Miss: fill the LRU way. *)
+    let victim = ref 0 in
+    for i = 1 to t.ways - 1 do
+      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- line;
+    t.stamps.(base + !victim) <- t.clock;
+    false
+
+let accesses t = t.accesses
+let hits t = t.hits
+let misses t = t.accesses - t.hits
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.hits <- 0

@@ -1,0 +1,22 @@
+(** One set-associative, LRU cache level.
+
+    Standard trace-driven model: an access maps to a set by line address;
+    hits refresh the line's recency, misses evict the least recently used
+    way. Only counts matter (no data is stored). *)
+
+type t
+
+val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
+(** @raise Invalid_argument unless [size_bytes] is a multiple of
+    [ways * line_bytes] and the set count is a power of two. *)
+
+val name : t -> string
+val line_bytes : t -> int
+
+val access : t -> int -> bool
+(** [access t addr] simulates one read; [true] on hit. *)
+
+val accesses : t -> int
+val hits : t -> int
+val misses : t -> int
+val reset : t -> unit

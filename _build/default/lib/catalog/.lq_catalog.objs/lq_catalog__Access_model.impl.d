@@ -1,0 +1,1 @@
+lib/catalog/access_model.ml: Hashtbl List Lq_expr Lq_value Option

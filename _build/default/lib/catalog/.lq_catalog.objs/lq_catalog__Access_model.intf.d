@@ -1,0 +1,1 @@
+lib/catalog/access_model.mli: Hashtbl Lq_expr Lq_value

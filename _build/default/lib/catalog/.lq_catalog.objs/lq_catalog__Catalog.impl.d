@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Array Hashtbl Lazy List Lq_cachesim Lq_exec Lq_expr Lq_storage Lq_value Option Printf Schema Value Vtype

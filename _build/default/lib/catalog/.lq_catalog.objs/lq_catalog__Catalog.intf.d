@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Lq_exec Lq_expr Lq_storage Lq_value Schema Value Vtype

@@ -1,0 +1,1 @@
+lib/catalog/engine_intf.ml: Catalog Format Instr Lq_expr Lq_metrics Lq_value Value

@@ -1,0 +1,1 @@
+lib/catalog/instr.ml: List Lq_cachesim

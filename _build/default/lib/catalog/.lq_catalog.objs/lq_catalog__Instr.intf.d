@@ -1,0 +1,1 @@
+lib/catalog/instr.mli: Lq_cachesim

@@ -1,0 +1,103 @@
+module Ast = Lq_expr.Ast
+
+let iter_lambdas (q : Ast.query) f =
+  let rec go_query (q : Ast.query) =
+    match q with
+    | Ast.Source _ -> ()
+    | Ast.Where (src, l) | Ast.Select (src, l) ->
+      go_query src;
+      f l
+    | Ast.Join j ->
+      go_query j.left;
+      go_query j.right;
+      f j.left_key;
+      f j.right_key;
+      f j.result
+    | Ast.Group_by g ->
+      go_query g.group_source;
+      f g.key;
+      Option.iter f g.group_result
+    | Ast.Order_by (src, keys) ->
+      go_query src;
+      List.iter (fun (k : Ast.sort_key) -> f k.Ast.by) keys
+    | Ast.Take (src, _) | Ast.Skip (src, _) | Ast.Distinct src -> go_query src
+  in
+  go_query q
+
+(* Every member chain rooted at *any* variable — bound or free — counts:
+   aggregate selectors bind their element parameter, yet their accesses
+   still touch the source objects. *)
+let rec member_roots names (e : Ast.expr) =
+  match e with
+  | Ast.Member _ ->
+    let rec peel acc (e : Ast.expr) =
+      match e with
+      | Ast.Member (inner, f) -> peel (f :: acc) inner
+      | root -> (root, acc)
+    in
+    let root, path = peel [] e in
+    (match (root, path) with
+    | Ast.Var _, first :: _ -> Hashtbl.replace names first ()
+    | _ -> member_roots names root)
+  | Ast.Const _ | Ast.Param _ | Ast.Var _ -> ()
+  | Ast.Unop (_, e) -> member_roots names e
+  | Ast.Binop (_, a, b) ->
+    member_roots names a;
+    member_roots names b
+  | Ast.If (a, b, c) ->
+    member_roots names a;
+    member_roots names b;
+    member_roots names c
+  | Ast.Call (_, args) -> List.iter (member_roots names) args
+  | Ast.Agg (_, src, sel) ->
+    member_roots names src;
+    Option.iter (fun (l : Ast.lambda) -> member_roots names l.Ast.body) sel
+  | Ast.Subquery _ -> ()
+  | Ast.Record_of fields -> List.iter (fun (_, e) -> member_roots names e) fields
+
+let used_member_names q =
+  let names = Hashtbl.create 16 in
+  iter_lambdas q (fun (l : Ast.lambda) -> member_roots names l.Ast.body);
+  names
+
+let used_source_slots schema q =
+  let names = used_member_names q in
+  Hashtbl.fold
+    (fun name () acc ->
+      match Lq_value.Schema.field_index schema name with
+      | Some i -> i :: acc
+      | None -> acc)
+    names []
+  |> List.sort compare
+
+let group_agg_passes q =
+  let count = ref 0 in
+  let rec count_aggs (e : Ast.expr) =
+    match e with
+    | Ast.Agg (_, _, _) -> incr count
+    | Ast.Const _ | Ast.Param _ | Ast.Var _ -> ()
+    | Ast.Member (e, _) | Ast.Unop (_, e) -> count_aggs e
+    | Ast.Binop (_, a, b) ->
+      count_aggs a;
+      count_aggs b
+    | Ast.If (a, b, c) ->
+      count_aggs a;
+      count_aggs b;
+      count_aggs c
+    | Ast.Call (_, args) -> List.iter count_aggs args
+    | Ast.Subquery _ -> ()
+    | Ast.Record_of fields -> List.iter (fun (_, e) -> count_aggs e) fields
+  in
+  let rec go (q : Ast.query) =
+    (match q with
+    | Ast.Group_by { group_result = Some r; _ } -> count_aggs r.Ast.body
+    | _ -> ());
+    ignore
+      (Ast.map_query_children
+         (fun child ->
+           go child;
+           child)
+         q)
+  in
+  go q;
+  !count

@@ -1,0 +1,19 @@
+(** Shared model of which object fields a query touches.
+
+    Instrumented (cache-simulated) runs of the managed engines model an
+    element access as "object header + the member slots the query
+    dereferences". Member names are attributed to a source schema by name —
+    exact for TPC-H's per-table column prefixes, a safe over-approximation
+    elsewhere. *)
+
+val used_member_names : Lq_expr.Ast.query -> (string, unit) Hashtbl.t
+(** First path components of every variable-rooted member chain in any
+    lambda of the query. *)
+
+val used_source_slots : Lq_value.Schema.t -> Lq_expr.Ast.query -> int list
+(** Field slots of [schema] the query dereferences. *)
+
+val group_agg_passes : Lq_expr.Ast.query -> int
+(** Total number of [Agg] nodes inside group result selectors — the number
+    of per-aggregate passes LINQ-to-objects makes over each group's
+    elements (§2.3). *)

@@ -1,0 +1,115 @@
+open Lq_value
+
+exception Not_flat of string
+
+type table = {
+  name : string;
+  schema : Schema.t;
+  rows : Value.t list;
+  boxed : Value.t array Lazy.t;
+  flat : Lq_storage.Rowstore.t Lazy.t;
+  columns : Lq_storage.Colstore.t Lazy.t;
+  heap_addrs : int array Lazy.t;
+  indexes : (string, Lq_exec.Int_table.Multi.t) Hashtbl.t;
+}
+
+type t = {
+  tables : (string, table) Hashtbl.t;
+  dict : Lq_storage.Dict.t;
+  heap : Lq_cachesim.Heap_model.t;
+}
+
+let create () =
+  { tables = Hashtbl.create 16; dict = Lq_storage.Dict.create (); heap = Lq_cachesim.Heap_model.create () }
+
+let dict t = t.dict
+
+let schema_is_flat schema =
+  Array.for_all
+    (fun (f : Schema.field) -> Vtype.is_scalar f.Schema.ty)
+    (Schema.fields schema)
+
+let add t ~name ~schema rows =
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Printf.sprintf "Catalog.add: table %S already registered" name);
+  let rec table =
+    {
+      name;
+      schema;
+      rows;
+      boxed = lazy (Array.of_list rows);
+      flat =
+        lazy
+          (if not (schema_is_flat schema) then raise (Not_flat name)
+           else
+             Lq_storage.Rowstore.of_records ~layout:(Lq_storage.Layout.of_schema schema)
+               ~dict:t.dict rows);
+      columns = lazy (Lq_storage.Colstore.of_rowstore (Lazy.force table.flat));
+      heap_addrs =
+        lazy
+          (Lq_cachesim.Heap_model.alloc_rows t.heap ~nrows:(List.length rows)
+             ~nfields:(Schema.arity schema));
+      indexes = Hashtbl.create 4;
+    }
+  in
+  Hashtbl.add t.tables name table
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> table
+  | None -> raise (Lq_expr.Eval.Unbound_source name)
+
+let mem t name = Hashtbl.mem t.tables name
+let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort compare
+let schema table = table.schema
+let name table = table.name
+let rows table = table.rows
+let boxed table = Lazy.force table.boxed
+let row_count table = List.length table.rows
+let is_flat table = schema_is_flat table.schema
+
+let store table = Lazy.force table.flat
+
+let cols table = Lazy.force table.columns
+let heap_addrs table = Lazy.force table.heap_addrs
+
+let eval_ctx t ~params =
+  Lq_expr.Eval.ctx ~catalog:(fun name -> (table t name).rows) ~params ()
+
+let tenv t ~params =
+  Lq_expr.Typecheck.tenv
+    ~source_type:(fun name -> Schema.to_vtype (table t name).schema)
+    ~param_type:(fun name ->
+      match List.assoc_opt name params with
+      | Some ty -> ty
+      | None -> Lq_expr.Typecheck.error "unknown parameter %S" name)
+    ()
+
+let infer_param_types _t ~params =
+  List.filter_map
+    (fun (name, v) -> Option.map (fun ty -> (name, ty)) (Value.type_of v))
+    params
+
+(* --- hash indexes (§9 future work) --- *)
+
+let create_index t ~table:tname ~column =
+  let tbl = table t tname in
+  if not (Hashtbl.mem tbl.indexes column) then begin
+    let store = store tbl in
+    let layout = Lq_storage.Rowstore.layout store in
+    let col = Lq_storage.Layout.field_index_exn layout column in
+    (match (Lq_storage.Layout.field_at layout col).Lq_storage.Layout.ftype with
+    | Lq_storage.Ftype.F64 ->
+      invalid_arg (Printf.sprintf "Catalog.create_index: float column %S" column)
+    | _ -> ());
+    let n = Lq_storage.Rowstore.length store in
+    let index = Lq_exec.Int_table.Multi.create (max 16 n) in
+    let read = Lq_storage.Rowstore.int_reader store col in
+    for row = 0 to n - 1 do
+      Lq_exec.Int_table.Multi.add index (read row) row
+    done;
+    Hashtbl.add tbl.indexes column index
+  end
+
+let index table column = Hashtbl.find_opt table.indexes column
+let indexed_columns table = Hashtbl.fold (fun c _ acc -> c :: acc) table.indexes []

@@ -1,0 +1,21 @@
+open Lq_value
+
+exception Unsupported of string
+
+type prepared = {
+  execute :
+    ?profile:Lq_metrics.Profile.t ->
+    params:(string * Value.t) list ->
+    unit ->
+    Value.t list;
+  codegen_ms : float;
+  source : string option;
+}
+
+type t = {
+  name : string;
+  describe : string;
+  prepare : ?instr:Instr.t -> Catalog.t -> Lq_expr.Ast.query -> prepared;
+}
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt

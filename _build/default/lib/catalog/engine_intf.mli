@@ -1,0 +1,37 @@
+(** The common engine contract.
+
+    Every execution strategy — the LINQ-to-objects baseline, the three
+    code-generating backends of §§4–6 and the two DBMS stand-ins — is an
+    {!t}: given a catalog and a canonical query it *prepares* (generates
+    and "compiles" a plan, the analogue of emitting and compiling C#/C
+    source), and the prepared query executes any number of times under
+    different parameter bindings (the cache-reuse story of §3). *)
+
+open Lq_value
+
+exception Unsupported of string
+(** An engine may refuse a query it cannot compile — mirroring, e.g.,
+    Hekaton rejecting TPC-H Q2's nested sub-query (§7.5). *)
+
+type prepared = {
+  execute :
+    ?profile:Lq_metrics.Profile.t ->
+    params:(string * Value.t) list ->
+    unit ->
+    Value.t list;
+      (** Runs the compiled plan. [profile] collects the per-phase cost
+          breakdown (Figs. 8/10/12). *)
+  codegen_ms : float;  (** plan generation ("code generation") time *)
+  source : string option;
+      (** the generated C#-like / C-like source listing, when the backend
+          emits one *)
+}
+
+type t = {
+  name : string;
+  describe : string;
+  prepare : ?instr:Instr.t -> Catalog.t -> Lq_expr.Ast.query -> prepared;
+}
+
+val unsupported : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raises {!Unsupported} with a formatted message. *)

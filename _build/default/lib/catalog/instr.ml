@@ -1,0 +1,21 @@
+type t = {
+  trace : int -> unit;
+  heap : Lq_cachesim.Heap_model.t;
+}
+
+let of_hierarchy h =
+  { trace = Lq_cachesim.Hierarchy.tracer h; heap = Lq_cachesim.Heap_model.create () }
+
+let trace_object t ~base ~slots =
+  t.trace base;
+  List.iter
+    (fun slot -> t.trace (Lq_cachesim.Heap_model.field_addr ~base ~slot))
+    slots
+
+let alloc_and_touch t ~nfields =
+  let base = Lq_cachesim.Heap_model.alloc_object t.heap ~nfields in
+  t.trace base;
+  for slot = 0 to nfields - 1 do
+    t.trace (Lq_cachesim.Heap_model.field_addr ~base ~slot)
+  done;
+  base

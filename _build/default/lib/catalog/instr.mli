@@ -1,0 +1,19 @@
+(** Instrumentation context for cache-profiled runs (Fig. 14).
+
+    When present, engines report every modelled memory access to [trace]
+    (which feeds a {!Lq_cachesim.Hierarchy}) and allocate synthetic
+    addresses for boxed intermediate objects from [heap]. *)
+
+type t = {
+  trace : int -> unit;
+  heap : Lq_cachesim.Heap_model.t;
+}
+
+val of_hierarchy : Lq_cachesim.Hierarchy.t -> t
+
+val trace_object : t -> base:int -> slots:int list -> unit
+(** One object touch: header plus the given field slots. *)
+
+val alloc_and_touch : t -> nfields:int -> int
+(** Models allocating (and initializing) a fresh boxed object of [nfields]
+    fields; returns its base address. *)

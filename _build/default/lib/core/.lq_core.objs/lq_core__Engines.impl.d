@@ -1,0 +1,1 @@
+lib/core/engines.ml: List Lq_catalog Lq_compiled Lq_hybrid Lq_linqobj Lq_native Lq_parallel Lq_vector Lq_volcano String

@@ -1,0 +1,1 @@
+lib/core/engines.mli: Lq_catalog

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Float List Lq_expr Lq_value Option

@@ -1,0 +1,1 @@
+lib/core/provider.ml: Lq_catalog Lq_expr Optimizer Option Query_cache Result_cache

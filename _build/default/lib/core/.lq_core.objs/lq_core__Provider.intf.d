@@ -1,0 +1,1 @@
+lib/core/provider.mli: Lq_cachesim Lq_catalog Lq_expr Lq_metrics Lq_value Optimizer Query_cache Result_cache Value

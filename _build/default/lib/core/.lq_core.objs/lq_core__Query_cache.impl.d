@@ -1,0 +1,1 @@
+lib/core/query_cache.ml: Hashtbl List Lq_catalog Printf

@@ -1,0 +1,1 @@
+lib/core/query_cache.mli: Lq_catalog Lq_value Value

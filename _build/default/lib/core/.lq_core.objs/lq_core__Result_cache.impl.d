@@ -1,0 +1,1 @@
+lib/core/result_cache.ml: Buffer Hashtbl List Lq_value String Value

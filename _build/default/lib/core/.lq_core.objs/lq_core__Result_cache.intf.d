@@ -1,0 +1,1 @@
+lib/core/result_cache.mli: Lq_value Value

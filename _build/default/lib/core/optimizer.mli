@@ -1,0 +1,37 @@
+(** Heuristic query rewrites (§2.3 "limited query optimization").
+
+    LINQ-to-objects executes operators exactly in declaration order; the
+    paper observes that even without statistics, heuristic rewrites pay off
+    — e.g. "forcing the selections of Q3 to be applied before the join
+    results in a 35% performance improvement". The provider runs these
+    rewrites before code generation:
+
+    - constant folding (the canonicalization of §3, via {!Lq_expr.Fold});
+    - selection push-down through [Select], [Join], [Order_by], [Distinct]
+      and other [Where]s, splitting conjunctions as needed;
+    - predicate reordering by estimated evaluation cost (string matching
+      last, cheap comparisons first).
+
+    Automatic decorrelation is deliberately out of scope, as in the paper:
+    TPC-H Q2 is evaluated with a hand-optimized plan (§7.4). *)
+
+type options = {
+  fold : bool;
+  pushdown : bool;
+  reorder : bool;
+}
+
+val default : options
+val none : options
+val run : ?options:options -> Lq_expr.Ast.query -> Lq_expr.Ast.query
+
+val predicate_cost : Lq_expr.Ast.expr -> float
+(** Heuristic per-element evaluation cost used by the reordering pass. *)
+
+val conjuncts : Lq_expr.Ast.expr -> Lq_expr.Ast.expr list
+(** Flattens a conjunction ([a && b && c] → [[a; b; c]]). *)
+
+val simplify_expr : Lq_expr.Ast.expr -> Lq_expr.Ast.expr
+(** Structural simplifications used when inlining selectors into
+    predicates: member-of-record-construction projection, double negation,
+    boolean constant absorption. *)

@@ -1,0 +1,84 @@
+module Ast = Lq_expr.Ast
+module Shape = Lq_expr.Shape
+module Catalog = Lq_catalog.Catalog
+module Engine_intf = Lq_catalog.Engine_intf
+
+type t = {
+  cat : Catalog.t;
+  cache : Query_cache.t;
+  results : Result_cache.t option;
+  optimizer : Optimizer.options;
+  use_cache : bool;
+}
+
+let create ?(optimizer = Optimizer.default) ?(use_cache = true)
+    ?(recycle_results = false) cat =
+  {
+    cat;
+    cache = Query_cache.create ();
+    results = (if recycle_results then Some (Result_cache.create ()) else None);
+    optimizer;
+    use_cache;
+  }
+
+let catalog t = t.cat
+let cache_stats t = Query_cache.stats t.cache
+let clear_cache t = Query_cache.clear t.cache
+let optimized t q = Optimizer.run ~options:t.optimizer q
+
+(* Canonicalize + optimize, then split the query into its shape and its
+   constant vector; compiled plans always see parameters where the query
+   had constants, so a cached plan can be re-run with new values. *)
+let prepare_internal t ~(engine : Engine_intf.t) ?instr q =
+  let q = optimized t q in
+  let shape = Shape.key q in
+  let consts = Shape.consts q in
+  let compile () =
+    let parameterized, _bindings = Shape.parameterize q in
+    engine.Engine_intf.prepare ?instr t.cat parameterized
+  in
+  let prepared, outcome =
+    if t.use_cache && instr = None then
+      Query_cache.find_or_compile t.cache ~engine:engine.Engine_intf.name ~shape
+        ~compile
+    else (compile (), `Miss)
+  in
+  (prepared, outcome, consts)
+
+let prepare_only t ~engine q =
+  let prepared, outcome, _ = prepare_internal t ~engine q in
+  (prepared, outcome)
+
+let run t ~engine ?(params = []) ?profile q =
+  let prepared, _, consts = prepare_internal t ~engine q in
+  let all_params = params @ Query_cache.const_params consts in
+  let execute () = prepared.Engine_intf.execute ?profile ~params:all_params () in
+  match t.results with
+  | None -> execute ()
+  | Some rc -> (
+    (* Result recycling (§9): identical invocations return the
+       materialized rows without executing. *)
+    let key =
+      Result_cache.key ~engine:engine.Engine_intf.name
+        ~shape:(Shape.key (optimized t q))
+        ~consts ~params
+    in
+    match Result_cache.find rc key with
+    | Some rows -> rows
+    | None ->
+      let rows = execute () in
+      Result_cache.store rc key rows;
+      rows)
+
+let result_cache_stats t = Option.map Result_cache.stats t.results
+
+let clear_result_cache t = Option.iter Result_cache.clear t.results
+
+let run_instrumented t ~engine ?(params = []) hierarchy q =
+  let instr = Lq_catalog.Instr.of_hierarchy hierarchy in
+  let prepared, _, consts = prepare_internal t ~engine ~instr q in
+  let params = params @ Query_cache.const_params consts in
+  prepared.Engine_intf.execute ~params ()
+
+let reference t ?(params = []) q =
+  Lq_expr.Eval.run (Catalog.eval_ctx t.cat ~params) q

@@ -1,0 +1,73 @@
+(** The query provider (§3, Fig. 3).
+
+    The pipeline a query statement goes through when its result is first
+    consumed:
+
+    {v
+    ConstantEvaluator → Optimizer → QueryCache lookup
+        → (miss) parameterize constants, generate + compile code, cache
+        → execute compiled code under the parameter bindings
+    v}
+
+    Engines are pluggable; the provider also exposes preparation alone
+    (for code-generation-cost measurements) and instrumented execution
+    (cache-simulated runs, Fig. 14). *)
+
+open Lq_value
+
+type t
+
+val create :
+  ?optimizer:Optimizer.options ->
+  ?use_cache:bool ->
+  ?recycle_results:bool ->
+  Lq_catalog.Catalog.t ->
+  t
+(** [recycle_results] additionally memoizes materialized result rows per
+    (engine, shape, constants, parameters) — the §9 "query result caching"
+    extension. Sound only for immutable catalogs. *)
+
+val catalog : t -> Lq_catalog.Catalog.t
+val cache_stats : t -> Query_cache.stats
+val clear_cache : t -> unit
+
+val result_cache_stats : t -> Result_cache.stats option
+(** [None] unless created with [~recycle_results:true]. *)
+
+val clear_result_cache : t -> unit
+(** Applications that mutate registered collections must clear recycled
+    results (no automatic invalidation). *)
+
+val run :
+  t ->
+  engine:Lq_catalog.Engine_intf.t ->
+  ?params:(string * Value.t) list ->
+  ?profile:Lq_metrics.Profile.t ->
+  Lq_expr.Ast.query ->
+  Value.t list
+(** Full pipeline: canonicalize, optimize, hit or fill the cache, execute.
+    @raise Lq_catalog.Engine_intf.Unsupported when the engine refuses the
+    query. *)
+
+val run_instrumented :
+  t ->
+  engine:Lq_catalog.Engine_intf.t ->
+  ?params:(string * Value.t) list ->
+  Lq_cachesim.Hierarchy.t ->
+  Lq_expr.Ast.query ->
+  Value.t list
+(** Executes with the cache-simulation tracer installed (plans are
+    prepared fresh, bypassing the query cache). *)
+
+val prepare_only :
+  t ->
+  engine:Lq_catalog.Engine_intf.t ->
+  Lq_expr.Ast.query ->
+  Lq_catalog.Engine_intf.prepared * [ `Hit | `Miss ]
+(** Preparation without execution, reporting cache behaviour. *)
+
+val reference : t -> ?params:(string * Value.t) list -> Lq_expr.Ast.query -> Value.t list
+(** The reference interpreter's answer (the differential-testing oracle). *)
+
+val optimized : t -> Lq_expr.Ast.query -> Lq_expr.Ast.query
+(** The query after canonicalization and rewrites (for inspection). *)

@@ -1,0 +1,35 @@
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+}
+
+type t = {
+  table : (string * string, Lq_catalog.Engine_intf.prepared) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 32; hits = 0; misses = 0 }
+
+let find_or_compile t ~engine ~shape ~compile =
+  match Hashtbl.find_opt t.table (engine, shape) with
+  | Some prepared ->
+    t.hits <- t.hits + 1;
+    (prepared, `Hit)
+  | None ->
+    let prepared = compile () in
+    Hashtbl.add t.table (engine, shape) prepared;
+    t.misses <- t.misses + 1;
+    (prepared, `Miss)
+
+let stats t = { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0
+
+let const_params consts =
+  List.mapi (fun i v -> (Printf.sprintf "__c%d" i, v)) consts

@@ -1,0 +1,34 @@
+(** The compiled-query cache (§3, "QueryCache").
+
+    Compiled plans are cached under (engine, canonical shape); a query that
+    differs from a cached one only in constant values reuses the cached
+    plan with its constants rebound as parameters — the paper's central
+    amortization: "a typical LINQ application does not contain many
+    different query patterns... caching compiled code for each query
+    pattern can significantly reduce the compilation overhead". *)
+
+open Lq_value
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+}
+
+type t
+
+val create : unit -> t
+
+val find_or_compile :
+  t ->
+  engine:string ->
+  shape:string ->
+  compile:(unit -> Lq_catalog.Engine_intf.prepared) ->
+  Lq_catalog.Engine_intf.prepared * [ `Hit | `Miss ]
+
+val stats : t -> stats
+val clear : t -> unit
+
+val const_params : Value.t list -> (string * Value.t) list
+(** Parameter bindings ["__c0"], ["__c1"], ... for an extracted constant
+    vector, matching {!Lq_expr.Shape.parameterize}. *)

@@ -1,0 +1,83 @@
+open Lq_value
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  cached_rows : int;
+}
+
+type entry = { rows : Value.t list; mutable stamp : int }
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  max_entries : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(max_entries = 128) () =
+  { table = Hashtbl.create 64; max_entries; clock = 0; hits = 0; misses = 0 }
+
+let key ~engine ~shape ~consts ~params =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf engine;
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf shape;
+  List.iter
+    (fun v ->
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf (Value.to_string v))
+    consts;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_char buf '\001';
+      Buffer.add_string buf name;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (Value.to_string v))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) params);
+  Buffer.contents buf
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    t.clock <- t.clock + 1;
+    entry.stamp <- t.clock;
+    t.hits <- t.hits + 1;
+    Some entry.rows
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.table;
+  match !victim with
+  | Some (k, _) -> Hashtbl.remove t.table k
+  | None -> ()
+
+let store t key rows =
+  if not (Hashtbl.mem t.table key) then begin
+    if Hashtbl.length t.table >= t.max_entries then evict_lru t;
+    t.clock <- t.clock + 1;
+    Hashtbl.add t.table key { rows; stamp = t.clock }
+  end
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    entries = Hashtbl.length t.table;
+    cached_rows = Hashtbl.fold (fun _ e acc -> acc + List.length e.rows) t.table 0;
+  }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0

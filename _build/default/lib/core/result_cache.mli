@@ -1,0 +1,38 @@
+(** Query result recycling (§9 future work; cf. Nagel, Boncz & Viglas,
+    "Recycling in pipelined query evaluation", ICDE 2013 — the paper's
+    reference [15]).
+
+    Where the {!Query_cache} amortizes *compilation* across parameter
+    values, the result cache amortizes *execution* across identical
+    invocations: a (shape, constants, parameters) triple maps to the
+    materialized result rows. Sound only while the underlying catalog is
+    immutable, which is the setting of this repository's workloads; the
+    provider invalidates nothing and exposes {!clear} for applications
+    that mutate data. *)
+
+open Lq_value
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  cached_rows : int;  (** total rows held, the memory-cost driver *)
+}
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+(** LRU-evicting store; default capacity 128 entries. *)
+
+val key :
+  engine:string ->
+  shape:string ->
+  consts:Value.t list ->
+  params:(string * Value.t) list ->
+  string
+(** Canonical cache key for one execution. *)
+
+val find : t -> string -> Value.t list option
+val store : t -> string -> Value.t list -> unit
+val stats : t -> stats
+val clear : t -> unit

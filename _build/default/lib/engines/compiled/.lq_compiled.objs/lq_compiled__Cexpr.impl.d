@@ -1,0 +1,1 @@
+lib/engines/compiled/cexpr.ml: Array List Lq_catalog Lq_expr Lq_value Option Printf String Value Vtype

@@ -1,0 +1,1 @@
+lib/engines/compiled/cexpr.mli: Lq_expr Lq_value Value Vtype

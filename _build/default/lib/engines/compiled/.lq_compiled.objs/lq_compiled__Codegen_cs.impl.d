@@ -1,0 +1,1 @@
+lib/engines/compiled/codegen_cs.ml: Buffer List Lq_expr Printf String

@@ -1,0 +1,1 @@
+lib/engines/compiled/codegen_cs.mli: Lq_expr

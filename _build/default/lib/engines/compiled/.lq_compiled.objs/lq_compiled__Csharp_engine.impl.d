@@ -1,0 +1,1 @@
+lib/engines/compiled/csharp_engine.ml: Codegen_cs Lq_catalog Lq_metrics Options Plan Printf

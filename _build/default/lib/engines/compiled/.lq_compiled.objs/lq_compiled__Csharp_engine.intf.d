@@ -1,0 +1,1 @@
+lib/engines/compiled/csharp_engine.mli: Lq_catalog Options

@@ -1,0 +1,1 @@
+lib/engines/compiled/options.ml: Printf

@@ -1,0 +1,1 @@
+lib/engines/compiled/plan.ml: Array Cexpr Fun Int List Lq_catalog Lq_enum Lq_exec Lq_expr Lq_value Option Options Schema String Value Vtype

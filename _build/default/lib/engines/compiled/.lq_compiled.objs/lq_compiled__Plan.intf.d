@@ -1,0 +1,1 @@
+lib/engines/compiled/plan.mli: Lq_catalog Lq_expr Lq_value Options Value

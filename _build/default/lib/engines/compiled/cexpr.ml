@@ -1,0 +1,214 @@
+open Lq_value
+module Ast = Lq_expr.Ast
+module Scalar = Lq_expr.Scalar
+module Typecheck = Lq_expr.Typecheck
+
+type rt = {
+  frame : Value.t array;
+  params : Value.t array;
+}
+
+type compiled = rt -> Value.t
+
+type ctx = {
+  mutable params : string list;  (** reversed slot order *)
+  mutable nparams : int;
+  mutable nslots : int;
+}
+
+let ctx () = { params = []; nparams = 0; nslots = 0 }
+
+let param_slot t name =
+  let rec find i = function
+    | [] -> -1
+    | p :: _ when String.equal p name -> t.nparams - 1 - i
+    | _ :: rest -> find (i + 1) rest
+  in
+  match find 0 t.params with
+  | -1 ->
+    let slot = t.nparams in
+    t.params <- name :: t.params;
+    t.nparams <- slot + 1;
+    slot
+  | slot -> slot
+
+let param_names t = List.rev t.params
+
+let alloc_slot t =
+  let slot = t.nslots in
+  t.nslots <- slot + 1;
+  slot
+
+let frame_size t = t.nslots
+
+let make_rt t ~params =
+  let block = Array.make (max 1 t.nparams) Value.Null in
+  List.iteri
+    (fun i name ->
+      match List.assoc_opt name params with
+      | Some v -> block.(i) <- v
+      | None -> invalid_arg (Printf.sprintf "unbound query parameter %S" name))
+    (param_names t);
+  { frame = Array.make (max 1 t.nslots) Value.Null; params = block }
+
+type binding = { var : string; slot : int; vty : Vtype.t option }
+
+let record_index fields name =
+  let rec go i = function
+    | [] -> None
+    | (n, ty) :: _ when String.equal n name -> Some (i, ty)
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 fields
+
+let member_error recv name =
+  Typecheck.error "compiled member access: %s has no member %S"
+    (match recv with Some ty -> Vtype.to_string ty | None -> "<dynamic>")
+    name
+
+let field_value v i name =
+  match v with
+  | Value.Record fields ->
+    let n, fv = Array.unsafe_get fields i in
+    (* The positional invariant (runtime field order = static type order)
+       is asserted cheaply here. *)
+    if String.equal n name then fv else Value.field v name
+  | other ->
+    invalid_arg
+      (Printf.sprintf "compiled member %S on non-record %s" name (Value.to_string other))
+
+let no_agg _ _ _ =
+  Lq_catalog.Engine_intf.unsupported "aggregate outside a group context"
+
+let no_subquery _ =
+  Lq_catalog.Engine_intf.unsupported "nested sub-query not supported by this backend"
+
+let compile t ~env ?(on_agg = no_agg) ?(on_subquery = no_subquery) expr =
+  let rec go (e : Ast.expr) : compiled * Vtype.t option =
+    match e with
+    | Ast.Const v ->
+      let ty = Value.type_of v in
+      ((fun _ -> v), ty)
+    | Ast.Param p ->
+      let slot = param_slot t p in
+      ((fun rt -> Array.unsafe_get rt.params slot), None)
+    | Ast.Var name -> (
+      match List.find_opt (fun b -> String.equal b.var name) env with
+      | Some { slot; vty; _ } -> ((fun rt -> Array.unsafe_get rt.frame slot), vty)
+      | None -> Typecheck.error "compiled expression: unbound variable %S" name)
+    | Ast.Member (recv, name) -> (
+      let crecv, rty = go recv in
+      match rty with
+      | Some (Vtype.Record fields) -> (
+        match record_index fields name with
+        | Some (i, fty) -> ((fun rt -> field_value (crecv rt) i name), Some fty)
+        | None -> member_error rty name)
+      | Some _ -> member_error rty name
+      | None ->
+        (* Dynamic receiver: fall back to name lookup. *)
+        ((fun rt -> Value.field (crecv rt) name), None))
+    | Ast.Unop (op, e) ->
+      let ce, ty = go e in
+      let rty =
+        match (op, ty) with
+        | Ast.Neg, t -> t
+        | Ast.Not, _ -> Some Vtype.Bool
+      in
+      ((fun rt -> Scalar.unop op (ce rt)), rty)
+    | Ast.Binop (Ast.And, a, b) ->
+      let ca, _ = go a in
+      let cb, _ = go b in
+      ( (fun rt -> if Value.to_bool (ca rt) then cb rt else Value.Bool false),
+        Some Vtype.Bool )
+    | Ast.Binop (Ast.Or, a, b) ->
+      let ca, _ = go a in
+      let cb, _ = go b in
+      ( (fun rt -> if Value.to_bool (ca rt) then Value.Bool true else cb rt),
+        Some Vtype.Bool )
+    | Ast.Binop (op, a, b) ->
+      let ca, ta = go a in
+      let cb, tb = go b in
+      let rty =
+        match op with
+        | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> Some Vtype.Bool
+        | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> (
+          match (ta, tb) with
+          | Some Vtype.Int, Some Vtype.Int -> Some Vtype.Int
+          | Some Vtype.Float, Some (Vtype.Int | Vtype.Float)
+          | Some Vtype.Int, Some Vtype.Float ->
+            Some Vtype.Float
+          | _ -> None)
+        | Ast.And | Ast.Or -> Some Vtype.Bool
+      in
+      (* Specialize the hot numeric/comparison cases on static types. *)
+      let c =
+        match (op, ta, tb) with
+        | Ast.Add, Some Vtype.Float, Some Vtype.Float ->
+          fun rt -> Value.Float (Value.to_float (ca rt) +. Value.to_float (cb rt))
+        | Ast.Sub, Some Vtype.Float, Some Vtype.Float ->
+          fun rt -> Value.Float (Value.to_float (ca rt) -. Value.to_float (cb rt))
+        | Ast.Mul, Some Vtype.Float, Some Vtype.Float ->
+          fun rt -> Value.Float (Value.to_float (ca rt) *. Value.to_float (cb rt))
+        | Ast.Add, Some Vtype.Int, Some Vtype.Int ->
+          fun rt -> Value.Int (Value.to_int (ca rt) + Value.to_int (cb rt))
+        | Ast.Sub, Some Vtype.Int, Some Vtype.Int ->
+          fun rt -> Value.Int (Value.to_int (ca rt) - Value.to_int (cb rt))
+        | Ast.Mul, Some Vtype.Int, Some Vtype.Int ->
+          fun rt -> Value.Int (Value.to_int (ca rt) * Value.to_int (cb rt))
+        | (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), _, _ ->
+          let test =
+            match op with
+            | Ast.Lt -> fun c -> c < 0
+            | Ast.Le -> fun c -> c <= 0
+            | Ast.Gt -> fun c -> c > 0
+            | Ast.Ge -> fun c -> c >= 0
+            | Ast.Eq -> fun c -> c = 0
+            | _ -> fun c -> c <> 0
+          in
+          fun rt -> Value.Bool (test (Scalar.cmp (ca rt) (cb rt)))
+        | _ -> fun rt -> Scalar.binop op (ca rt) (cb rt)
+      in
+      (c, rty)
+    | Ast.If (c, th, el) ->
+      let cc, _ = go c in
+      let ct, tt = go th in
+      let ce, te = go el in
+      let rty = match (tt, te) with
+        | Some a, Some b when Vtype.equal a b -> Some a
+        | _ -> None
+      in
+      ((fun rt -> if Value.to_bool (cc rt) then ct rt else ce rt), rty)
+    | Ast.Call (f, args) ->
+      let cargs = List.map (fun a -> fst (go a)) args in
+      let rty =
+        match f with
+        | Ast.Starts_with | Ast.Ends_with | Ast.Contains | Ast.Like -> Some Vtype.Bool
+        | Ast.Lower | Ast.Upper -> Some Vtype.String
+        | Ast.Length | Ast.Year -> Some Vtype.Int
+        | Ast.Add_days -> Some Vtype.Date
+        | Ast.Abs -> None
+      in
+      (match cargs with
+      | [ a ] -> ((fun rt -> Scalar.call f [ a rt ]), rty)
+      | [ a; b ] -> ((fun rt -> Scalar.call f [ a rt; b rt ]), rty)
+      | _ -> ((fun rt -> Scalar.call f (List.map (fun c -> c rt) cargs)), rty))
+    | Ast.Agg (kind, src, sel) -> on_agg kind src sel
+    | Ast.Subquery q -> on_subquery q
+    | Ast.Record_of fields ->
+      let names = Array.of_list (List.map fst fields) in
+      let compiled = Array.of_list (List.map (fun (_, e) -> go e) fields) in
+      let closures = Array.map fst compiled in
+      let rty =
+        let tys = Array.map snd compiled in
+        if Array.for_all Option.is_some tys then
+          Some
+            (Vtype.Record
+               (Array.to_list
+                  (Array.mapi (fun i ty -> (names.(i), Option.get ty)) tys)))
+        else None
+      in
+      ( (fun rt ->
+          Value.Record (Array.mapi (fun i c -> (names.(i), c rt)) closures)),
+        rty )
+  in
+  go expr

@@ -1,0 +1,58 @@
+(** Expression compilation to specialized closures over boxed values.
+
+    The analogue of §4's generated C# scalar code: at plan-build time every
+    lambda body becomes a closure in which
+
+    - member accesses are positional array reads (indexes resolved against
+      the statically known record type — no name lookup per element),
+    - variables are reads of a reusable frame (registers), and
+    - parameters are reads of the parameter block bound at execution.
+
+    Aggregates and sub-queries have no direct compiled form at this level;
+    the plan compiler supplies hooks that splice in accumulator reads and
+    pre-evaluated sub-query results. *)
+
+open Lq_value
+
+type rt = {
+  frame : Value.t array;  (** variable slots, reused across rows *)
+  params : Value.t array;  (** parameter block, bound per execution *)
+}
+
+type compiled = rt -> Value.t
+
+(** Static compilation context: parameter slots and frame allocation. *)
+type ctx
+
+val ctx : unit -> ctx
+
+val param_slot : ctx -> string -> int
+(** Slot of a named parameter (allocated on first use). *)
+
+val param_names : ctx -> string list
+(** Parameters seen so far, in slot order. *)
+
+val alloc_slot : ctx -> int
+(** A fresh frame slot. *)
+
+val frame_size : ctx -> int
+
+val make_rt : ctx -> params:(string * Value.t) list -> rt
+(** Runtime blocks for one execution.
+    @raise Invalid_argument if a used parameter is unbound. *)
+
+(** Static typing of bound variables: name, frame slot, element type when
+    known ([None] = dynamic — e.g. values derived from parameters). *)
+type binding = { var : string; slot : int; vty : Vtype.t option }
+
+val compile :
+  ctx ->
+  env:binding list ->
+  ?on_agg:(Lq_expr.Ast.agg -> Lq_expr.Ast.expr -> Lq_expr.Ast.lambda option -> compiled * Vtype.t option) ->
+  ?on_subquery:(Lq_expr.Ast.query -> compiled * Vtype.t option) ->
+  Lq_expr.Ast.expr ->
+  compiled * Vtype.t option
+(** Compiles an expression; raises {!Lq_catalog.Engine_intf.Unsupported}
+    on [Agg]/[Subquery] nodes when no hook is given, and
+    {!Lq_expr.Typecheck.Type_error} on members of statically unknown or
+    non-record receivers. *)

@@ -1,0 +1,168 @@
+module Ast = Lq_expr.Ast
+module Pretty = Lq_expr.Pretty
+
+(* The emitter decomposes the query into pipeline segments: a chain of
+   non-blocking operators over one producer compiles to a single foreach
+   with nested ifs; blocking operators start a new segment writing into an
+   intermediate. *)
+
+type line = int * string  (* indent, text *)
+
+let expr_str e = Pretty.expr_to_string e
+
+let lambda_body (l : Ast.lambda) = expr_str l.Ast.body
+let lambda_param (l : Ast.lambda) = match l.Ast.params with p :: _ -> p | [] -> "_"
+
+let rec emit_segment (q : Ast.query) ~(body : string -> int -> line list) ~temp
+    : line list =
+  (* [body elem_var indent] generates the innermost statements; [temp]
+     generates fresh intermediate names. *)
+  match q with
+  | Ast.Source name ->
+    let v = temp "elem" in
+    [ (0, Printf.sprintf "foreach (var %s in %s) {" v name) ]
+    @ body v 1
+    @ [ (0, "}") ]
+  | Ast.Where (src, pred) ->
+    emit_segment src ~temp ~body:(fun v indent ->
+        let cond = expr_str (Ast.subst [ (lambda_param pred, Ast.Var v) ] pred.Ast.body) in
+        [ (indent, Printf.sprintf "if (%s) {" cond) ]
+        @ body v (indent + 1)
+        @ [ (indent, "}") ])
+  | Ast.Select (src, sel) ->
+    emit_segment src ~temp ~body:(fun v indent ->
+        let out = temp "val" in
+        let rhs = expr_str (Ast.subst [ (lambda_param sel, Ast.Var v) ] sel.Ast.body) in
+        ((indent, Printf.sprintf "var %s = %s;" out rhs)) :: body out indent)
+  | Ast.Join j ->
+    let ht = temp "ht" in
+    let build =
+      emit_segment j.right ~temp ~body:(fun v indent ->
+          [
+            ( indent,
+              Printf.sprintf "%s.Add(%s, %s);" ht
+                (expr_str (Ast.subst [ (lambda_param j.right_key, Ast.Var v) ] j.right_key.Ast.body))
+                v );
+          ])
+    in
+    let probe =
+      emit_segment j.left ~temp ~body:(fun v indent ->
+          let m = temp "match" in
+          let key =
+            expr_str (Ast.subst [ (lambda_param j.left_key, Ast.Var v) ] j.left_key.Ast.body)
+          in
+          let res =
+            match j.result.Ast.params with
+            | [ pl; pr ] ->
+              expr_str (Ast.subst [ (pl, Ast.Var v); (pr, Ast.Var m) ] j.result.Ast.body)
+            | _ -> "/* result */"
+          in
+          let out = temp "val" in
+          [ (indent, Printf.sprintf "foreach (var %s in %s.Matches(%s)) {" m ht key);
+            (indent + 1, Printf.sprintf "var %s = %s;" out res) ]
+          @ body out (indent + 1)
+          @ [ (indent, "}") ])
+    in
+    ((0, Printf.sprintf "var %s = new MultiHashTable();  // join build" ht) :: build)
+    @ ((0, "// probe") :: probe)
+  | Ast.Group_by { group_source; key; group_result } ->
+    let groups = temp "groups" in
+    let build =
+      emit_segment group_source ~temp ~body:(fun v indent ->
+          [
+            ( indent,
+              Printf.sprintf
+                "%s.UpdateAggregates(%s, %s);  // single pass: all aggregates fused"
+                groups
+                (expr_str (Ast.subst [ (lambda_param key, Ast.Var v) ] key.Ast.body))
+                v );
+          ])
+    in
+    let g = temp "g" in
+    let result_line indent =
+      match group_result with
+      | None -> ((indent, Printf.sprintf "var val_g = %s;" g)) :: body "val_g" indent
+      | Some sel ->
+        let out = temp "val" in
+        let rhs = expr_str (Ast.subst [ (lambda_param sel, Ast.Var g) ] sel.Ast.body) in
+        ((indent, Printf.sprintf "var %s = %s;  // reads fused accumulators" out rhs))
+        :: body out indent
+    in
+    ((0, Printf.sprintf "var %s = new AggregateHashTable();" groups) :: build)
+    @ [ (0, Printf.sprintf "foreach (var %s in %s.InInsertionOrder()) {" g groups) ]
+    @ result_line 1
+    @ [ (0, "}") ]
+  | Ast.Order_by (src, keys) ->
+    let buf = temp "buffer" in
+    let build =
+      emit_segment src ~temp ~body:(fun v indent ->
+          [ (indent, Printf.sprintf "%s.Add(%s);" buf v) ])
+    in
+    let keys_doc =
+      String.concat ", "
+        (List.map
+           (fun (k : Ast.sort_key) ->
+             Printf.sprintf "%s %s" (lambda_body k.Ast.by)
+               (match k.Ast.dir with Ast.Asc -> "asc" | Ast.Desc -> "desc"))
+           keys)
+    in
+    let v = temp "elem" in
+    ((0, Printf.sprintf "var %s = new List<T>();" buf) :: build)
+    @ [
+        (0, Printf.sprintf "Quicksort(%s.Keys(%s), %s.Indexes());" buf keys_doc buf);
+        (0, Printf.sprintf "foreach (var %s in %s.InSortedOrder()) {" v buf);
+      ]
+    @ body v 1
+    @ [ (0, "}") ]
+  | Ast.Take (src, n) ->
+    let counter = temp "taken" in
+    ((0, Printf.sprintf "int %s = 0;" counter))
+    :: emit_segment src ~temp ~body:(fun v indent ->
+           body v indent
+           @ [
+               (indent, Printf.sprintf "if (++%s >= %s) yield break;" counter (expr_str n));
+             ])
+  | Ast.Skip (src, n) ->
+    let counter = temp "skipped" in
+    ((0, Printf.sprintf "int %s = 0;" counter))
+    :: emit_segment src ~temp ~body:(fun v indent ->
+           [ (indent, Printf.sprintf "if (%s++ < %s) continue;" counter (expr_str n)) ]
+           @ body v indent)
+  | Ast.Distinct src ->
+    let seen = temp "seen" in
+    ((0, Printf.sprintf "var %s = new HashSet<T>();" seen))
+    :: emit_segment src ~temp ~body:(fun v indent ->
+           [ (indent, Printf.sprintf "if (%s.Add(%s)) {" seen v) ]
+           @ body v (indent + 1)
+           @ [ (indent, "}") ])
+
+let emit (q : Ast.query) =
+  let counter = ref 0 in
+  let temp prefix =
+    incr counter;
+    Printf.sprintf "%s_%d" prefix !counter
+  in
+  let sources = Ast.sources_of_query q in
+  let params = Ast.params_of_query q in
+  let args =
+    String.concat ",\n      "
+      (List.map (fun s -> Printf.sprintf "IEnumerable<SourceType> %s" s) sources
+      @ List.map (fun p -> Printf.sprintf "ParamType %s" p) params)
+  in
+  let lines =
+    emit_segment q ~temp ~body:(fun v indent ->
+        [ (indent, Printf.sprintf "yield return %s;" v) ])
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "// generated C# (managed backend, one fused loop per segment)\n";
+  Buffer.add_string buf "public static class Executor {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  public static IEnumerable<ReturnType> Execute(\n      %s) {\n" args);
+  List.iter
+    (fun (indent, text) ->
+      Buffer.add_string buf (String.make ((indent + 2) * 2) ' ');
+      Buffer.add_string buf text;
+      Buffer.add_char buf '\n')
+    lines;
+  Buffer.add_string buf "    yield break;\n  }\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+module Engine_intf = Lq_catalog.Engine_intf
+module Profile = Lq_metrics.Profile
+
+let make ~name ~describe options : Engine_intf.t =
+  {
+    Engine_intf.name;
+    describe;
+    prepare =
+      (fun ?instr cat query ->
+        let start = Profile.now_ms () in
+        let plan = Plan.compile ~options ?instr cat query in
+        let source = Codegen_cs.emit query in
+        let codegen_ms = Profile.now_ms () -. start in
+        {
+          Engine_intf.execute =
+            (fun ?profile ~params () ->
+              let run () = Plan.execute plan ~params in
+              match profile with
+              | None -> run ()
+              | Some p -> Profile.time p "Execute compiled C# (managed)" run);
+          codegen_ms;
+          source = Some source;
+        });
+  }
+
+let engine =
+  make ~name:"compiled-csharp"
+    ~describe:"generated C#: fused loops, compiled predicates, boxed values"
+    Options.default
+
+let engine_with options =
+  make
+    ~name:(Printf.sprintf "compiled-csharp[%s]" (Options.to_string options))
+    ~describe:"generated C# with explicit codegen options" options

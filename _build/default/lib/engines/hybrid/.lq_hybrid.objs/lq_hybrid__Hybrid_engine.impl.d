@@ -1,0 +1,1 @@
+lib/engines/hybrid/hybrid_engine.ml: Array Float Fun List Lq_catalog Lq_compiled Lq_expr Lq_metrics Lq_native Lq_storage Lq_value Option Printf Schema Split String Value Vtype

@@ -1,0 +1,1 @@
+lib/engines/hybrid/hybrid_engine.mli: Lq_catalog

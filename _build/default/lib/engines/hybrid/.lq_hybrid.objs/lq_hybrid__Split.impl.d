@@ -1,0 +1,1 @@
+lib/engines/hybrid/split.ml: Ast Hashtbl List Lq_expr Lq_value Option Paths Printf String

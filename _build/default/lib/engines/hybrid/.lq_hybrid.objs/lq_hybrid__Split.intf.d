@@ -1,0 +1,1 @@
+lib/engines/hybrid/split.mli: Ast Lq_expr Lq_value

@@ -1,0 +1,35 @@
+(** The combined C#/C backend (§6), as an engine.
+
+    The managed side iterates the boxed source collections, applies the
+    source-level filters, performs the implicit projection and stages the
+    surviving fields into flat buffers; the native plan then does the heavy
+    lifting over the staged rows; results are constructed natively from
+    copied fields (Max) or by re-associating staged index columns with the
+    original objects (Min).
+
+    Four variants, as measured in §7:
+
+    - {e full materialization} (§6.1.1): all input is staged before the
+      native code runs;
+    - {e buffered} (§6.1.2): a single fixed-size buffer is refilled as the
+      native side consumes it, keeping the staging footprint constant;
+    - {e Max}: stage every field the offloaded part or the result needs;
+    - {e Min}: stage only keys plus an index column and look the original
+      objects up again for result construction — only possible when results
+      are (projections of) source elements or a plain join of them; refused
+      otherwise ("the Min approach is not possible for complex queries",
+      §7.4). *)
+
+type construction =
+  | Min
+  | Max
+
+val make : ?buffered:bool -> ?construction:construction -> unit -> Lq_catalog.Engine_intf.t
+val engine : Lq_catalog.Engine_intf.t
+(** Full materialization, Max construction — the default "C#/C Code". *)
+
+val engine_buffered : Lq_catalog.Engine_intf.t
+
+val staged_bytes : unit -> int
+(** Staging memory used by the most recent execution on any hybrid engine
+    (the §7.1 "390 MB vs one buffer page" comparison). *)

@@ -1,0 +1,1 @@
+lib/engines/linqobj/linq_objects.ml: Array List Lq_catalog Lq_enum Lq_expr Lq_metrics Lq_value Option Value

@@ -1,0 +1,1 @@
+lib/engines/linqobj/linq_objects.mli: Lq_catalog Lq_expr Lq_value

@@ -1,0 +1,27 @@
+(** The LINQ-to-objects baseline engine (§2).
+
+    Executes the expression tree the way the default .NET implementation
+    would, faithfully keeping every inefficiency §2.3 catalogues:
+
+    - one {!Lq_enum.Enumerable} operator per query operator, chained and
+      pulled element-at-a-time (two indirect calls per element per
+      operator);
+    - lambdas interpreted over boxed values on every element (no inlining,
+      members located by name at run time);
+    - grouped aggregates computed by re-iterating each group's element
+      list once per aggregate in the result selector — including duplicate
+      aggregates;
+    - nested sub-queries in predicates re-evaluated for every input
+      element (the "query avalanche");
+    - [OrderBy] sorts its entire input even under a subsequent [Take].
+
+    No code is generated and nothing is cached: this is the engine the
+    compiled backends are measured against. *)
+
+val engine : Lq_catalog.Engine_intf.t
+
+val used_source_slots :
+  Lq_value.Schema.t -> Lq_expr.Ast.query -> int list
+(** Field slots of a source schema that some lambda of the query
+    dereferences (by member name) — the instrumented run's model of which
+    object fields a pipeline touches. *)

@@ -1,0 +1,1 @@
+lib/engines/native/codegen_c.ml: Buffer List Lq_catalog Lq_expr Lq_storage Lq_value Printf String

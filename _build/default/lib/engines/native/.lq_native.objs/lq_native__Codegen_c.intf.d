@@ -1,0 +1,1 @@
+lib/engines/native/codegen_c.mli: Lq_catalog Lq_expr

@@ -1,0 +1,1 @@
+lib/engines/native/ht.ml: Array Lq_storage

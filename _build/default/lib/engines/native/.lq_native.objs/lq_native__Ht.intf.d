@@ -1,0 +1,1 @@
+lib/engines/native/ht.mli:

@@ -1,0 +1,1 @@
+lib/engines/native/native_engine.ml: Codegen_c Lq_catalog Lq_expr Lq_metrics Nplan Option

@@ -1,0 +1,1 @@
+lib/engines/native/native_engine.mli: Lq_catalog

@@ -1,0 +1,1 @@
+lib/engines/native/nexpr.ml: Array Bool Float Int Int64 List Lq_catalog Lq_expr Lq_storage Lq_value Printf String Value Vtype

@@ -1,0 +1,1 @@
+lib/engines/native/nexpr.mli: Lq_expr Lq_storage Lq_value Value Vtype

@@ -1,0 +1,1 @@
+lib/engines/native/nplan.ml: Array Float Fun Ht Int List Lq_catalog Lq_exec Lq_expr Lq_metrics Lq_storage Lq_value Nexpr Option Printf String Value Vtype

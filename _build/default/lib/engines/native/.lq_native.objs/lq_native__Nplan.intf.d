@@ -1,0 +1,1 @@
+lib/engines/native/nplan.mli: Lq_catalog Lq_expr Lq_metrics Lq_storage Lq_value Value

@@ -1,0 +1,177 @@
+module Ast = Lq_expr.Ast
+module Pretty = Lq_expr.Pretty
+module Catalog = Lq_catalog.Catalog
+module Layout = Lq_storage.Layout
+
+(* Renders C-flavoured scalar expressions: member access through struct
+   pointers, parameters through the context struct. *)
+let rec c_expr (e : Ast.expr) : string =
+  match e with
+  | Ast.Const v -> Lq_value.Value.to_string v
+  | Ast.Param p -> Printf.sprintf "ctx->param_%s" p
+  | Ast.Var v -> v
+  | Ast.Member (Ast.Var v, f) -> Printf.sprintf "%s->%s" v f
+  | Ast.Member (e, f) -> Printf.sprintf "%s.%s" (c_expr e) f
+  | Ast.Unop (Ast.Neg, e) -> Printf.sprintf "-(%s)" (c_expr e)
+  | Ast.Unop (Ast.Not, e) -> Printf.sprintf "!(%s)" (c_expr e)
+  | Ast.Binop (op, a, b) ->
+    let sym =
+      match op with
+      | Ast.Eq -> "=="
+      | Ast.Ne -> "!="
+      | Ast.And -> "&&"
+      | Ast.Or -> "||"
+      | other -> Pretty.binop_symbol other
+    in
+    Printf.sprintf "(%s %s %s)" (c_expr a) sym (c_expr b)
+  | Ast.If (c, t, e) -> Printf.sprintf "(%s ? %s : %s)" (c_expr c) (c_expr t) (c_expr e)
+  | Ast.Call (f, args) ->
+    Printf.sprintf "%s(%s)"
+      (String.lowercase_ascii (Pretty.func_name f))
+      (String.concat ", " (List.map c_expr args))
+  | Ast.Agg (kind, src, _) ->
+    Printf.sprintf "/* fused %s over %s */ acc" (Pretty.agg_name kind) (c_expr src)
+  | Ast.Subquery _ -> "/* pre-evaluated sub-query */ subq"
+  | Ast.Record_of fields ->
+    Printf.sprintf "{ %s }"
+      (String.concat ", "
+         (List.map (fun (n, e) -> Printf.sprintf ".%s = %s" n (c_expr e)) fields))
+
+let lambda_inlined (l : Ast.lambda) ~args =
+  c_expr (Ast.subst (List.combine l.Ast.params args) l.Ast.body)
+
+type emit_ctx = { buf : Buffer.t; mutable tmp : int; mutable structs : string list }
+
+let temp ec prefix =
+  ec.tmp <- ec.tmp + 1;
+  Printf.sprintf "%s_%d" prefix ec.tmp
+
+let line ec indent fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ec.buf (String.make (indent * 2) ' ');
+      Buffer.add_string ec.buf s;
+      Buffer.add_char ec.buf '\n')
+    fmt
+
+let rec emit_query ec cat (q : Ast.query) ~indent ~(body : string -> int -> unit) =
+  match q with
+  | Ast.Source name ->
+    (match Catalog.store (Catalog.table cat name) with
+    | store ->
+      ec.structs <-
+        Layout.c_struct ~name:(name ^ "_t") (Lq_storage.Rowstore.layout store)
+        :: ec.structs
+    | exception _ -> ());
+    let v = temp ec "elem" in
+    line ec indent "for (i = ctx->curr_%s; i < ctx->%s_size; i++) {" name name;
+    line ec (indent + 1) "%s_t* %s = &(ctx->%s[i]);" name v name;
+    body v (indent + 1);
+    line ec indent "}"
+  | Ast.Where (src, pred) ->
+    emit_query ec cat src ~indent ~body:(fun v i ->
+        line ec i "if (%s) {" (lambda_inlined pred ~args:[ Ast.Var v ]);
+        body v (i + 1);
+        line ec i "}")
+  | Ast.Select (src, sel) ->
+    emit_query ec cat src ~indent ~body:(fun v i ->
+        let out = temp ec "val" in
+        line ec i "/* pending projection, no materialization */";
+        line ec i "val_t %s = %s;" out (lambda_inlined sel ~args:[ Ast.Var v ]);
+        body out i)
+  | Ast.Join j ->
+    let ht = temp ec "ht" in
+    line ec indent "ht_t* %s = ht_create(ctx);  /* open addressing, flat */" ht;
+    emit_query ec cat j.right ~indent ~body:(fun v i ->
+        line ec i "ht_insert(%s, %s, %s);  /* spill row into intermediate */" ht
+          (lambda_inlined j.right_key ~args:[ Ast.Var v ])
+          v);
+    emit_query ec cat j.left ~indent ~body:(fun v i ->
+        let m = temp ec "match" in
+        line ec i "for (%s = ht_probe(%s, %s); %s; %s = %s->next) {" m ht
+          (lambda_inlined j.left_key ~args:[ Ast.Var v ])
+          m m m;
+        let out = temp ec "val" in
+        line ec (i + 1) "val_t %s = %s;" out
+          (lambda_inlined j.result ~args:[ Ast.Var v; Ast.Var m ]);
+        body out (i + 1);
+        line ec i "}")
+  | Ast.Group_by { group_source; key; group_result } ->
+    let ht = temp ec "agg" in
+    line ec indent "agg_t* %s = agg_create(ctx);  /* dense slots + unboxed accumulator arrays */" ht;
+    emit_query ec cat group_source ~indent ~body:(fun v i ->
+        line ec i "slot = agg_slot(%s, %s);" ht (lambda_inlined key ~args:[ Ast.Var v ]);
+        line ec i "agg_update_all(%s, slot, %s);  /* every aggregate, one pass */" ht v);
+    let g = temp ec "g" in
+    line ec indent "for (slot = 0; slot < %s->count; slot++) {" ht;
+    (match group_result with
+    | None -> body (ht ^ "[slot]") (indent + 1)
+    | Some sel ->
+      let out = temp ec "val" in
+      line ec (indent + 1) "val_t %s = %s;  /* reads accumulator arrays */" out
+        (lambda_inlined sel ~args:[ Ast.Var g ]);
+      body out (indent + 1));
+    line ec indent "}"
+  | Ast.Order_by (src, keys) ->
+    let buf = temp ec "sortbuf" in
+    line ec indent "buffer_t* %s = buffer_create(ctx);  /* flat intermediate */" buf;
+    emit_query ec cat src ~indent ~body:(fun v i ->
+        line ec i "buffer_append(%s, %s);  /* plus key columns */" buf v);
+    let keydoc =
+      String.concat ", "
+        (List.map
+           (fun (k : Ast.sort_key) ->
+             Printf.sprintf "%s %s"
+               (Pretty.expr_to_string k.Ast.by.Ast.body)
+               (match k.Ast.dir with Ast.Asc -> "asc" | Ast.Desc -> "desc"))
+           keys)
+    in
+    line ec indent "quicksort(%s->keys /* %s */, %s->index, %s->count);" buf keydoc buf buf;
+    let v = temp ec "elem" in
+    line ec indent "for (i = 0; i < %s->count; i++) {" buf;
+    line ec (indent + 1) "row_t* %s = buffer_at(%s, %s->index[i]);" v buf buf;
+    body v (indent + 1);
+    line ec indent "}"
+  | Ast.Take (src, n) ->
+    emit_query ec cat src ~indent ~body:(fun v i ->
+        body v i;
+        line ec i "if (++ctx->taken >= %s) return 0;" (c_expr n))
+  | Ast.Skip (src, n) ->
+    emit_query ec cat src ~indent ~body:(fun v i ->
+        line ec i "if (ctx->skipped++ < %s) continue;" (c_expr n);
+        body v i)
+  | Ast.Distinct src ->
+    let ht = temp ec "seen" in
+    line ec indent "ht_t* %s = ht_create(ctx);" ht;
+    emit_query ec cat src ~indent ~body:(fun v i ->
+        line ec i "if (ht_add_if_new(%s, %s)) {" ht v;
+        body v (i + 1);
+        line ec i "}")
+
+let emit cat (q : Ast.query) =
+  let ec = { buf = Buffer.create 2048; tmp = 0; structs = [] } in
+  let body = Buffer.create 2048 in
+  let ec_body = { ec with buf = body } in
+  emit_query ec_body cat q ~indent:1 ~body:(fun v i ->
+      line ec_body i "ctx->out_elem = %s;" v;
+      line ec_body i "ctx->curr_elem = i + 1;  /* resume point (deferred execution) */";
+      line ec_body i "return 1;");
+  let out = Buffer.create 4096 in
+  Buffer.add_string out "/* generated C (native backend) */\n";
+  Buffer.add_string out "#include <stdint.h>\n\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string out s;
+      Buffer.add_char out '\n')
+    (List.rev ec_body.structs);
+  Buffer.add_string out
+    "typedef struct Context {\n\
+    \  /* input pointers, parameters, resume state */\n\
+    \  int64_t curr_elem;\n\
+    \  void*   out_elem;\n\
+    \  int64_t taken, skipped;\n\
+     } Context;\n\n";
+  Buffer.add_string out "int EvaluateQuery(Context* ctx) {\n  int64_t i, slot;\n";
+  Buffer.add_buffer out body;
+  Buffer.add_string out "  return 0;  /* exhausted */\n}\n";
+  Buffer.contents out

@@ -1,0 +1,9 @@
+(** C source listings for native plans (§5.1).
+
+    Renders the C a native backend would emit: the per-query [Context]
+    struct, struct declarations for the input and every flat intermediate,
+    and a resumable [EvaluateQuery] function whose loops mirror the plan's
+    segments. Documentation output (shown by the CLI, returned as
+    [prepared.source]); the executable form is the closure plan. *)
+
+val emit : Lq_catalog.Catalog.t -> Lq_expr.Ast.query -> string

@@ -1,0 +1,36 @@
+module Engine_intf = Lq_catalog.Engine_intf
+module Catalog = Lq_catalog.Catalog
+module Profile = Lq_metrics.Profile
+
+let make ~name ~describe : Engine_intf.t =
+  {
+    Engine_intf.name;
+    describe;
+    prepare =
+      (fun ?instr cat query ->
+        let trace = Option.map (fun (i : Lq_catalog.Instr.t) -> i.Lq_catalog.Instr.trace) instr in
+        let start = Profile.now_ms () in
+        let plan =
+          try Nplan.compile ?trace cat query with
+          | Catalog.Not_flat table ->
+            Engine_intf.unsupported
+              "source %S is not an array of structs (flat schema required, §5)" table
+          | Lq_expr.Typecheck.Type_error msg -> Engine_intf.unsupported "%s" msg
+        in
+        let source = Codegen_c.emit cat query in
+        let codegen_ms = Profile.now_ms () -. start in
+        {
+          Engine_intf.execute =
+            (fun ?profile ~params () -> Nplan.execute plan ?profile ~params ());
+          codegen_ms;
+          source = Some source;
+        });
+  }
+
+let engine =
+  make ~name:"compiled-c"
+    ~describe:"generated C: tight loops over flat row stores, no staging"
+
+let engine_dbms =
+  make ~name:"sqlserver-native"
+    ~describe:"Hekaton stand-in: the native backend run as a DBMS engine"

@@ -1,0 +1,426 @@
+open Lq_value
+module Ast = Lq_expr.Ast
+module Date = Lq_value.Date
+module Dict = Lq_storage.Dict
+module Rowstore = Lq_storage.Rowstore
+module Engine_intf = Lq_catalog.Engine_intf
+
+let unsupported = Engine_intf.unsupported
+
+type cursor = { store : Rowstore.t; cell : int ref }
+
+type t =
+  | I of (unit -> int) * Vtype.t
+  | F of (unit -> float)
+  | B of (unit -> bool)
+
+type elem =
+  | Row of cursor * (string * int) list
+  | Fields of (string * t) list
+  | Scalar of t
+
+let max_params = 64
+
+type ctx = {
+  dict : Dict.t;
+  trace : (int -> unit) option;
+  pints : int array;
+  pfloats : float array;
+  praws : Value.t array;
+  mutable int_slots : (string * int) list;
+  mutable float_slots : (string * int) list;
+  mutable raw_slots : (string * int) list;
+}
+
+let ctx ?trace ~dict () =
+  {
+    dict;
+    trace;
+    pints = Array.make max_params 0;
+    pfloats = Array.make max_params 0.0;
+    praws = Array.make max_params Value.Null;
+    int_slots = [];
+    float_slots = [];
+    raw_slots = [];
+  }
+
+let dict c = c.dict
+let trace c = c.trace
+
+let alloc_slot slots name =
+  match List.assoc_opt name !slots with
+  | Some slot -> slot
+  | None ->
+    let slot = List.length !slots in
+    if slot >= max_params then unsupported "too many query parameters";
+    slots := (name, slot) :: !slots;
+    slot
+
+let int_slot c name =
+  let cell = ref c.int_slots in
+  let slot = alloc_slot cell name in
+  c.int_slots <- !cell;
+  slot
+
+let float_slot c name =
+  let cell = ref c.float_slots in
+  let slot = alloc_slot cell name in
+  c.float_slots <- !cell;
+  slot
+
+let bind_params c params =
+  let lookup name =
+    match List.assoc_opt name params with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "unbound query parameter %S" name)
+  in
+  List.iter
+    (fun (name, slot) ->
+      c.pints.(slot) <-
+        (match lookup name with
+        | Value.Int i -> i
+        | Value.Date d -> d
+        | Value.Bool b -> if b then 1 else 0
+        | Value.Str s -> Dict.intern c.dict s
+        | v ->
+          invalid_arg
+            (Printf.sprintf "parameter %S: expected integer-like, got %s" name
+               (Value.to_string v))))
+    c.int_slots;
+  List.iter
+    (fun (name, slot) -> c.pfloats.(slot) <- Value.to_float (lookup name))
+    c.float_slots;
+  List.iter (fun (name, slot) -> c.praws.(slot) <- lookup name) c.raw_slots
+
+(* ------------------------------------------------------------------ *)
+
+let vty = function
+  | I (_, ty) -> ty
+  | F _ -> Vtype.Float
+  | B _ -> Vtype.Bool
+
+let as_int = function
+  | I (f, _) -> f
+  | B f -> fun () -> if f () then 1 else 0
+  | F _ -> unsupported "expected an integer-typed native expression"
+
+let as_float = function
+  | F f -> f
+  | I (f, Vtype.Int) -> fun () -> float_of_int (f ())
+  | I (_, ty) -> unsupported "cannot use %s as float" (Vtype.to_string ty)
+  | B _ -> unsupported "cannot use bool as float"
+
+let as_bool = function
+  | B f -> f
+  | I (f, Vtype.Bool) -> fun () -> f () <> 0
+  | I (_, ty) -> unsupported "expected bool, found %s" (Vtype.to_string ty)
+  | F _ -> unsupported "expected bool, found float"
+
+let key_part = function
+  | I (f, _) -> f
+  | B f -> fun () -> if f () then 1 else 0
+  | F f -> fun () -> Int64.to_int (Int64.bits_of_float (f ()))
+
+(* Hash-key images. A float's 64 bits do not fit one 63-bit OCaml int
+   (truncation folds the sign bit away, conflating x and -x), so float
+   keys contribute two parts. *)
+let key_parts = function
+  | I (f, _) -> [ f ]
+  | B f -> [ (fun () -> if f () then 1 else 0) ]
+  | F f ->
+    [
+      (fun () -> Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float (f ())) 32));
+      (fun () -> Int64.to_int (Int64.logand (Int64.bits_of_float (f ())) 0xFFFFFFFFL));
+    ]
+
+let float_of_key_parts ~hi ~lo =
+  Int64.float_of_bits
+    (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo))
+
+let to_value c = function
+  | I (f, Vtype.Int) -> fun () -> Value.Int (f ())
+  | I (f, Vtype.Date) -> fun () -> Value.Date (f ())
+  | I (f, Vtype.Bool) -> fun () -> Value.Bool (f () <> 0)
+  | I (f, Vtype.String) -> fun () -> Value.Str (Dict.get c.dict (f ()))
+  | I (f, _) -> fun () -> Value.Int (f ())
+  | F f -> fun () -> Value.Float (f ())
+  | B f -> fun () -> Value.Bool (f ())
+
+let reader_of ctx cursor col =
+  let f = Lq_storage.Layout.field_at (Rowstore.layout cursor.store) col in
+  let cell = cursor.cell in
+  match f.Lq_storage.Layout.ftype with
+  | Lq_storage.Ftype.F64 ->
+    let r = Rowstore.float_reader ?trace:ctx.trace cursor.store col in
+    F (fun () -> r !cell)
+  | _ ->
+    let r = Rowstore.int_reader ?trace:ctx.trace cursor.store col in
+    I ((fun () -> r !cell), f.Lq_storage.Layout.vty)
+
+let elem_to_value c = function
+  | Scalar t -> to_value c t
+  | Fields fields ->
+    let names = Array.of_list (List.map fst fields) in
+    let boxed = Array.of_list (List.map (fun (_, t) -> to_value c t) fields) in
+    fun () -> Value.Record (Array.mapi (fun i f -> (names.(i), f ())) boxed)
+  | Row (cursor, cols) ->
+    (* Per-column readers with offsets resolved once (the §5.1 "return a
+       pointer and decode in the caller" boundary). *)
+    let cell = cursor.cell in
+    let names = Array.of_list (List.map fst cols) in
+    let readers =
+      Array.of_list
+        (List.map (fun (_, col) -> Rowstore.value_reader cursor.store col) cols)
+    in
+    fun () ->
+      Value.Record (Array.mapi (fun i r -> (names.(i), r !cell)) readers)
+
+let row_fields c cursor cols =
+  List.map (fun (name, col) -> (name, reader_of c cursor col)) cols
+
+let scalar_field = "__val"
+
+let elem_fields c = function
+  | Row (cursor, cols) -> row_fields c cursor cols
+  | Fields fields -> fields
+  | Scalar t -> [ (scalar_field, t) ]
+
+(* Internal pre-typed form: parameters stay untyped until context fixes
+   their register kind. *)
+type pre =
+  | T of t
+  | P of string
+
+let force c = function
+  | T t -> t
+  | P name ->
+    let slot = int_slot c name in
+    I ((fun () -> c.pints.(slot)), Vtype.Int)
+
+let coerce_like c pre ~like =
+  match pre with
+  | T t -> t
+  | P name -> (
+    match like with
+    | F _ ->
+      let slot = float_slot c name in
+      F (fun () -> c.pfloats.(slot))
+    | I (_, ty) ->
+      let slot = int_slot c name in
+      I ((fun () -> c.pints.(slot)), ty)
+    | B _ ->
+      let slot = int_slot c name in
+      B (fun () -> c.pints.(slot) <> 0))
+
+let string_closure c t =
+  match t with
+  | I (f, Vtype.String) -> fun () -> Dict.get c.dict (f ())
+  | _ -> unsupported "expected a string-typed native expression"
+
+(* Static string constant, for precompiled pattern matchers. *)
+let static_string (e : Ast.expr) =
+  match e with
+  | Ast.Const (Value.Str s) -> Some s
+  | _ -> None
+
+let arith_op (op : Ast.binop) =
+  match op with
+  | Ast.Add -> (( + ), ( +. ))
+  | Ast.Sub -> (( - ), ( -. ))
+  | Ast.Mul -> (( * ), ( *. ))
+  | Ast.Div -> (( / ), ( /. ))
+  | Ast.Mod -> ((fun a b -> a mod b), fun a b -> Float.rem a b)
+  | _ -> assert false
+
+let cmp_test (op : Ast.binop) =
+  match op with
+  | Ast.Eq -> fun c -> c = 0
+  | Ast.Ne -> fun c -> c <> 0
+  | Ast.Lt -> fun c -> c < 0
+  | Ast.Le -> fun c -> c <= 0
+  | Ast.Gt -> fun c -> c > 0
+  | Ast.Ge -> fun c -> c >= 0
+  | _ -> assert false
+
+let no_agg _ _ _ = unsupported "aggregate outside a group context (native)"
+let no_subquery _ = unsupported "nested sub-query (native backend)"
+
+let compile c ~env ?(on_agg = no_agg) ?(on_subquery = no_subquery) expr =
+  let rec go (e : Ast.expr) : pre =
+    match e with
+    | Ast.Const (Value.Int i) -> T (I ((fun () -> i), Vtype.Int))
+    | Ast.Const (Value.Date d) -> T (I ((fun () -> d), Vtype.Date))
+    | Ast.Const (Value.Bool b) -> T (B (fun () -> b))
+    | Ast.Const (Value.Float f) -> T (F (fun () -> f))
+    | Ast.Const (Value.Str s) ->
+      let code = Dict.intern c.dict s in
+      T (I ((fun () -> code), Vtype.String))
+    | Ast.Const v -> unsupported "constant %s (native)" (Value.to_string v)
+    | Ast.Param name -> P name
+    | Ast.Var name -> (
+      match List.assoc_opt name env with
+      | Some (Scalar t) -> T t
+      | Some (Row _ | Fields _) ->
+        unsupported "whole-element use of %S (native backend needs scalars)" name
+      | None -> unsupported "unbound variable %S (native)" name)
+    | Ast.Member (Ast.Var name, field) -> (
+      match List.assoc_opt name env with
+      | Some (Row (cursor, cols)) -> (
+        match List.assoc_opt field cols with
+        | Some col -> T (reader_of c cursor col)
+        | None -> unsupported "row has no member %S (native)" field)
+      | Some (Fields fields) -> (
+        match List.assoc_opt field fields with
+        | Some t -> T t
+        | None -> unsupported "element has no member %S (native)" field)
+      | Some (Scalar _) -> unsupported "member %S of a scalar (native)" field
+      | None -> unsupported "unbound variable %S (native)" name)
+    | Ast.Member (_, field) ->
+      unsupported "nested member access .%s (flat native data only)" field
+    | Ast.Unop (Ast.Neg, e) -> (
+      match force c (go e) with
+      | I (f, Vtype.Int) -> T (I ((fun () -> -f ()), Vtype.Int))
+      | F f -> T (F (fun () -> -.f ()))
+      | _ -> unsupported "negation of non-numeric (native)")
+    | Ast.Unop (Ast.Not, e) ->
+      let f = as_bool (force c (go e)) in
+      T (B (fun () -> not (f ())))
+    | Ast.Binop (Ast.And, a, b) ->
+      let fa = as_bool (force c (go a)) in
+      let fb = as_bool (force c (go b)) in
+      T (B (fun () -> fa () && fb ()))
+    | Ast.Binop (Ast.Or, a, b) ->
+      let fa = as_bool (force c (go a)) in
+      let fb = as_bool (force c (go b)) in
+      T (B (fun () -> fa () || fb ()))
+    | Ast.Binop (op, a, b) ->
+      let pa = go a and pb = go b in
+      let ta, tb =
+        match (pa, pb) with
+        | T ta, T tb -> (ta, tb)
+        | T ta, (P _ as pb) -> (ta, coerce_like c pb ~like:ta)
+        | (P _ as pa), T tb -> (coerce_like c pa ~like:tb, tb)
+        | (P _ as pa), (P _ as pb) -> (
+          (* Two bare parameters: default to float registers (which also
+             accept integer bindings) for arithmetic and comparisons;
+             integer division/modulo semantics cannot be guessed. *)
+          match op with
+          | Ast.Div | Ast.Mod ->
+            unsupported "integer-or-float division of two parameters (native)"
+          | _ ->
+            let like = F (fun () -> 0.0) in
+            (coerce_like c pa ~like, coerce_like c pb ~like))
+      in
+      compile_binop op ta tb
+    | Ast.If (cond, th, el) ->
+      let fc = as_bool (force c (go cond)) in
+      let pt = go th and pe = go el in
+      (* Parameters in one branch take the other branch's type; two bare
+         parameters default to integer registers. *)
+      let tt, te =
+        match (pt, pe) with
+        | T a, T b -> (a, b)
+        | T a, (P _ as pb) -> (a, coerce_like c pb ~like:a)
+        | (P _ as pa), T b -> (coerce_like c pa ~like:b, b)
+        | (P _ as pa), (P _ as pb) -> (force c pa, force c pb)
+      in
+      (match (tt, te) with
+      | I (f1, ty1), I (f2, ty2) when Vtype.equal ty1 ty2 ->
+        T (I ((fun () -> if fc () then f1 () else f2 ()), ty1))
+      | B f1, B f2 -> T (B (fun () -> if fc () then f1 () else f2 ()))
+      | (F _ | I (_, Vtype.Int)), (F _ | I (_, Vtype.Int)) ->
+        let f1 = as_float tt and f2 = as_float te in
+        T (F (fun () -> if fc () then f1 () else f2 ()))
+      | _ -> unsupported "if branches of mismatched native types")
+    | Ast.Call (f, args) -> T (compile_call f args)
+    | Ast.Agg (kind, src, sel) -> T (on_agg kind src sel)
+    | Ast.Subquery q -> T (on_subquery q)
+    | Ast.Record_of _ ->
+      unsupported "object construction inside a native scalar expression"
+  and compile_binop op ta tb : pre =
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> (
+      let int_op, float_op = arith_op op in
+      match (ta, tb) with
+      | I (fa, Vtype.Int), I (fb, Vtype.Int) ->
+        T (I ((fun () -> int_op (fa ()) (fb ())), Vtype.Int))
+      | (F _ | I (_, Vtype.Int)), (F _ | I (_, Vtype.Int)) ->
+        let fa = as_float ta and fb = as_float tb in
+        T (F (fun () -> float_op (fa ()) (fb ())))
+      | _ ->
+        unsupported "arithmetic on %s and %s (native)"
+          (Vtype.to_string (vty ta)) (Vtype.to_string (vty tb)))
+    | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+      let test = cmp_test op in
+      match (ta, tb) with
+      | I (fa, Vtype.String), I (fb, Vtype.String) -> (
+        match op with
+        | Ast.Eq -> T (B (fun () -> fa () = fb ()))
+        | Ast.Ne -> T (B (fun () -> fa () <> fb ()))
+        | _ ->
+          (* Ordering on strings requires decoding: dictionary codes are
+             not order-preserving. *)
+          let d = c.dict in
+          T (B (fun () -> test (String.compare (Dict.get d (fa ())) (Dict.get d (fb ()))))))
+      | I (fa, ty1), I (fb, ty2) when Vtype.equal ty1 ty2 ->
+        T (B (fun () -> test (Int.compare (fa ()) (fb ()))))
+      | (F _ | I (_, Vtype.Int)), (F _ | I (_, Vtype.Int)) ->
+        let fa = as_float ta and fb = as_float tb in
+        T (B (fun () -> test (Float.compare (fa ()) (fb ()))))
+      | B fa, B fb -> T (B (fun () -> test (Bool.compare (fa ()) (fb ()))))
+      | _ ->
+        unsupported "comparison between %s and %s (native)"
+          (Vtype.to_string (vty ta)) (Vtype.to_string (vty tb)))
+    | Ast.And | Ast.Or -> assert false
+  and compile_call f args : t =
+    (* Arguments in known-type positions coerce parameters accordingly. *)
+    let force_string e =
+      coerce_like c (go e) ~like:(I ((fun () -> 0), Vtype.String))
+    in
+    let force_date e = coerce_like c (go e) ~like:(I ((fun () -> 0), Vtype.Date)) in
+    match (f, args) with
+    | (Ast.Starts_with | Ast.Ends_with | Ast.Contains | Ast.Like), [ subject; patt ]
+      -> (
+      let fs = string_closure c (force_string subject) in
+      let pattern_of s =
+        match f with
+        | Ast.Starts_with -> s ^ "%"
+        | Ast.Ends_with -> "%" ^ s
+        | Ast.Contains -> "%" ^ s ^ "%"
+        | _ -> s
+      in
+      match static_string patt with
+      | Some s ->
+        let pattern = pattern_of s in
+        B (fun () -> Lq_expr.Scalar.like_match ~pattern (fs ()))
+      | None ->
+        let fp = string_closure c (force_string patt) in
+        B (fun () -> Lq_expr.Scalar.like_match ~pattern:(pattern_of (fp ())) (fs ())))
+    | Ast.Lower, [ e ] ->
+      let fs = string_closure c (force_string e) in
+      let d = c.dict in
+      I ((fun () -> Dict.intern d (String.lowercase_ascii (fs ()))), Vtype.String)
+    | Ast.Upper, [ e ] ->
+      let fs = string_closure c (force_string e) in
+      let d = c.dict in
+      I ((fun () -> Dict.intern d (String.uppercase_ascii (fs ()))), Vtype.String)
+    | Ast.Length, [ e ] ->
+      let fs = string_closure c (force_string e) in
+      I ((fun () -> String.length (fs ())), Vtype.Int)
+    | Ast.Abs, [ e ] -> (
+      match force c (go e) with
+      | I (f, Vtype.Int) -> I ((fun () -> abs (f ())), Vtype.Int)
+      | F f -> F (fun () -> Float.abs (f ()))
+      | _ -> unsupported "Abs on non-numeric (native)")
+    | Ast.Year, [ e ] -> (
+      match force_date e with
+      | I (f, Vtype.Date) -> I ((fun () -> Date.year (f ())), Vtype.Int)
+      | _ -> unsupported "Year on non-date (native)")
+    | Ast.Add_days, [ d; n ] -> (
+      match (force_date d, force c (go n)) with
+      | I (fd, Vtype.Date), I (fn, Vtype.Int) ->
+        I ((fun () -> fd () + fn ()), Vtype.Date)
+      | _ -> unsupported "AddDays arguments (native)")
+    | _, _ -> unsupported "call %s (native)" (Lq_expr.Pretty.func_name f)
+  in
+  force c (go expr)

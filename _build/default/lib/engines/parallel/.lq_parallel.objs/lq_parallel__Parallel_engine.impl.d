@@ -1,0 +1,1 @@
+lib/engines/parallel/parallel_engine.ml: Array Domain Hashtbl List Lq_catalog Lq_expr Lq_metrics Lq_native Lq_storage Lq_value Option Printf String Value

@@ -1,0 +1,1 @@
+lib/engines/parallel/parallel_engine.mli: Lq_catalog

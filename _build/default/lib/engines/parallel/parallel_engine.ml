@@ -1,0 +1,337 @@
+open Lq_value
+module Ast = Lq_expr.Ast
+module Eval = Lq_expr.Eval
+module Scalar = Lq_expr.Scalar
+module Catalog = Lq_catalog.Catalog
+module Engine_intf = Lq_catalog.Engine_intf
+module Nplan = Lq_native.Nplan
+module Rowstore = Lq_storage.Rowstore
+
+let unsupported = Engine_intf.unsupported
+
+(* ------------------------------------------------------------------ *)
+(* Query analysis: split into (pipeline over one source [+ grouping],
+   sequential remainder). *)
+
+type partition_point =
+  | Pipeline of Ast.query  (** Where/Select chain over one Source *)
+  | Grouped of Ast.query * Ast.lambda * Ast.lambda
+      (** pipeline, key, result selector *)
+
+(* The remainder is the query with the partition point replaced by this
+   pseudo-source; it runs sequentially over the merged rows. *)
+let merged_source = "__merged"
+
+let rec is_pipeline (q : Ast.query) =
+  match q with
+  | Ast.Source _ -> true
+  | Ast.Where (src, _) | Ast.Select (src, _) -> is_pipeline src
+  | _ -> false
+
+let rec forbid_constructs (e : Ast.expr) =
+  match e with
+  | Ast.Subquery _ -> unsupported "sub-query (parallel backend)"
+  | Ast.Call ((Ast.Lower | Ast.Upper), _) ->
+    unsupported "runtime string interning (parallel backend)"
+  | Ast.Const _ | Ast.Param _ | Ast.Var _ -> ()
+  | Ast.Member (e, _) | Ast.Unop (_, e) -> forbid_constructs e
+  | Ast.Binop (_, a, b) ->
+    forbid_constructs a;
+    forbid_constructs b
+  | Ast.If (a, b, c) ->
+    forbid_constructs a;
+    forbid_constructs b;
+    forbid_constructs c
+  | Ast.Call (_, args) -> List.iter forbid_constructs args
+  | Ast.Agg (_, src, sel) ->
+    forbid_constructs src;
+    Option.iter (fun (l : Ast.lambda) -> forbid_constructs l.Ast.body) sel
+  | Ast.Record_of fields -> List.iter (fun (_, e) -> forbid_constructs e) fields
+
+let check_query q =
+  let check_lambda (l : Ast.lambda) = forbid_constructs l.Ast.body in
+  let rec go (q : Ast.query) =
+    (match q with
+    | Ast.Where (_, l) | Ast.Select (_, l) -> check_lambda l
+    | Ast.Group_by g ->
+      check_lambda g.key;
+      Option.iter check_lambda g.group_result
+    | Ast.Order_by (_, keys) -> List.iter (fun (k : Ast.sort_key) -> check_lambda k.Ast.by) keys
+    | _ -> ());
+    ignore (Ast.map_query_children (fun c -> go c; c) q)
+  in
+  go q
+
+(* Finds the partition point and rewrites the query around it. *)
+let split (q : Ast.query) : partition_point * Ast.query =
+  let found = ref None in
+  let rec go (q : Ast.query) : Ast.query =
+    match q with
+    | Ast.Group_by { group_source; key; group_result = Some result }
+      when !found = None && is_pipeline group_source ->
+      found := Some (Grouped (group_source, key, result));
+      Ast.Source merged_source
+    | _ when !found = None && is_pipeline q ->
+      found := Some (Pipeline q);
+      Ast.Source merged_source
+    | _ -> Ast.map_query_children go q
+  in
+  let remainder = go q in
+  match !found with
+  | Some point -> (point, remainder)
+  | None -> unsupported "no parallelizable pipeline found"
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate decomposition for parallel grouping. *)
+
+type partial =
+  | P_sum of Ast.lambda option
+  | P_count
+  | P_min of Ast.lambda option
+  | P_max of Ast.lambda option
+
+let partial_name i = Printf.sprintf "__a%d" i
+
+(* Collects the distinct aggregates of the result body and produces
+   (a) the partial selector fields and (b) a rewriting of the body where
+   each [Agg] reads the merged accumulators. *)
+let decompose gvar (body : Ast.expr) =
+  let partials : partial list ref = ref [] in
+  let slot_of p =
+    match List.find_index (fun q -> q = p) !partials with
+    | Some i -> i
+    | None ->
+      partials := !partials @ [ p ];
+      List.length !partials - 1
+  in
+  let rec rewrite (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Agg (kind, Ast.Var v, sel) when String.equal v gvar -> (
+      let read p = Ast.Member (Ast.Var "__acc", partial_name (slot_of p)) in
+      match kind with
+      | Ast.Sum -> read (P_sum sel)
+      | Ast.Count -> read P_count
+      | Ast.Min -> read (P_min sel)
+      | Ast.Max -> read (P_max sel)
+      | Ast.Avg ->
+        (* avg = Σx / n over the merged partials; the multiplication by
+           1.0 forces float division even for integer selectors *)
+        Ast.Binop
+          ( Ast.Div,
+            Ast.Binop (Ast.Mul, read (P_sum sel), Ast.Const (Value.Float 1.0)),
+            read P_count ))
+    | Ast.Agg _ -> unsupported "aggregate source (parallel backend)"
+    | Ast.Const _ | Ast.Param _ | Ast.Var _ -> e
+    | Ast.Member (e, f) -> Ast.Member (rewrite e, f)
+    | Ast.Unop (op, e) -> Ast.Unop (op, rewrite e)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, rewrite a, rewrite b)
+    | Ast.If (a, b, c) -> Ast.If (rewrite a, rewrite b, rewrite c)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map rewrite args)
+    | Ast.Subquery _ -> unsupported "sub-query (parallel backend)"
+    | Ast.Record_of fields ->
+      Ast.Record_of (List.map (fun (n, e) -> (n, rewrite e)) fields)
+  in
+  let merged_body = rewrite body in
+  (!partials, merged_body)
+
+let partial_agg i (p : partial) : string * Ast.expr =
+  let g = Ast.Var "__g" in
+  ( partial_name i,
+    match p with
+    | P_sum sel -> Ast.Agg (Ast.Sum, g, sel)
+    | P_count -> Ast.Agg (Ast.Count, g, None)
+    | P_min sel -> Ast.Agg (Ast.Min, g, sel)
+    | P_max sel -> Ast.Agg (Ast.Max, g, sel) )
+
+let combine (p : partial) a b =
+  match p with
+  | P_sum _ -> Scalar.binop Ast.Add a b
+  | P_count -> Scalar.binop Ast.Add a b
+  | P_min _ -> if Scalar.cmp a b <= 0 then a else b
+  | P_max _ -> if Scalar.cmp a b >= 0 then a else b
+
+(* ------------------------------------------------------------------ *)
+
+let source_of_pipeline q =
+  let rec go = function
+    | Ast.Source name -> name
+    | Ast.Where (src, _) | Ast.Select (src, _) -> go src
+    | Ast.Group_by { group_source; _ } -> go group_source
+    | _ -> assert false
+  in
+  go q
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let make ?name ~domains () : Engine_intf.t =
+  let prepare ?instr cat (query : Ast.query) =
+    ignore instr;
+    let start = Lq_metrics.Profile.now_ms () in
+    check_query query;
+    if List.length (Ast.sources_of_query query) <> 1 then
+      unsupported "multiple sources (parallel backend)";
+    let point, remainder = split query in
+    (* The per-domain query: the pipeline, grouped with partial
+       accumulators when the partition point is an aggregation. *)
+    let pipeline, merge_kind =
+      match point with
+      | Pipeline p -> (p, `Concat)
+      | Grouped (p, key, result) ->
+        let gvar =
+          match result.Ast.params with
+          | [ g ] -> g
+          | _ -> unsupported "group result arity (parallel)"
+        in
+        let partials, merged_body = decompose gvar result.Ast.body in
+        let partial_fields = List.mapi partial_agg partials in
+        (* Composite keys are flattened into one partial column per part;
+           the merge phase reassembles the key record. *)
+        let gkey = Ast.Member (Ast.Var "__g", Ast.group_key_field) in
+        let key_fields, rebuild_key =
+          match key.Ast.body with
+          | Ast.Record_of fields ->
+            let names = List.map fst fields in
+            ( List.map (fun n -> ("__k_" ^ n, Ast.Member (gkey, n))) names,
+              fun row ->
+                Value.Record
+                  (Array.of_list
+                     (List.map (fun n -> (n, Value.field row ("__k_" ^ n))) names)) )
+          | _ -> ([ ("__k", gkey) ], fun row -> Value.field row "__k")
+        in
+        let partial_selector =
+          Ast.lam [ "__g" ] (Ast.Record_of (key_fields @ partial_fields))
+        in
+        ( Ast.Group_by { group_source = p; key; group_result = Some partial_selector },
+          `Merge_groups (partials, merged_body, gvar, rebuild_key) )
+    in
+    let source_name = source_of_pipeline pipeline in
+    let store = Catalog.store (Catalog.table cat source_name) in
+    let nrows = Rowstore.length store in
+    let workers = max 1 (min domains (max 1 nrows)) in
+    (* One independent compiled plan per domain, scanning a contiguous
+       row range of the shared flat store. *)
+    let plans =
+      List.init workers (fun d ->
+          let lo = d * nrows / workers and hi = (d + 1) * nrows / workers in
+          let override name =
+            if String.equal name source_name then
+              Some
+                {
+                  Nplan.ext_store = store;
+                  ext_drive =
+                    (fun emit ->
+                      for row = lo to hi - 1 do
+                        emit row
+                      done);
+                }
+            else None
+          in
+          Nplan.compile ~override cat pipeline)
+    in
+    let codegen_ms = Lq_metrics.Profile.now_ms () -. start in
+    let execute ?profile ~params () =
+      let run () =
+        let results =
+          match plans with
+          | [ only ] -> [ Nplan.execute only ~params () ]
+          | first :: rest ->
+            (* Pre-intern string parameters on the coordinating domain:
+               the workers' own bindings then only *read* the dictionary,
+               which is safe. *)
+            List.iter
+              (fun (_, v) ->
+                match v with
+                | Value.Str s ->
+                  ignore (Lq_storage.Dict.intern (Catalog.dict cat) s : int)
+                | _ -> ())
+              params;
+            let handles =
+              List.map
+                (fun plan -> Domain.spawn (fun () -> Nplan.execute plan ~params ()))
+                rest
+            in
+            let mine = Nplan.execute first ~params () in
+            mine :: List.map Domain.join handles
+          | [] -> []
+        in
+        let merged =
+          match merge_kind with
+          | `Concat -> List.concat results
+          | `Merge_groups (partials, merged_body, gvar, rebuild_key) ->
+            (* Combine partial accumulators per key, first-occurrence
+               order across the ordered chunks. *)
+            let table = Vtbl.create 256 in
+            let order = ref [] in
+            List.iter
+              (List.iter (fun row ->
+                   let k = rebuild_key row in
+                   let accs =
+                     List.mapi (fun i _ -> Value.field row (partial_name i)) partials
+                   in
+                   match Vtbl.find_opt table k with
+                   | None ->
+                     Vtbl.add table k (ref accs);
+                     order := k :: !order
+                   | Some cell ->
+                     cell := List.map2 (fun p (a, b) -> combine p a b) partials
+                         (List.combine !cell accs)))
+              results;
+            List.rev_map
+              (fun k ->
+                let accs = !(Vtbl.find table k) in
+                let acc_record =
+                  Value.Record
+                    (Array.of_list
+                       (List.mapi (fun i v -> (partial_name i, v)) accs))
+                in
+                let env =
+                  [
+                    ("__acc", acc_record);
+                    (gvar, Eval.group_value ~key:k ~items:[]);
+                  ]
+                in
+                Eval.expr (Eval.ctx ~params ()) ~env merged_body)
+              !order
+        in
+        (* Sequential remainder over the merged rows. *)
+        match remainder with
+        | Ast.Source name when String.equal name merged_source -> merged
+        | _ ->
+          let ctx =
+            Eval.ctx
+              ~catalog:(fun name ->
+                if String.equal name merged_source then merged
+                else Catalog.rows (Catalog.table cat name))
+              ~params ()
+          in
+          Eval.run ctx remainder
+      in
+      match profile with
+      | None -> run ()
+      | Some p ->
+        Lq_metrics.Profile.time p
+          (Printf.sprintf "Parallel scan+aggregate (%d domains)" workers)
+          run
+    in
+    { Engine_intf.execute; codegen_ms; source = None }
+  in
+  {
+    Engine_intf.name =
+      (match name with
+      | Some n -> n
+      | None -> Printf.sprintf "compiled-c-parallel[%d]" domains);
+    describe = "extension: domain-parallel native scans with partial-aggregate merge";
+    prepare;
+  }
+
+let default_domains = min 8 (Domain.recommended_domain_count ())
+
+(* The default engine keeps a host-independent name so CLI invocations and
+   reports are portable across machines. *)
+let engine = make ~name:"compiled-c-parallel" ~domains:default_domains ()
+let engine_with ~domains = make ~domains ()

@@ -1,0 +1,26 @@
+(** Parallel native execution (extension).
+
+    §4 of the paper notes that its generated code is amenable to "existing
+    parallelisation strategies [5, 21]" but leaves parallel execution out
+    of scope. This backend implements the classic strategy over the §5
+    native plans using OCaml 5 domains:
+
+    - the source scan (plus its fused filters/projections) is partitioned
+      into contiguous row ranges, one per domain, each running an
+      independent compiled plan over the shared flat store;
+    - a grouped aggregation is decomposed into per-domain partial
+      accumulators ([Avg] splits into sum+count) that are merged on the
+      coordinating domain, preserving first-occurrence group order;
+    - whatever sits above the aggregation (sorting, take) runs sequentially
+      on the merged groups.
+
+    Restrictions: single-source pipelines with at most one grouping — no
+    joins, sub-queries or runtime string interning ([Lower]/[Upper]) —
+    and float aggregates may differ from sequential results in the last
+    bits (partial sums are combined in a different order). *)
+
+val engine : Lq_catalog.Engine_intf.t
+
+val engine_with : domains:int -> Lq_catalog.Engine_intf.t
+(** Fixed worker count (the default uses
+    [Domain.recommended_domain_count], capped at 8). *)

@@ -1,0 +1,1 @@
+lib/engines/vector/vector_engine.ml: Array Float Fun Hashtbl Int Int64 List Lq_catalog Lq_exec Lq_expr Lq_metrics Lq_storage Lq_value Option Printf String Value Vtype

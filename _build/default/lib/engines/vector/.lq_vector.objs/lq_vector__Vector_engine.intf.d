@@ -1,0 +1,1 @@
+lib/engines/vector/vector_engine.mli: Lq_catalog

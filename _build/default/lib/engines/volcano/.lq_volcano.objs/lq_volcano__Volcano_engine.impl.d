@@ -1,0 +1,1 @@
+lib/engines/volcano/volcano_engine.ml: Array Fun Hashtbl Int List Lq_catalog Lq_expr Lq_metrics Lq_storage Lq_value Option Value

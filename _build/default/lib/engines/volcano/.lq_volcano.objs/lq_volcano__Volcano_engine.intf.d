@@ -1,0 +1,1 @@
+lib/engines/volcano/volcano_engine.mli: Lq_catalog

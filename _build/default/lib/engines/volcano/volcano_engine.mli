@@ -1,0 +1,12 @@
+(** Interpreted tuple-at-a-time relational engine (Table 1's "SQL Server
+    2014" interpreted stand-in).
+
+    Classic Volcano [open]/[next]/[close] iterators over the flat row
+    store: every [next] decodes one row into a boxed tuple, every
+    expression is interpreted per tuple, each operator is an independent
+    state machine. This is what query compilation in a DBMS is measured
+    against (Hekaton's ~3x, §7.5); it differs from the LINQ-to-objects
+    baseline in reading from relational storage rather than from
+    application objects. *)
+
+val engine : Lq_catalog.Engine_intf.t

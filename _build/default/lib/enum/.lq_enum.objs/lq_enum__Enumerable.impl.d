@@ -1,0 +1,1 @@
+lib/enum/enumerable.ml: Array Fun Hashtbl Int Lazy List Ptbl Seq

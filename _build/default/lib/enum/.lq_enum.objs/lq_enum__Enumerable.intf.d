@@ -1,0 +1,1 @@
+lib/enum/enumerable.mli: Seq

@@ -1,0 +1,1 @@
+lib/enum/ptbl.ml: Array List Option

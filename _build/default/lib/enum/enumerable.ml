@@ -1,0 +1,498 @@
+type 'a enumerator = {
+  move_next : unit -> bool;
+  current : unit -> 'a;
+}
+
+type 'a t = unit -> 'a enumerator
+
+let no_current () = failwith "Enumerable: current before move_next"
+
+(* A reusable cell-backed enumerator: operators advance by computing the
+   next element into [cell]. This mirrors the compiler-generated iterator
+   state machines of C#: state lives in the closure, each pull costs the
+   two indirect calls. *)
+let of_cell next =
+  let cell = ref None in
+  {
+    move_next =
+      (fun () ->
+        match next () with
+        | Some _ as x ->
+          cell := x;
+          true
+        | None ->
+          cell := None;
+          false);
+    current = (fun () -> match !cell with Some x -> x | None -> no_current ());
+  }
+
+let empty () = { move_next = (fun () -> false); current = no_current }
+
+let singleton x () =
+  let done_ = ref false in
+  of_cell (fun () ->
+      if !done_ then None
+      else (
+        done_ := true;
+        Some x))
+
+let of_array arr () =
+  let i = ref (-1) in
+  {
+    move_next =
+      (fun () ->
+        incr i;
+        !i < Array.length arr);
+    current =
+      (fun () -> if !i >= 0 && !i < Array.length arr then arr.(!i) else no_current ());
+  }
+
+let of_list xs () =
+  let rest = ref xs in
+  let cur = ref None in
+  {
+    move_next =
+      (fun () ->
+        match !rest with
+        | x :: tl ->
+          cur := Some x;
+          rest := tl;
+          true
+        | [] ->
+          cur := None;
+          false);
+    current = (fun () -> match !cur with Some x -> x | None -> no_current ());
+  }
+
+let range start count () =
+  let i = ref (-1) in
+  {
+    move_next =
+      (fun () ->
+        incr i;
+        !i < count);
+    current = (fun () -> if !i >= 0 && !i < count then start + !i else no_current ());
+  }
+
+let repeat x count () =
+  let i = ref 0 in
+  of_cell (fun () ->
+      if !i < count then (
+        incr i;
+        Some x)
+      else None)
+
+let unfold step init () =
+  let state = ref init in
+  of_cell (fun () ->
+      match step !state with
+      | Some (x, s') ->
+        state := s';
+        Some x
+      | None -> None)
+
+let where pred src () =
+  let e = src () in
+  of_cell (fun () ->
+      let rec loop () =
+        if e.move_next () then
+          let x = e.current () in
+          if pred x then Some x else loop ()
+        else None
+      in
+      loop ())
+
+let wherei pred src () =
+  let e = src () in
+  let i = ref (-1) in
+  of_cell (fun () ->
+      let rec loop () =
+        if e.move_next () then (
+          let x = e.current () in
+          incr i;
+          if pred !i x then Some x else loop ())
+        else None
+      in
+      loop ())
+
+let select f src () =
+  let e = src () in
+  of_cell (fun () -> if e.move_next () then Some (f (e.current ())) else None)
+
+let selecti f src () =
+  let e = src () in
+  let i = ref (-1) in
+  of_cell (fun () ->
+      if e.move_next () then (
+        incr i;
+        Some (f !i (e.current ())))
+      else None)
+
+let select_many f src () =
+  let outer = src () in
+  let inner = ref None in
+  of_cell (fun () ->
+      let rec loop () =
+        match !inner with
+        | Some e when e.move_next () -> Some (e.current ())
+        | _ ->
+          if outer.move_next () then (
+            inner := Some ((f (outer.current ())) ());
+            loop ())
+          else None
+      in
+      loop ())
+
+let take n src () =
+  let e = src () in
+  let remaining = ref n in
+  of_cell (fun () ->
+      if !remaining > 0 && e.move_next () then (
+        decr remaining;
+        Some (e.current ()))
+      else None)
+
+let skip n src () =
+  let e = src () in
+  let skipped = ref false in
+  of_cell (fun () ->
+      if not !skipped then (
+        skipped := true;
+        let rec drop k = if k > 0 && e.move_next () then drop (k - 1) else () in
+        drop n);
+      if e.move_next () then Some (e.current ()) else None)
+
+let take_while pred src () =
+  let e = src () in
+  let stopped = ref false in
+  of_cell (fun () ->
+      if !stopped then None
+      else if e.move_next () then (
+        let x = e.current () in
+        if pred x then Some x
+        else (
+          stopped := true;
+          None))
+      else None)
+
+let skip_while pred src () =
+  let e = src () in
+  let dropping = ref true in
+  of_cell (fun () ->
+      let rec loop () =
+        if e.move_next () then (
+          let x = e.current () in
+          if !dropping && pred x then loop ()
+          else (
+            dropping := false;
+            Some x))
+        else None
+      in
+      loop ())
+
+let concat a b () =
+  let ea = a () in
+  let eb_lazy = ref None in
+  of_cell (fun () ->
+      if ea.move_next () then Some (ea.current ())
+      else (
+        let eb =
+          match !eb_lazy with
+          | Some e -> e
+          | None ->
+            let e = b () in
+            eb_lazy := Some e;
+            e
+        in
+        if eb.move_next () then Some (eb.current ()) else None))
+
+let zip f a b () =
+  let ea = a () and eb = b () in
+  of_cell (fun () ->
+      if ea.move_next () && eb.move_next () then
+        Some (f (ea.current ()) (eb.current ()))
+      else None)
+
+let fold f init src =
+  let e = src () in
+  let rec loop acc = if e.move_next () then loop (f acc (e.current ())) else acc in
+  loop init
+
+let to_list src = List.rev (fold (fun acc x -> x :: acc) [] src)
+let to_array src = Array.of_list (to_list src)
+let iter f src = fold (fun () x -> f x) () src
+
+let to_seq src =
+  let rec node e () = if e.move_next () then Seq.Cons (e.current (), node e) else Seq.Nil in
+  fun () -> node (src ()) ()
+
+let of_seq seq () =
+  let rest = ref seq in
+  of_cell (fun () ->
+      match Seq.uncons !rest with
+      | Some (x, tl) ->
+        rest := tl;
+        Some x
+      | None -> None)
+
+(* Ordering: materializes the input on first pull (deferred, like LINQ's
+   OrderedEnumerable), then performs a stable sort. *)
+let sort ~cmp src () =
+  let state = ref None in
+  let get () =
+    match !state with
+    | Some e -> e
+    | None ->
+      let arr = to_array src in
+      let idx = Array.init (Array.length arr) Fun.id in
+      let compare i j =
+        let c = cmp arr.(i) arr.(j) in
+        if c <> 0 then c else Int.compare i j
+      in
+      Array.sort compare idx;
+      let e = (of_array (Array.map (fun i -> arr.(i)) idx)) () in
+      state := Some e;
+      e
+  in
+  {
+    move_next = (fun () -> (get ()).move_next ());
+    current = (fun () -> (get ()).current ());
+  }
+
+let sort_by_keys ~keys src =
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (key, kcmp) :: rest ->
+        let c = kcmp (key a) (key b) in
+        if c <> 0 then c else go rest
+    in
+    go keys
+  in
+  sort ~cmp src
+
+let reverse src () =
+  let state = ref None in
+  let get () =
+    match !state with
+    | Some e -> e
+    | None ->
+      let e = (of_list (List.rev (to_list src))) () in
+      state := Some e;
+      e
+  in
+  {
+    move_next = (fun () -> (get ()).move_next ());
+    current = (fun () -> (get ()).current ());
+  }
+
+let default_eq = ( = )
+let default_hash x = Hashtbl.hash x
+
+(* Groups (key, value) pairs preserving first-occurrence key order; the
+   shared backbone of group_by / join lookups. *)
+let group_pairs ~eq ~hash pairs =
+  let tbl = Ptbl.create ~eq ~hash 64 in
+  let order = ref [] in
+  List.iter
+    (fun (k, v) ->
+      match Ptbl.find_opt tbl k with
+      | Some items -> items := v :: !items
+      | None ->
+        Ptbl.add tbl k (ref [ v ]);
+        order := k :: !order)
+    pairs;
+  List.rev_map
+    (fun k ->
+      match Ptbl.find_opt tbl k with
+      | Some items -> (k, List.rev !items)
+      | None -> assert false)
+    !order
+
+(* Deferred-materialization wrapper: [make ()] builds the realized
+   enumerator on first pull. *)
+let deferred make () =
+  let state = ref None in
+  let get () =
+    match !state with
+    | Some e -> e
+    | None ->
+      let e = make () in
+      state := Some e;
+      e
+  in
+  {
+    move_next = (fun () -> (get ()).move_next ());
+    current = (fun () -> (get ()).current ());
+  }
+
+let group_by ?(eq = default_eq) ?(hash = default_hash) ~key src =
+  deferred (fun () ->
+      let pairs = to_list (select (fun x -> (key x, x)) src) in
+      (of_list (group_pairs ~eq ~hash pairs)) ())
+
+(* key -> elements-in-order lookup, LINQ's ToLookup. *)
+let lookup_of ~eq ~hash key_fn src =
+  let tbl = Ptbl.create ~eq ~hash 256 in
+  iter
+    (fun x ->
+      let k = key_fn x in
+      match Ptbl.find_opt tbl k with
+      | Some items -> items := x :: !items
+      | None -> Ptbl.add tbl k (ref [ x ]))
+    src;
+  fun k ->
+    match Ptbl.find_opt tbl k with
+    | Some items -> List.rev !items
+    | None -> []
+
+let join ?(eq = default_eq) ?(hash = default_hash) ~outer_key ~inner_key ~result
+    outer inner () =
+  let lookup = ref None in
+  let eo = outer () in
+  let pending = ref [] in
+  of_cell (fun () ->
+      let find =
+        match !lookup with
+        | Some f -> f
+        | None ->
+          let f = lookup_of ~eq ~hash inner_key inner in
+          lookup := Some f;
+          f
+      in
+      let rec loop () =
+        match !pending with
+        | r :: rest ->
+          pending := rest;
+          Some r
+        | [] ->
+          if eo.move_next () then (
+            let o = eo.current () in
+            pending := List.map (fun i -> result o i) (find (outer_key o));
+            loop ())
+          else None
+      in
+      loop ())
+
+let group_join ?(eq = default_eq) ?(hash = default_hash) ~outer_key ~inner_key
+    ~result outer inner () =
+  let lookup = ref None in
+  let eo = outer () in
+  of_cell (fun () ->
+      let find =
+        match !lookup with
+        | Some f -> f
+        | None ->
+          let f = lookup_of ~eq ~hash inner_key inner in
+          lookup := Some f;
+          f
+      in
+      if eo.move_next () then (
+        let o = eo.current () in
+        Some (result o (find (outer_key o))))
+      else None)
+
+let distinct ?(eq = default_eq) ?(hash = default_hash) src () =
+  let seen = Ptbl.create ~eq ~hash 64 in
+  let e = src () in
+  of_cell (fun () ->
+      let rec loop () =
+        if e.move_next () then (
+          let x = e.current () in
+          if Ptbl.mem seen x then loop ()
+          else (
+            Ptbl.add seen x ();
+            Some x))
+        else None
+      in
+      loop ())
+
+let union ?eq ?hash a b = distinct ?eq ?hash (concat a b)
+
+let intersect ?(eq = default_eq) ?(hash = default_hash) a b () =
+  let in_b = lazy (
+    let tbl = Ptbl.create ~eq ~hash 64 in
+    iter (fun x -> Ptbl.replace tbl x ()) b;
+    tbl)
+  in
+  let emitted = Ptbl.create ~eq ~hash 64 in
+  let e = a () in
+  of_cell (fun () ->
+      let rec loop () =
+        if e.move_next () then (
+          let x = e.current () in
+          if Ptbl.mem (Lazy.force in_b) x && not (Ptbl.mem emitted x) then (
+            Ptbl.add emitted x ();
+            Some x)
+          else loop ())
+        else None
+      in
+      loop ())
+
+let except ?(eq = default_eq) ?(hash = default_hash) a b () =
+  let banned = lazy (
+    let tbl = Ptbl.create ~eq ~hash 64 in
+    iter (fun x -> Ptbl.replace tbl x ()) b;
+    tbl)
+  in
+  let e = a () in
+  of_cell (fun () ->
+      let rec loop () =
+        if e.move_next () then (
+          let x = e.current () in
+          let tbl = Lazy.force banned in
+          if Ptbl.mem tbl x then loop ()
+          else (
+            Ptbl.add tbl x ();
+            Some x))
+        else None
+      in
+      loop ())
+
+let first_opt src =
+  let e = src () in
+  if e.move_next () then Some (e.current ()) else None
+
+let first src =
+  match first_opt src with
+  | Some x -> x
+  | None -> failwith "Enumerable.first: empty"
+
+let first_where pred src = first_opt (where pred src)
+
+let last_opt src =
+  fold (fun _ x -> Some x) None src
+
+let element_at n src = first_opt (skip n src)
+let count src = fold (fun acc _ -> acc + 1) 0 src
+let count_where pred src = count (where pred src)
+let sum_int f src = fold (fun acc x -> acc + f x) 0 src
+let sum_float f src = fold (fun acc x -> acc +. f x) 0.0 src
+
+let average f src =
+  let total, n = fold (fun (total, n) x -> (total +. f x, n + 1)) (0.0, 0) src in
+  if n = 0 then None else Some (total /. float_of_int n)
+
+let min_by ~cmp ~key src =
+  fold
+    (fun acc x ->
+      match acc with
+      | None -> Some x
+      | Some best -> if cmp (key x) (key best) < 0 then Some x else acc)
+    None src
+
+let max_by ~cmp ~key src =
+  fold
+    (fun acc x ->
+      match acc with
+      | None -> Some x
+      | Some best -> if cmp (key x) (key best) > 0 then Some x else acc)
+    None src
+
+let any pred src =
+  let e = src () in
+  let rec loop () = e.move_next () && (pred (e.current ()) || loop ()) in
+  loop ()
+
+let all pred src = not (any (fun x -> not (pred x)) src)
+let contains ?(eq = ( = )) x src = any (eq x) src

@@ -1,0 +1,142 @@
+(** Pull-based enumerables: the LINQ-to-objects substrate.
+
+    Reproduces the execution model §2.1/§2.3 of the paper describe — and
+    whose overheads the compiled engines eliminate:
+
+    - every operator returns a fresh *enumerator object* holding explicit
+      state, pulled through two indirect calls per element
+      ([move_next]/[current], the analogue of the virtual
+      [MoveNext()]/[Current] interface calls);
+    - evaluation is deferred: nothing runs until the result is enumerated,
+      and operators like [take]/[first] stop pulling early;
+    - operators are independent: each [group_by]-then-aggregate pass
+      re-iterates the group's elements, [order_by] sorts its whole input,
+      and joins materialize the inner side in a lookup, exactly like
+      LINQ-to-objects.
+
+    The module is generic; the baseline engine instantiates it at
+    {!Lq_value.Value.t}. *)
+
+type 'a enumerator = {
+  move_next : unit -> bool;
+      (** Advances to the next element; [false] once exhausted. *)
+  current : unit -> 'a;
+      (** The element at the current position. Unspecified before the first
+          [move_next] or after exhaustion (raises [Failure]). *)
+}
+
+type 'a t = unit -> 'a enumerator
+(** An enumerable: a factory of independent enumerators (each enumeration
+    restarts the query, as with [IEnumerable<T>]). *)
+
+(* Construction *)
+
+val empty : 'a t
+val singleton : 'a -> 'a t
+val of_list : 'a list -> 'a t
+val of_array : 'a array -> 'a t
+val range : int -> int -> int t
+(** [range start count] enumerates [start .. start+count-1]. *)
+
+val repeat : 'a -> int -> 'a t
+val unfold : ('s -> ('a * 's) option) -> 's -> 'a t
+
+(* Restriction and projection *)
+
+val where : ('a -> bool) -> 'a t -> 'a t
+val wherei : (int -> 'a -> bool) -> 'a t -> 'a t
+val select : ('a -> 'b) -> 'a t -> 'b t
+val selecti : (int -> 'a -> 'b) -> 'a t -> 'b t
+val select_many : ('a -> 'b t) -> 'a t -> 'b t
+
+(* Partitioning *)
+
+val take : int -> 'a t -> 'a t
+val skip : int -> 'a t -> 'a t
+val take_while : ('a -> bool) -> 'a t -> 'a t
+val skip_while : ('a -> bool) -> 'a t -> 'a t
+
+(* Concatenation and pairing *)
+
+val concat : 'a t -> 'a t -> 'a t
+val zip : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+
+(* Ordering (materializes on first pull; sorts are stable) *)
+
+val sort : cmp:('a -> 'a -> int) -> 'a t -> 'a t
+val sort_by_keys : keys:(('a -> 'k) * ('k -> 'k -> int)) list -> 'a t -> 'a t
+(** Multi-key stable sort, LINQ [OrderBy]/[ThenBy]; later keys break ties. *)
+
+val reverse : 'a t -> 'a t
+
+(* Grouping and joining. [eq]/[hash] default to structural equality and
+   hashing; pass e.g. {!Lq_value.Value.equal}/[hash] for value elements. *)
+
+val group_by :
+  ?eq:('k -> 'k -> bool) ->
+  ?hash:('k -> int) ->
+  key:('a -> 'k) ->
+  'a t ->
+  ('k * 'a list) t
+(** Groups in first-occurrence key order, items in input order. *)
+
+val join :
+  ?eq:('k -> 'k -> bool) ->
+  ?hash:('k -> int) ->
+  outer_key:('a -> 'k) ->
+  inner_key:('b -> 'k) ->
+  result:('a -> 'b -> 'c) ->
+  'a t ->
+  'b t ->
+  'c t
+(** Hash equi-join, like LINQ [Join]: the inner side is materialized into a
+    lookup on first pull; output follows outer order, then inner order. *)
+
+val group_join :
+  ?eq:('k -> 'k -> bool) ->
+  ?hash:('k -> int) ->
+  outer_key:('a -> 'k) ->
+  inner_key:('b -> 'k) ->
+  result:('a -> 'b list -> 'c) ->
+  'a t ->
+  'b t ->
+  'c t
+
+(* Set operators (first-occurrence order) *)
+
+val distinct : ?eq:('a -> 'a -> bool) -> ?hash:('a -> int) -> 'a t -> 'a t
+val union : ?eq:('a -> 'a -> bool) -> ?hash:('a -> int) -> 'a t -> 'a t -> 'a t
+val intersect : ?eq:('a -> 'a -> bool) -> ?hash:('a -> int) -> 'a t -> 'a t -> 'a t
+val except : ?eq:('a -> 'a -> bool) -> ?hash:('a -> int) -> 'a t -> 'a t -> 'a t
+
+(* Element accessors (consume at most what they need) *)
+
+val first : 'a t -> 'a
+(** @raise Failure on an empty enumerable. *)
+
+val first_opt : 'a t -> 'a option
+val first_where : ('a -> bool) -> 'a t -> 'a option
+val last_opt : 'a t -> 'a option
+val element_at : int -> 'a t -> 'a option
+
+(* Aggregation (full enumeration) *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val count : 'a t -> int
+val count_where : ('a -> bool) -> 'a t -> int
+val sum_int : ('a -> int) -> 'a t -> int
+val sum_float : ('a -> float) -> 'a t -> float
+val average : ('a -> float) -> 'a t -> float option
+val min_by : cmp:('k -> 'k -> int) -> key:('a -> 'k) -> 'a t -> 'a option
+val max_by : cmp:('k -> 'k -> int) -> key:('a -> 'k) -> 'a t -> 'a option
+val any : ('a -> bool) -> 'a t -> bool
+val all : ('a -> bool) -> 'a t -> bool
+val contains : ?eq:('a -> 'a -> bool) -> 'a -> 'a t -> bool
+
+(* Conversion *)
+
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val iter : ('a -> unit) -> 'a t -> unit
+val to_seq : 'a t -> 'a Seq.t
+val of_seq : 'a Seq.t -> 'a t

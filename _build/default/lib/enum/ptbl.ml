@@ -1,0 +1,50 @@
+type ('k, 'v) t = {
+  eq : 'k -> 'k -> bool;
+  hash : 'k -> int;
+  mutable buckets : ('k * 'v) list array;
+  mutable size : int;
+}
+
+let create ~eq ~hash n =
+  let n = max 8 n in
+  { eq; hash; buckets = Array.make n []; size = 0 }
+
+let length t = t.size
+let bucket_of t k = t.hash k land max_int mod Array.length t.buckets
+
+let resize t =
+  let old = t.buckets in
+  t.buckets <- Array.make (Array.length old * 2) [];
+  Array.iter
+    (List.iter (fun ((k, _) as binding) ->
+         let b = bucket_of t k in
+         t.buckets.(b) <- binding :: t.buckets.(b)))
+    old
+
+let find_opt t k =
+  let rec go = function
+    | [] -> None
+    | (k', v) :: rest -> if t.eq k k' then Some v else go rest
+  in
+  go t.buckets.(bucket_of t k)
+
+let mem t k = Option.is_some (find_opt t k)
+
+let add t k v =
+  if t.size > 2 * Array.length t.buckets then resize t;
+  let b = bucket_of t k in
+  t.buckets.(b) <- (k, v) :: t.buckets.(b);
+  t.size <- t.size + 1
+
+let replace t k v =
+  let b = bucket_of t k in
+  let rec remove = function
+    | [] -> raise Not_found
+    | (k', _) :: rest when t.eq k k' -> rest
+    | binding :: rest -> binding :: remove rest
+  in
+  match remove t.buckets.(b) with
+  | pruned ->
+    t.buckets.(b) <- (k, v) :: pruned;
+    t.size <- t.size
+  | exception Not_found -> add t k v

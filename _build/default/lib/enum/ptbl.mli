@@ -1,0 +1,18 @@
+(** Chained hash table with caller-supplied equality and hash.
+
+    Backs the grouping, join and set operators of {!Enumerable} (LINQ's
+    [Lookup]); a plain value type so the enumerator closures can capture it
+    without functor plumbing. *)
+
+type ('k, 'v) t
+
+val create : eq:('k -> 'k -> bool) -> hash:('k -> int) -> int -> ('k, 'v) t
+val length : ('k, 'v) t -> int
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Adds unconditionally (the caller ensures key freshness when needed). *)
+
+val replace : ('k, 'v) t -> 'k -> 'v -> unit
+(** Adds or overwrites the binding. *)

@@ -1,0 +1,1 @@
+lib/exec/int_table.ml: Array

@@ -1,0 +1,1 @@
+lib/exec/prng.ml: Array Int64

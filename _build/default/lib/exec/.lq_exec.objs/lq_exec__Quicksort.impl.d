@@ -1,0 +1,1 @@
+lib/exec/quicksort.ml: Array Float Int

@@ -1,0 +1,1 @@
+lib/exec/topk.ml: Array Fun Int Quicksort

@@ -1,0 +1,1 @@
+lib/exec/topk.mli:

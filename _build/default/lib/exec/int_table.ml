@@ -1,0 +1,125 @@
+let empty_key = min_int
+
+(* Fibonacci hashing spreads consecutive keys (TPC-H keys are dense). *)
+let mix key = key * 0x9E3779B97F4A7C1 land max_int
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 8
+
+type t = {
+  mutable keys : int array;
+  mutable payloads : int array;
+  mutable mask : int;
+  mutable size : int;
+}
+
+let create hint =
+  let cap = next_pow2 (max 8 (hint * 2)) in
+  { keys = Array.make cap empty_key; payloads = Array.make cap 0; mask = cap - 1; size = 0 }
+
+let length t = t.size
+
+let rec probe t key i =
+  let k = t.keys.(i) in
+  if k = empty_key || k = key then i else probe t key ((i + 1) land t.mask)
+
+let slot t key = probe t key (mix key land t.mask)
+
+let grow t =
+  let old_keys = t.keys and old_payloads = t.payloads in
+  let cap = Array.length old_keys * 2 in
+  t.keys <- Array.make cap empty_key;
+  t.payloads <- Array.make cap 0;
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i k ->
+      if k <> empty_key then begin
+        let j = slot t k in
+        t.keys.(j) <- k;
+        t.payloads.(j) <- old_payloads.(i)
+      end)
+    old_keys
+
+let maybe_grow t = if t.size * 10 > Array.length t.keys * 7 then grow t
+
+let find t key =
+  if key = empty_key then invalid_arg "Int_table: reserved key";
+  let i = slot t key in
+  if t.keys.(i) = key then Some t.payloads.(i) else None
+
+let find_or_add t key mk =
+  if key = empty_key then invalid_arg "Int_table: reserved key";
+  let i = slot t key in
+  if t.keys.(i) = key then t.payloads.(i)
+  else begin
+    let payload = mk () in
+    t.keys.(i) <- key;
+    t.payloads.(i) <- payload;
+    t.size <- t.size + 1;
+    maybe_grow t;
+    payload
+  end
+
+let set t key payload =
+  if key = empty_key then invalid_arg "Int_table: reserved key";
+  let i = slot t key in
+  if t.keys.(i) = key then t.payloads.(i) <- payload
+  else begin
+    t.keys.(i) <- key;
+    t.payloads.(i) <- payload;
+    t.size <- t.size + 1;
+    maybe_grow t
+  end
+
+let iter f t =
+  Array.iteri (fun i k -> if k <> empty_key then f k t.payloads.(i)) t.keys
+
+module Multi = struct
+  (* Bucket heads live in an open-addressing table; (payload, next) pairs
+     chain through parallel arrays, storing each key's payloads in reverse
+     so iteration can rebuild insertion order cheaply via recursion. *)
+  type nonrec t = {
+    heads : t;
+    mutable payloads : int array;
+    mutable nexts : int array;
+    mutable count : int;
+  }
+
+  let create hint =
+    { heads = create hint; payloads = Array.make (max 8 hint) 0;
+      nexts = Array.make (max 8 hint) (-1); count = 0 }
+
+  let length t = t.count
+
+  let add t key payload =
+    if t.count = Array.length t.payloads then begin
+      let cap = t.count * 2 in
+      let payloads = Array.make cap 0 and nexts = Array.make cap (-1) in
+      Array.blit t.payloads 0 payloads 0 t.count;
+      Array.blit t.nexts 0 nexts 0 t.count;
+      t.payloads <- payloads;
+      t.nexts <- nexts
+    end;
+    let cell = t.count in
+    t.payloads.(cell) <- payload;
+    let prev = match find t.heads key with Some h -> h | None -> -1 in
+    t.nexts.(cell) <- prev;
+    set t.heads key cell;
+    t.count <- t.count + 1
+
+  let iter_matches t key f =
+    match find t.heads key with
+    | None -> ()
+    | Some head ->
+      (* Chains are newest-first; recurse to visit in insertion order. *)
+      let rec go cell = if cell >= 0 then begin go t.nexts.(cell); f t.payloads.(cell) end in
+      go head
+
+  let fold_matches t key f init =
+    let acc = ref init in
+    iter_matches t key (fun payload -> acc := f !acc payload);
+    !acc
+
+  let count_matches t key = fold_matches t key (fun n _ -> n + 1) 0
+end

@@ -1,0 +1,43 @@
+(** Open-addressing hash tables with [int] keys.
+
+    The hash tables the generated C code of the paper would use: flat
+    arrays, linear probing, no boxing. The native engine keys them with
+    row keys or dictionary-encoded strings; payloads are row indexes or
+    slot numbers.
+
+    Keys may be any [int] except [min_int] (the empty marker). *)
+
+type t
+
+val create : int -> t
+(** [create capacity_hint] *)
+
+val length : t -> int
+
+val find : t -> int -> int option
+(** The payload bound to the key, if any. *)
+
+val find_or_add : t -> int -> (unit -> int) -> int
+(** Returns the existing payload or binds and returns [mk ()]. The
+    group-by work-horse: the payload is typically a dense slot index. *)
+
+val set : t -> int -> int -> unit
+(** Binds or overwrites. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+
+(** Multi-valued variant: one key, many payloads, preserving insertion
+    order among a key's payloads — the join build side. *)
+module Multi : sig
+  type t
+
+  val create : int -> t
+  val length : t -> int
+  val add : t -> int -> int -> unit
+
+  val iter_matches : t -> int -> (int -> unit) -> unit
+  (** Visits payloads bound to the key in insertion order. *)
+
+  val fold_matches : t -> int -> ('acc -> int -> 'acc) -> 'acc -> 'acc
+  val count_matches : t -> int -> int
+end

@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Drives the TPC-H data generator and the property-based test harness;
+    seeded explicitly so every run of the benchmarks sees the same data. *)
+
+type t
+
+val create : int -> t
+(** [create seed] *)
+
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice. @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,183 @@
+(* Median-of-three quicksort with insertion sort for small partitions and
+   tail-call elimination on the larger side; one copy per element type so
+   the inner loops stay monomorphic (the whole point of the generated code
+   in the paper). *)
+
+let insertion_threshold = 16
+
+let ints (arr : int array) =
+  let swap i j =
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let x = arr.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && arr.(!j) > x do
+        arr.(!j + 1) <- arr.(!j);
+        decr j
+      done;
+      arr.(!j + 1) <- x
+    done
+  in
+  let median lo hi =
+    let mid = lo + ((hi - lo) / 2) in
+    if arr.(mid) < arr.(lo) then swap mid lo;
+    if arr.(hi) < arr.(lo) then swap hi lo;
+    if arr.(hi) < arr.(mid) then swap hi mid;
+    arr.(mid)
+  in
+  let rec sort lo hi =
+    if hi - lo < insertion_threshold then insertion lo hi
+    else begin
+      let pivot = median lo hi in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while arr.(!i) < pivot do incr i done;
+        while arr.(!j) > pivot do decr j done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      if !j - lo < hi - !i then begin
+        sort lo !j;
+        sort !i hi
+      end
+      else begin
+        sort !i hi;
+        sort lo !j
+      end
+    end
+  in
+  if Array.length arr > 1 then sort 0 (Array.length arr - 1)
+
+let floats (arr : float array) =
+  let swap i j =
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let x = arr.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && arr.(!j) > x do
+        arr.(!j + 1) <- arr.(!j);
+        decr j
+      done;
+      arr.(!j + 1) <- x
+    done
+  in
+  let median lo hi =
+    let mid = lo + ((hi - lo) / 2) in
+    if arr.(mid) < arr.(lo) then swap mid lo;
+    if arr.(hi) < arr.(lo) then swap hi lo;
+    if arr.(hi) < arr.(mid) then swap hi mid;
+    arr.(mid)
+  in
+  let rec sort lo hi =
+    if hi - lo < insertion_threshold then insertion lo hi
+    else begin
+      let pivot = median lo hi in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while arr.(!i) < pivot do incr i done;
+        while arr.(!j) > pivot do decr j done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      if !j - lo < hi - !i then begin
+        sort lo !j;
+        sort !i hi
+      end
+      else begin
+        sort !i hi;
+        sort lo !j
+      end
+    end
+  in
+  if Array.length arr > 1 then sort 0 (Array.length arr - 1)
+
+let indices_by ~cmp (idx : int array) =
+  let swap i j =
+    let t = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- t
+  in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let x = idx.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && cmp idx.(!j) x > 0 do
+        idx.(!j + 1) <- idx.(!j);
+        decr j
+      done;
+      idx.(!j + 1) <- x
+    done
+  in
+  let median lo hi =
+    let mid = lo + ((hi - lo) / 2) in
+    if cmp idx.(mid) idx.(lo) < 0 then swap mid lo;
+    if cmp idx.(hi) idx.(lo) < 0 then swap hi lo;
+    if cmp idx.(hi) idx.(mid) < 0 then swap hi mid;
+    idx.(mid)
+  in
+  let rec sort lo hi =
+    if hi - lo < insertion_threshold then insertion lo hi
+    else begin
+      let pivot = median lo hi in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while cmp idx.(!i) pivot < 0 do incr i done;
+        while cmp idx.(!j) pivot > 0 do decr j done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      if !j - lo < hi - !i then begin
+        sort lo !j;
+        sort !i hi
+      end
+      else begin
+        sort !i hi;
+        sort lo !j
+      end
+    end
+  in
+  if Array.length idx > 1 then sort 0 (Array.length idx - 1)
+
+let indices_by_float_key ~key ?(desc = false) idx =
+  let cmp =
+    if desc then fun i j ->
+      let c = Float.compare key.(j) key.(i) in
+      if c <> 0 then c else Int.compare i j
+    else fun i j ->
+      let c = Float.compare key.(i) key.(j) in
+      if c <> 0 then c else Int.compare i j
+  in
+  indices_by ~cmp idx
+
+let indices_by_int_key ~key ?(desc = false) idx =
+  let cmp =
+    if desc then fun i j ->
+      let c = Int.compare key.(j) key.(i) in
+      if c <> 0 then c else Int.compare i j
+    else fun i j ->
+      let c = Int.compare key.(i) key.(j) in
+      if c <> 0 then c else Int.compare i j
+  in
+  indices_by ~cmp idx
+
+let is_sorted ~cmp arr =
+  let n = Array.length arr in
+  let rec go i = i >= n - 1 || (cmp arr.(i) arr.(i + 1) <= 0 && go (i + 1)) in
+  go 0

@@ -1,0 +1,24 @@
+(** Hand-rolled quicksort.
+
+    §7.2 of the paper is explicit that the same quicksort algorithm is
+    implemented in LINQ-to-objects, the generated C# and the generated C so
+    that the sorting figures compare runtimes, not algorithms. All sorting
+    engines here call into this module for the same reason; the
+    [quicksort C vs C#] microbenchmark times it over boxed and unboxed
+    keys. *)
+
+val ints : int array -> unit
+val floats : float array -> unit
+
+val indices_by : cmp:(int -> int -> int) -> int array -> unit
+(** Sorts an index array with an arbitrary comparator on indexes. Not
+    stable; callers wanting stability add an index tie-break. *)
+
+val indices_by_float_key : key:float array -> ?desc:bool -> int array -> unit
+(** Sorts indexes by [key.(i)] — the "transfer the key array and the index
+    array to C and sort there" layout of §6.1.1/§7.2. Ties break by index,
+    making the sort stable. *)
+
+val indices_by_int_key : key:int array -> ?desc:bool -> int array -> unit
+
+val is_sorted : cmp:('a -> 'a -> int) -> 'a array -> bool

@@ -1,0 +1,63 @@
+(* Binary max-heap of the current k smallest: the root is the worst kept
+   element, evicted when something smaller arrives. *)
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  k : int;
+  mutable heap : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp ~k = { cmp; k; heap = [||]; size = 0 }
+let length t = t.size
+
+let swap t i j =
+  let x = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.heap.(i) t.heap.(parent) > 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < t.size && t.cmp t.heap.(l) t.heap.(!largest) > 0 then largest := l;
+  if r < t.size && t.cmp t.heap.(r) t.heap.(!largest) > 0 then largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let push t x =
+  if t.k > 0 then
+    if t.size < t.k then begin
+      if Array.length t.heap = t.size then
+        t.heap <-
+          (let cap = max 8 (min t.k (max 8 (t.size * 2))) in
+           let heap = Array.make cap x in
+           Array.blit t.heap 0 heap 0 t.size;
+           heap);
+      t.heap.(t.size) <- x;
+      t.size <- t.size + 1;
+      sift_up t (t.size - 1)
+    end
+    else if t.cmp x t.heap.(0) < 0 then begin
+      t.heap.(0) <- x;
+      sift_down t 0
+    end
+
+let to_sorted_list t =
+  let kept = Array.sub t.heap 0 t.size in
+  let idx = Array.init t.size Fun.id in
+  Quicksort.indices_by
+    ~cmp:(fun i j ->
+      let c = t.cmp kept.(i) kept.(j) in
+      if c <> 0 then c else Int.compare i j)
+    idx;
+  Array.to_list (Array.map (fun i -> kept.(i)) idx)

@@ -1,0 +1,20 @@
+(** Bounded top-K selection.
+
+    §2.3 calls out [OrderBy] followed by [Take(N)] as a missed synergy in
+    LINQ-to-objects: "a better approach would be to merge both operations
+    and maintain a heap with the N highest/lowest values instead of sorting
+    the entire input". This module is that heap; the compiled engines use
+    it when the top-K fusion optimization is enabled. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> k:int -> 'a t
+(** Keeps the [k] smallest elements under [cmp] (use a negated comparator
+    for the largest). [k = 0] keeps nothing. *)
+
+val push : 'a t -> 'a -> unit
+val length : 'a t -> int
+
+val to_sorted_list : 'a t -> 'a list
+(** The kept elements in ascending [cmp] order. Ties preserve insertion
+    order if the comparator includes a tie-break; otherwise unspecified. *)

@@ -1,0 +1,1 @@
+lib/expr/ast.ml: List Lq_value Option Set String

@@ -1,0 +1,1 @@
+lib/expr/ast.mli: Lq_value

@@ -1,0 +1,1 @@
+lib/expr/dsl.ml: Ast Date List Lq_value Option Value

@@ -1,0 +1,1 @@
+lib/expr/dsl.mli: Ast Lq_value Value

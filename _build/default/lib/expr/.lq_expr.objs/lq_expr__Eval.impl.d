@@ -1,0 +1,1 @@
+lib/expr/eval.ml: Array Ast Fun Hashtbl Int List Lq_value Scalar Value

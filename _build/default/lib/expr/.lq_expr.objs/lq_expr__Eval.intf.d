@@ -1,0 +1,1 @@
+lib/expr/eval.mli: Ast Lq_value Value

@@ -1,0 +1,1 @@
+lib/expr/fold.ml: Ast Eval List Option

@@ -1,0 +1,1 @@
+lib/expr/fold.mli: Ast

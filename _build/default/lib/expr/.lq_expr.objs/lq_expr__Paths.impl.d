@@ -1,0 +1,1 @@
+lib/expr/paths.ml: Ast Hashtbl List String

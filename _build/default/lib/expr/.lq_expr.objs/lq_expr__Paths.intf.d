@@ -1,0 +1,1 @@
+lib/expr/paths.mli: Ast

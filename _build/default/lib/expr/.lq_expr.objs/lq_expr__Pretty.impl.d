@@ -1,0 +1,1 @@
+lib/expr/pretty.ml: Ast Format List Lq_value String Value Vtype

@@ -1,0 +1,1 @@
+lib/expr/pretty.mli: Ast Format

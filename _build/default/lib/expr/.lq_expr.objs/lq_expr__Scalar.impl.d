@@ -1,0 +1,1 @@
+lib/expr/scalar.ml: Ast Date Float List Lq_value Printf String Value

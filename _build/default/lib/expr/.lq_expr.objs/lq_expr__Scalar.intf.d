@@ -1,0 +1,1 @@
+lib/expr/scalar.mli: Ast Lq_value Value

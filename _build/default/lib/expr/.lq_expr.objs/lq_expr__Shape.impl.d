@@ -1,0 +1,1 @@
+lib/expr/shape.ml: Ast Hashtbl List Option Pretty Printf String

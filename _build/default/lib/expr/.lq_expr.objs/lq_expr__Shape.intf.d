@@ -1,0 +1,1 @@
+lib/expr/shape.mli: Ast Lq_value Value

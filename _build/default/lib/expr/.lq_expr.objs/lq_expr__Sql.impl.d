@@ -1,0 +1,1 @@
+lib/expr/sql.ml: Ast Date Format Fun List Lq_value Pretty Printf String Value

@@ -1,0 +1,1 @@
+lib/expr/sql.mli: Ast

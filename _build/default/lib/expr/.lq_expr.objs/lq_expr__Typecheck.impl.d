@@ -1,0 +1,1 @@
+lib/expr/typecheck.ml: Ast Format List Lq_value Schema String Value Vtype

@@ -1,0 +1,1 @@
+lib/expr/typecheck.mli: Ast Format Lq_value Schema Vtype

@@ -1,0 +1,254 @@
+type unop = Neg | Not
+type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+
+type func =
+  | Starts_with
+  | Ends_with
+  | Contains
+  | Like
+  | Lower
+  | Upper
+  | Length
+  | Abs
+  | Year
+  | Add_days
+
+type agg = Sum | Count | Min | Max | Avg
+type dir = Asc | Desc
+
+type expr =
+  | Const of Lq_value.Value.t
+  | Param of string
+  | Var of string
+  | Member of expr * string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr
+  | Call of func * expr list
+  | Agg of agg * expr * lambda option
+  | Subquery of query
+  | Record_of of (string * expr) list
+
+and lambda = { params : string list; body : expr }
+and sort_key = { by : lambda; dir : dir }
+
+and query =
+  | Source of string
+  | Where of query * lambda
+  | Select of query * lambda
+  | Join of join
+  | Group_by of group_by
+  | Order_by of query * sort_key list
+  | Take of query * expr
+  | Skip of query * expr
+  | Distinct of query
+
+and join = {
+  left : query;
+  right : query;
+  left_key : lambda;
+  right_key : lambda;
+  result : lambda;
+}
+
+and group_by = {
+  group_source : query;
+  key : lambda;
+  group_result : lambda option;
+}
+
+let lam params body = { params; body }
+let group_key_field = "Key"
+let group_items_field = "Items"
+
+module Sset = Set.Make (String)
+
+(* Free variables: a fold threading the set of bound names. *)
+
+let rec fv_expr bound acc = function
+  | Const _ | Param _ -> acc
+  | Var v -> if Sset.mem v bound then acc else Sset.add v acc
+  | Member (e, _) -> fv_expr bound acc e
+  | Unop (_, e) -> fv_expr bound acc e
+  | Binop (_, a, b) -> fv_expr bound (fv_expr bound acc a) b
+  | If (c, t, e) -> fv_expr bound (fv_expr bound (fv_expr bound acc c) t) e
+  | Call (_, args) -> List.fold_left (fv_expr bound) acc args
+  | Agg (_, src, sel) ->
+    let acc = fv_expr bound acc src in
+    (match sel with None -> acc | Some l -> fv_lambda bound acc l)
+  | Subquery q -> fv_query bound acc q
+  | Record_of fields -> List.fold_left (fun acc (_, e) -> fv_expr bound acc e) acc fields
+
+and fv_lambda bound acc { params; body } =
+  fv_expr (List.fold_left (fun s p -> Sset.add p s) bound params) acc body
+
+and fv_query bound acc = function
+  | Source _ -> acc
+  | Where (q, l) | Select (q, l) -> fv_lambda bound (fv_query bound acc q) l
+  | Join { left; right; left_key; right_key; result } ->
+    let acc = fv_query bound (fv_query bound acc left) right in
+    let acc = fv_lambda bound acc left_key in
+    let acc = fv_lambda bound acc right_key in
+    fv_lambda bound acc result
+  | Group_by { group_source; key; group_result } ->
+    let acc = fv_query bound acc group_source in
+    let acc = fv_lambda bound acc key in
+    (match group_result with None -> acc | Some l -> fv_lambda bound acc l)
+  | Order_by (q, keys) ->
+    List.fold_left (fun acc k -> fv_lambda bound acc k.by) (fv_query bound acc q) keys
+  | Take (q, e) | Skip (q, e) -> fv_expr bound (fv_query bound acc q) e
+  | Distinct q -> fv_query bound acc q
+
+let free_vars e = Sset.elements (fv_expr Sset.empty Sset.empty e)
+let free_vars_query q = Sset.elements (fv_query Sset.empty Sset.empty q)
+let is_correlated q = free_vars_query q <> []
+
+(* Substitution stops when a lambda rebinds a substituted name. *)
+
+let rec subst env e =
+  if env = [] then e
+  else
+    match e with
+    | Const _ | Param _ -> e
+    | Var v -> ( match List.assoc_opt v env with Some e' -> e' | None -> e)
+    | Member (e, f) -> Member (subst env e, f)
+    | Unop (op, e) -> Unop (op, subst env e)
+    | Binop (op, a, b) -> Binop (op, subst env a, subst env b)
+    | If (c, t, e) -> If (subst env c, subst env t, subst env e)
+    | Call (f, args) -> Call (f, List.map (subst env) args)
+    | Agg (a, src, sel) ->
+      Agg (a, subst env src, Option.map (subst_lambda env) sel)
+    | Subquery q -> Subquery (subst_query env q)
+    | Record_of fields -> Record_of (List.map (fun (n, e) -> (n, subst env e)) fields)
+
+and subst_lambda env ({ params; body } as l) =
+  let env = List.filter (fun (v, _) -> not (List.mem v params)) env in
+  if env = [] then l else { params; body = subst env body }
+
+and subst_query env q =
+  if env = [] then q
+  else
+    match q with
+    | Source _ -> q
+    | Where (q, l) -> Where (subst_query env q, subst_lambda env l)
+    | Select (q, l) -> Select (subst_query env q, subst_lambda env l)
+    | Join j ->
+      Join
+        {
+          left = subst_query env j.left;
+          right = subst_query env j.right;
+          left_key = subst_lambda env j.left_key;
+          right_key = subst_lambda env j.right_key;
+          result = subst_lambda env j.result;
+        }
+    | Group_by g ->
+      Group_by
+        {
+          group_source = subst_query env g.group_source;
+          key = subst_lambda env g.key;
+          group_result = Option.map (subst_lambda env) g.group_result;
+        }
+    | Order_by (q, keys) ->
+      Order_by
+        ( subst_query env q,
+          List.map (fun k -> { k with by = subst_lambda env k.by }) keys )
+    | Take (q, e) -> Take (subst_query env q, subst env e)
+    | Skip (q, e) -> Skip (subst_query env q, subst env e)
+    | Distinct q -> Distinct (subst_query env q)
+
+let map_query_children f = function
+  | Source _ as q -> q
+  | Where (q, l) -> Where (f q, l)
+  | Select (q, l) -> Select (f q, l)
+  | Join j -> Join { j with left = f j.left; right = f j.right }
+  | Group_by g -> Group_by { g with group_source = f g.group_source }
+  | Order_by (q, keys) -> Order_by (f q, keys)
+  | Take (q, e) -> Take (f q, e)
+  | Skip (q, e) -> Skip (f q, e)
+  | Distinct q -> Distinct (f q)
+
+let equal_expr (a : expr) (b : expr) = a = b
+let equal_query (a : query) (b : query) = a = b
+
+let rec sources_acc acc = function
+  | Source s -> Sset.add s acc
+  | Where (q, l) | Select (q, l) -> sources_acc (sources_expr acc l.body) q
+  | Join j ->
+    let acc = sources_acc (sources_acc acc j.left) j.right in
+    let acc = sources_expr acc j.left_key.body in
+    let acc = sources_expr acc j.right_key.body in
+    sources_expr acc j.result.body
+  | Group_by g ->
+    let acc = sources_acc acc g.group_source in
+    let acc = sources_expr acc g.key.body in
+    (match g.group_result with None -> acc | Some l -> sources_expr acc l.body)
+  | Order_by (q, keys) ->
+    List.fold_left (fun acc k -> sources_expr acc k.by.body) (sources_acc acc q) keys
+  | Take (q, e) | Skip (q, e) -> sources_expr (sources_acc acc q) e
+  | Distinct q -> sources_acc acc q
+
+and sources_expr acc = function
+  | Const _ | Param _ | Var _ -> acc
+  | Member (e, _) | Unop (_, e) -> sources_expr acc e
+  | Binop (_, a, b) -> sources_expr (sources_expr acc a) b
+  | If (c, t, e) -> sources_expr (sources_expr (sources_expr acc c) t) e
+  | Call (_, args) -> List.fold_left sources_expr acc args
+  | Agg (_, src, sel) ->
+    let acc = sources_expr acc src in
+    (match sel with None -> acc | Some l -> sources_expr acc l.body)
+  | Subquery q -> sources_acc acc q
+  | Record_of fields -> List.fold_left (fun acc (_, e) -> sources_expr acc e) acc fields
+
+let sources_of_query q = Sset.elements (sources_acc Sset.empty q)
+
+let rec params_expr acc = function
+  | Const _ | Var _ -> acc
+  | Param p -> Sset.add p acc
+  | Member (e, _) | Unop (_, e) -> params_expr acc e
+  | Binop (_, a, b) -> params_expr (params_expr acc a) b
+  | If (c, t, e) -> params_expr (params_expr (params_expr acc c) t) e
+  | Call (_, args) -> List.fold_left params_expr acc args
+  | Agg (_, src, sel) ->
+    let acc = params_expr acc src in
+    (match sel with None -> acc | Some l -> params_expr acc l.body)
+  | Subquery q -> params_query acc q
+  | Record_of fields -> List.fold_left (fun acc (_, e) -> params_expr acc e) acc fields
+
+and params_query acc = function
+  | Source _ -> acc
+  | Where (q, l) | Select (q, l) -> params_query (params_expr acc l.body) q
+  | Join j ->
+    let acc = params_query (params_query acc j.left) j.right in
+    let acc = params_expr acc j.left_key.body in
+    let acc = params_expr acc j.right_key.body in
+    params_expr acc j.result.body
+  | Group_by g ->
+    let acc = params_query acc g.group_source in
+    let acc = params_expr acc g.key.body in
+    (match g.group_result with None -> acc | Some l -> params_expr acc l.body)
+  | Order_by (q, keys) ->
+    List.fold_left (fun acc k -> params_expr acc k.by.body) (params_query acc q) keys
+  | Take (q, e) | Skip (q, e) -> params_expr (params_query acc q) e
+  | Distinct q -> params_query acc q
+
+let params_of_query q = Sset.elements (params_query Sset.empty q)
+
+let rec query_size = function
+  | Source _ -> 1
+  | Where (q, l) | Select (q, l) -> 1 + query_size q + expr_size l.body
+  | Join j ->
+    1 + query_size j.left + query_size j.right + expr_size j.result.body
+  | Group_by g -> 1 + query_size g.group_source
+  | Order_by (q, _) | Distinct q -> 1 + query_size q
+  | Take (q, _) | Skip (q, _) -> 1 + query_size q
+
+and expr_size = function
+  | Subquery q -> query_size q
+  | Const _ | Param _ | Var _ -> 0
+  | Member (e, _) | Unop (_, e) -> expr_size e
+  | Binop (_, a, b) -> expr_size a + expr_size b
+  | If (c, t, e) -> expr_size c + expr_size t + expr_size e
+  | Call (_, args) -> List.fold_left (fun acc e -> acc + expr_size e) 0 args
+  | Agg (_, src, sel) -> (
+    expr_size src + match sel with None -> 0 | Some l -> expr_size l.body)
+  | Record_of fields -> List.fold_left (fun acc (_, e) -> acc + expr_size e) 0 fields

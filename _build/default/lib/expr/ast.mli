@@ -1,0 +1,145 @@
+(** Expression trees.
+
+    This is the analogue of the LINQ expression tree of the paper (§2.2,
+    Fig. 1): a scalar-expression language ([expr]) with multi-parameter
+    lambdas, and a query language ([query]) mirroring the standard query
+    operators ([Where], [Select], [Join], [GroupBy], [OrderBy], [Take], ...).
+    Every engine in this repository consumes this representation, exactly as
+    every backend of the paper consumes the LINQ expression tree. *)
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Not  (** boolean negation *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+(** Built-in scalar functions (the method calls a LINQ lambda may contain). *)
+type func =
+  | Starts_with  (** [Starts_with (s, prefix)] *)
+  | Ends_with
+  | Contains
+  | Like  (** SQL LIKE with [%] and [_] wildcards *)
+  | Lower
+  | Upper
+  | Length
+  | Abs
+  | Year  (** calendar year of a date *)
+  | Add_days  (** [Add_days (date, n)] *)
+
+type agg =
+  | Sum
+  | Count
+  | Min
+  | Max
+  | Avg
+
+type dir =
+  | Asc
+  | Desc
+
+type expr =
+  | Const of Lq_value.Value.t
+  | Param of string
+      (** named query parameter, bound at execution time (the values that
+          "vary based on user interaction" in the paper's caching story) *)
+  | Var of string  (** lambda-bound variable *)
+  | Member of expr * string  (** field access, [e.Name] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr
+  | Call of func * expr list
+  | Agg of agg * expr * lambda option
+      (** aggregate over an enumerable-valued expression (a group variable
+          or a sub-query); the lambda is the element selector *)
+  | Subquery of query
+      (** nested query used as an enumerable value; may be correlated via
+          free [Var]s *)
+  | Record_of of (string * expr) list
+      (** anonymous-type construction, [new { N1 = e1; ... }] *)
+
+and lambda = { params : string list; body : expr }
+
+and sort_key = { by : lambda; dir : dir }
+
+and query =
+  | Source of string  (** named input collection (ConstantExpression) *)
+  | Where of query * lambda
+  | Select of query * lambda
+  | Join of join
+  | Group_by of group_by
+  | Order_by of query * sort_key list
+  | Take of query * expr
+  | Skip of query * expr
+  | Distinct of query
+
+and join = {
+  left : query;
+  right : query;
+  left_key : lambda;  (** key selector over a left element *)
+  right_key : lambda;  (** key selector over a right element *)
+  result : lambda;  (** two-parameter result selector (left, right) *)
+}
+
+and group_by = {
+  group_source : query;
+  key : lambda;
+  group_result : lambda option;
+      (** one-parameter selector over the group value [{Key; Items}]; when
+          absent the query yields the group values themselves *)
+}
+
+val lam : string list -> expr -> lambda
+
+val group_key_field : string
+(** ["Key"] — field name under which a group exposes its key. *)
+
+val group_items_field : string
+(** ["Items"] — field name under which a group exposes its elements. *)
+
+val free_vars : expr -> string list
+(** Variables occurring free in the expression (sorted, de-duplicated).
+    Lambda parameters bind within their bodies; sub-queries may capture. *)
+
+val free_vars_query : query -> string list
+(** Free variables of all lambdas of the query (i.e. correlation variables
+    when the query appears as a sub-query). *)
+
+val is_correlated : query -> bool
+
+val params_of_query : query -> string list
+(** All [Param] names appearing anywhere in the query (sorted, unique). *)
+
+val subst : (string * expr) list -> expr -> expr
+(** Capture-naive substitution of free variables; stops at lambdas that
+    rebind a substituted name. Substituted expressions must not contain
+    variables that any traversed lambda binds (internal optimizer use where
+    generated names are unique). *)
+
+val subst_query : (string * expr) list -> query -> query
+
+val map_query_children : (query -> query) -> query -> query
+(** Applies [f] to the immediate sub-queries of a node (not recursive, and
+    not descending into [Subquery] expressions). *)
+
+val equal_expr : expr -> expr -> bool
+val equal_query : query -> query -> bool
+
+val sources_of_query : query -> string list
+(** Names of all source collections referenced, including in sub-queries
+    (sorted, unique). *)
+
+val query_size : query -> int
+(** Number of query-operator nodes, including nested sub-queries. *)

@@ -1,0 +1,83 @@
+open Lq_value
+
+let int n = Ast.Const (Value.Int n)
+let float f = Ast.Const (Value.Float f)
+let str s = Ast.Const (Value.Str s)
+let bool b = Ast.Const (Value.Bool b)
+let date s = Ast.Const (Value.Date (Date.of_string s))
+let const value = Ast.Const value
+let v name = Ast.Var name
+let p name = Ast.Param name
+let ( $. ) e field = Ast.Member (e, field)
+let ( +: ) a b = Ast.Binop (Ast.Add, a, b)
+let ( -: ) a b = Ast.Binop (Ast.Sub, a, b)
+let ( *: ) a b = Ast.Binop (Ast.Mul, a, b)
+let ( /: ) a b = Ast.Binop (Ast.Div, a, b)
+let ( %: ) a b = Ast.Binop (Ast.Mod, a, b)
+let ( =: ) a b = Ast.Binop (Ast.Eq, a, b)
+let ( <>: ) a b = Ast.Binop (Ast.Ne, a, b)
+let ( <: ) a b = Ast.Binop (Ast.Lt, a, b)
+let ( <=: ) a b = Ast.Binop (Ast.Le, a, b)
+let ( >: ) a b = Ast.Binop (Ast.Gt, a, b)
+let ( >=: ) a b = Ast.Binop (Ast.Ge, a, b)
+let ( &&: ) a b = Ast.Binop (Ast.And, a, b)
+let ( ||: ) a b = Ast.Binop (Ast.Or, a, b)
+let not_ e = Ast.Unop (Ast.Not, e)
+let neg e = Ast.Unop (Ast.Neg, e)
+let if_ c t e = Ast.If (c, t, e)
+let starts_with s prefix = Ast.Call (Ast.Starts_with, [ s; prefix ])
+let ends_with s suffix = Ast.Call (Ast.Ends_with, [ s; suffix ])
+let contains s sub = Ast.Call (Ast.Contains, [ s; sub ])
+let like s pattern = Ast.Call (Ast.Like, [ s; pattern ])
+let lower s = Ast.Call (Ast.Lower, [ s ])
+let upper s = Ast.Call (Ast.Upper, [ s ])
+let length s = Ast.Call (Ast.Length, [ s ])
+let abs_ e = Ast.Call (Ast.Abs, [ e ])
+let year e = Ast.Call (Ast.Year, [ e ])
+let add_days d n = Ast.Call (Ast.Add_days, [ d; n ])
+let sum src param body = Ast.Agg (Ast.Sum, src, Some (Ast.lam [ param ] body))
+let count src = Ast.Agg (Ast.Count, src, None)
+let min_of src param body = Ast.Agg (Ast.Min, src, Some (Ast.lam [ param ] body))
+let max_of src param body = Ast.Agg (Ast.Max, src, Some (Ast.lam [ param ] body))
+let avg src param body = Ast.Agg (Ast.Avg, src, Some (Ast.lam [ param ] body))
+let sum_items src = Ast.Agg (Ast.Sum, src, None)
+let record fields = Ast.Record_of fields
+let subquery q = Ast.Subquery q
+let source name = Ast.Source name
+let where param body q = Ast.Where (q, Ast.lam [ param ] body)
+let select param body q = Ast.Select (q, Ast.lam [ param ] body)
+
+let join ~on ~result left right =
+  let (lparam, lkey), (rparam, rkey) = on in
+  let res_l, res_r, res_body = result in
+  Ast.Join
+    {
+      left;
+      right;
+      left_key = Ast.lam [ lparam ] lkey;
+      right_key = Ast.lam [ rparam ] rkey;
+      result = Ast.lam [ res_l; res_r ] res_body;
+    }
+
+let group_by ~key ?result q =
+  let kparam, kbody = key in
+  Ast.Group_by
+    {
+      group_source = q;
+      key = Ast.lam [ kparam ] kbody;
+      group_result = Option.map (fun (param, body) -> Ast.lam [ param ] body) result;
+    }
+
+let order_by keys q =
+  Ast.Order_by
+    ( q,
+      List.map
+        (fun (param, body, dir) -> { Ast.by = Ast.lam [ param ] body; dir })
+        keys )
+
+let asc = Ast.Asc
+let desc = Ast.Desc
+let take n q = Ast.Take (q, int n)
+let take_param name q = Ast.Take (q, p name)
+let skip n q = Ast.Skip (q, int n)
+let distinct q = Ast.Distinct q

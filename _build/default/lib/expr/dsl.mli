@@ -1,0 +1,99 @@
+(** Combinators for building expression trees.
+
+    Plays the role of the C# compiler's quotation step (§2.2): application
+    code writes queries in host-language syntax and obtains the expression
+    tree. Designed for pipeline style:
+
+    {[
+      let open Lq_expr.Dsl in
+      source "cities"
+      |> where "s" (v "s" $. "Name" =: p "name")
+      |> select "s" (v "s" $. "Population")
+    ]} *)
+
+open Lq_value
+
+(* Scalar constructors *)
+
+val int : int -> Ast.expr
+val float : float -> Ast.expr
+val str : string -> Ast.expr
+val bool : bool -> Ast.expr
+val date : string -> Ast.expr
+(** [date "1998-12-01"] *)
+
+val const : Value.t -> Ast.expr
+val v : string -> Ast.expr  (** lambda variable *)
+
+val p : string -> Ast.expr  (** query parameter *)
+
+val ( $. ) : Ast.expr -> string -> Ast.expr  (** member access *)
+
+(* Operators (colon-suffixed to avoid clashing with Stdlib) *)
+
+val ( +: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( -: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( *: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( /: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( %: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( =: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <>: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <=: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >=: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( &&: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( ||: ) : Ast.expr -> Ast.expr -> Ast.expr
+val not_ : Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+val if_ : Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr
+
+(* Built-in functions *)
+
+val starts_with : Ast.expr -> Ast.expr -> Ast.expr
+val ends_with : Ast.expr -> Ast.expr -> Ast.expr
+val contains : Ast.expr -> Ast.expr -> Ast.expr
+val like : Ast.expr -> Ast.expr -> Ast.expr
+val lower : Ast.expr -> Ast.expr
+val upper : Ast.expr -> Ast.expr
+val length : Ast.expr -> Ast.expr
+val abs_ : Ast.expr -> Ast.expr
+val year : Ast.expr -> Ast.expr
+val add_days : Ast.expr -> Ast.expr -> Ast.expr
+
+(* Aggregates over an enumerable-valued expression (group or sub-query):
+   [sum g "x" (v "x" $. "price")] is [g.Sum(x => x.price)]. *)
+
+val sum : Ast.expr -> string -> Ast.expr -> Ast.expr
+val count : Ast.expr -> Ast.expr
+val min_of : Ast.expr -> string -> Ast.expr -> Ast.expr
+val max_of : Ast.expr -> string -> Ast.expr -> Ast.expr
+val avg : Ast.expr -> string -> Ast.expr -> Ast.expr
+val sum_items : Ast.expr -> Ast.expr
+(** Sum of the elements themselves (no selector). *)
+
+val record : (string * Ast.expr) list -> Ast.expr
+val subquery : Ast.query -> Ast.expr
+
+(* Query operators, pipeline style *)
+
+val source : string -> Ast.query
+val where : string -> Ast.expr -> Ast.query -> Ast.query
+val select : string -> Ast.expr -> Ast.query -> Ast.query
+
+val join :
+  on:(string * Ast.expr) * (string * Ast.expr) ->
+  result:string * string * Ast.expr ->
+  Ast.query ->
+  Ast.query ->
+  Ast.query
+(** [join ~on:(("l", lkey), ("r", rkey)) ~result:("l", "r", res) left right]. *)
+
+val group_by : key:string * Ast.expr -> ?result:string * Ast.expr -> Ast.query -> Ast.query
+val order_by : (string * Ast.expr * Ast.dir) list -> Ast.query -> Ast.query
+val asc : Ast.dir
+val desc : Ast.dir
+val take : int -> Ast.query -> Ast.query
+val take_param : string -> Ast.query -> Ast.query
+val skip : int -> Ast.query -> Ast.query
+val distinct : Ast.query -> Ast.query

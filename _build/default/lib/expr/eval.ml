@@ -1,0 +1,178 @@
+open Lq_value
+
+exception Unbound_source of string
+exception Unbound_param of string
+exception Unbound_var of string
+
+type ctx = {
+  catalog : string -> Value.t list;
+  params : (string * Value.t) list;
+}
+
+let ctx ?(catalog = fun name -> raise (Unbound_source name)) ?(params = []) () =
+  { catalog; params }
+
+let group_value ~key ~items =
+  Value.Record
+    [| (Ast.group_key_field, key); (Ast.group_items_field, Value.List items) |]
+
+let aggregate (kind : Ast.agg) values =
+  match kind with
+  | Ast.Count -> Value.Int (List.length values)
+  | Ast.Sum ->
+    let all_int = List.for_all (function Value.Int _ -> true | _ -> false) values in
+    if all_int then
+      Value.Int (List.fold_left (fun acc v -> acc + Value.to_int v) 0 values)
+    else
+      Value.Float (List.fold_left (fun acc v -> acc +. Value.to_float v) 0.0 values)
+  | Ast.Min -> (
+    match values with
+    | [] -> Value.Null
+    | x :: rest ->
+      List.fold_left (fun acc v -> if Scalar.cmp v acc < 0 then v else acc) x rest)
+  | Ast.Max -> (
+    match values with
+    | [] -> Value.Null
+    | x :: rest ->
+      List.fold_left (fun acc v -> if Scalar.cmp v acc > 0 then v else acc) x rest)
+  | Ast.Avg -> (
+    match values with
+    | [] -> Value.Null
+    | _ ->
+      let sum = List.fold_left (fun acc v -> acc +. Value.to_float v) 0.0 values in
+      Value.Float (sum /. float_of_int (List.length values)))
+
+(* Grouping that preserves first-occurrence key order. *)
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let group_pairs pairs =
+  let tbl = Vtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (key, v) ->
+      match Vtbl.find_opt tbl key with
+      | Some items -> items := v :: !items
+      | None ->
+        Vtbl.add tbl key (ref [ v ]);
+        order := key :: !order)
+    pairs;
+  List.rev_map (fun key -> (key, List.rev !(Vtbl.find tbl key))) !order
+
+let rec expr ctx ~env (e : Ast.expr) =
+  match e with
+  | Ast.Const v -> v
+  | Ast.Param p -> (
+    match List.assoc_opt p ctx.params with
+    | Some v -> v
+    | None -> raise (Unbound_param p))
+  | Ast.Var v -> (
+    match List.assoc_opt v env with
+    | Some value -> value
+    | None -> raise (Unbound_var v))
+  | Ast.Member (e, name) -> Value.field (expr ctx ~env e) name
+  | Ast.Unop (op, e) -> Scalar.unop op (expr ctx ~env e)
+  | Ast.Binop (Ast.And, a, b) ->
+    if Value.to_bool (expr ctx ~env a) then expr ctx ~env b else Value.Bool false
+  | Ast.Binop (Ast.Or, a, b) ->
+    if Value.to_bool (expr ctx ~env a) then Value.Bool true else expr ctx ~env b
+  | Ast.Binop (op, a, b) -> Scalar.binop op (expr ctx ~env a) (expr ctx ~env b)
+  | Ast.If (c, t, e) ->
+    if Value.to_bool (expr ctx ~env c) then expr ctx ~env t else expr ctx ~env e
+  | Ast.Call (f, args) -> Scalar.call f (List.map (expr ctx ~env) args)
+  | Ast.Agg (kind, src, sel) ->
+    let elements = Value.to_elements (expr ctx ~env src) in
+    let selected =
+      match sel with
+      | None -> elements
+      | Some l -> List.map (fun v -> apply ctx ~env l [ v ]) elements
+    in
+    aggregate kind selected
+  | Ast.Subquery q -> Value.List (query ctx ~env q)
+  | Ast.Record_of fields ->
+    Value.Record
+      (Array.of_list (List.map (fun (n, e) -> (n, expr ctx ~env e)) fields))
+
+and apply ctx ~env (l : Ast.lambda) args =
+  if List.length l.params <> List.length args then
+    invalid_arg "Eval.apply: arity mismatch";
+  let env = List.rev_append (List.combine l.params args) env in
+  expr ctx ~env l.body
+
+and query ctx ~env (q : Ast.query) : Value.t list =
+  match q with
+  | Ast.Source name -> ctx.catalog name
+  | Ast.Where (src, pred) ->
+    List.filter
+      (fun v -> Value.to_bool (apply ctx ~env pred [ v ]))
+      (query ctx ~env src)
+  | Ast.Select (src, sel) ->
+    List.map (fun v -> apply ctx ~env sel [ v ]) (query ctx ~env src)
+  | Ast.Join { left; right; left_key; right_key; result } ->
+    let rights = query ctx ~env right in
+    let buckets =
+      group_pairs (List.map (fun r -> (apply ctx ~env right_key [ r ], r)) rights)
+    in
+    let tbl = Vtbl.create (List.length buckets) in
+    List.iter (fun (k, items) -> Vtbl.replace tbl k items) buckets;
+    query ctx ~env left
+    |> List.concat_map (fun l ->
+           let k = apply ctx ~env left_key [ l ] in
+           match Vtbl.find_opt tbl k with
+           | None -> []
+           | Some matches ->
+             List.map (fun r -> apply ctx ~env result [ l; r ]) matches)
+  | Ast.Group_by { group_source; key; group_result } ->
+    let rows = query ctx ~env group_source in
+    let groups =
+      group_pairs (List.map (fun v -> (apply ctx ~env key [ v ], v)) rows)
+    in
+    let as_values =
+      List.map (fun (key, items) -> group_value ~key ~items) groups
+    in
+    (match group_result with
+    | None -> as_values
+    | Some l -> List.map (fun g -> apply ctx ~env l [ g ]) as_values)
+  | Ast.Order_by (src, keys) ->
+    let rows = Array.of_list (query ctx ~env src) in
+    let sort_keys =
+      Array.map
+        (fun v -> List.map (fun (k : Ast.sort_key) -> apply ctx ~env k.by [ v ]) keys)
+        rows
+    in
+    let idx = Array.init (Array.length rows) Fun.id in
+    let compare_keys i j =
+      let rec go ks vi vj =
+        match (ks, vi, vj) with
+        | [], [], [] -> Int.compare i j (* stability tie-break *)
+        | (k : Ast.sort_key) :: ks, a :: vi, b :: vj ->
+          let c = Scalar.cmp a b in
+          let c = match k.dir with Ast.Asc -> c | Ast.Desc -> -c in
+          if c <> 0 then c else go ks vi vj
+        | _ -> assert false
+      in
+      go keys sort_keys.(i) sort_keys.(j)
+    in
+    Array.sort compare_keys idx;
+    Array.to_list (Array.map (fun i -> rows.(i)) idx)
+  | Ast.Take (src, n) ->
+    let n = Value.to_int (expr ctx ~env n) in
+    List.filteri (fun i _ -> i < n) (query ctx ~env src)
+  | Ast.Skip (src, n) ->
+    let n = Value.to_int (expr ctx ~env n) in
+    List.filteri (fun i _ -> i >= n) (query ctx ~env src)
+  | Ast.Distinct src ->
+    let seen = Vtbl.create 64 in
+    List.filter
+      (fun v ->
+        if Vtbl.mem seen v then false
+        else (
+          Vtbl.add seen v ();
+          true))
+      (query ctx ~env src)
+
+let run ctx q = query ctx ~env:[] q

@@ -1,0 +1,50 @@
+(** Reference interpreter for expression trees.
+
+    Executes a query directly over boxed values with the plainest possible
+    semantics (eager, list-based). It is deliberately *not* an engine: it is
+    the oracle every engine — baseline and compiled — is differentially
+    tested against, and the machine the constant evaluator (§3,
+    "ConstantEvaluator") uses to fold closed sub-expressions. *)
+
+open Lq_value
+
+exception Unbound_source of string
+exception Unbound_param of string
+exception Unbound_var of string
+
+type ctx = {
+  catalog : string -> Value.t list;  (** named input collections *)
+  params : (string * Value.t) list;  (** query parameter bindings *)
+}
+
+val ctx :
+  ?catalog:(string -> Value.t list) -> ?params:(string * Value.t) list -> unit -> ctx
+(** A context; the default catalog knows no sources and the default
+    parameter environment is empty. *)
+
+val expr : ctx -> env:(string * Value.t) list -> Ast.expr -> Value.t
+(** Evaluates a scalar expression under lambda-variable bindings [env].
+    [And]/[Or] short-circuit. *)
+
+val apply : ctx -> env:(string * Value.t) list -> Ast.lambda -> Value.t list -> Value.t
+(** Applies a lambda to argument values (checked arity). [env] provides the
+    captured outer bindings (correlation). *)
+
+val query : ctx -> env:(string * Value.t) list -> Ast.query -> Value.t list
+(** Evaluates a query to the eager list of its result elements. Ordering
+    follows LINQ-to-objects: [Where]/[Select] preserve order, [Join]
+    preserves outer-then-inner order, [Group_by] groups in first-occurrence
+    key order, [Order_by] is a stable sort, [Distinct] keeps first
+    occurrences. *)
+
+val run : ctx -> Ast.query -> Value.t list
+(** [query] with an empty variable environment (top-level execution). *)
+
+val aggregate : Ast.agg -> Value.t list -> Value.t
+(** Folds already-selected element values: [Sum] of an empty list is
+    [Int 0], of all-[Int] lists an [Int], otherwise a [Float]; [Count] is an
+    [Int]; [Min]/[Max]/[Avg] of an empty list are [Null]; [Avg] is a
+    [Float]. All engines share these semantics. *)
+
+val group_value : key:Value.t -> items:Value.t list -> Value.t
+(** The boxed representation of one group: [{Key; Items}]. *)

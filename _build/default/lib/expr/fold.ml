@@ -1,0 +1,61 @@
+let rec is_closed : Ast.expr -> bool = function
+  | Ast.Const _ -> true
+  | Ast.Param _ | Ast.Var _ | Ast.Subquery _ | Ast.Agg _ -> false
+  | Ast.Member (e, _) | Ast.Unop (_, e) -> is_closed e
+  | Ast.Binop (_, a, b) -> is_closed a && is_closed b
+  | Ast.If (c, t, e) -> is_closed c && is_closed t && is_closed e
+  | Ast.Call (_, args) -> List.for_all is_closed args
+  | Ast.Record_of fields -> List.for_all (fun (_, e) -> is_closed e) fields
+
+let empty_ctx = Eval.ctx ()
+
+let rec expr (e : Ast.expr) : Ast.expr =
+  let folded =
+    match e with
+    | Ast.Const _ | Ast.Param _ | Ast.Var _ -> e
+    | Ast.Member (e, name) -> Ast.Member (expr e, name)
+    | Ast.Unop (op, e) -> Ast.Unop (op, expr e)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, expr a, expr b)
+    | Ast.If (c, t, e) -> Ast.If (expr c, expr t, expr e)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map expr args)
+    | Ast.Agg (kind, src, sel) -> Ast.Agg (kind, expr src, Option.map lambda sel)
+    | Ast.Subquery q -> Ast.Subquery (query q)
+    | Ast.Record_of fields ->
+      Ast.Record_of (List.map (fun (n, e) -> (n, expr e)) fields)
+  in
+  match folded with
+  | Ast.Const _ -> folded
+  | _ when is_closed folded -> (
+    (* Pre-evaluate; keep the expression if evaluation fails (e.g. a
+       division by zero must keep failing at run time, not fold time). *)
+    try Ast.Const (Eval.expr empty_ctx ~env:[] folded) with _ -> folded)
+  | _ -> folded
+
+and lambda (l : Ast.lambda) : Ast.lambda = { l with body = expr l.body }
+
+and query (q : Ast.query) : Ast.query =
+  match q with
+  | Ast.Source _ -> q
+  | Ast.Where (src, pred) -> Ast.Where (query src, lambda pred)
+  | Ast.Select (src, sel) -> Ast.Select (query src, lambda sel)
+  | Ast.Join j ->
+    Ast.Join
+      {
+        left = query j.left;
+        right = query j.right;
+        left_key = lambda j.left_key;
+        right_key = lambda j.right_key;
+        result = lambda j.result;
+      }
+  | Ast.Group_by g ->
+    Ast.Group_by
+      {
+        group_source = query g.group_source;
+        key = lambda g.key;
+        group_result = Option.map lambda g.group_result;
+      }
+  | Ast.Order_by (src, keys) ->
+    Ast.Order_by (query src, List.map (fun (k : Ast.sort_key) -> { k with by = lambda k.by }) keys)
+  | Ast.Take (src, n) -> Ast.Take (query src, expr n)
+  | Ast.Skip (src, n) -> Ast.Skip (query src, expr n)
+  | Ast.Distinct src -> Ast.Distinct (query src)

@@ -1,0 +1,14 @@
+(** Constant evaluation (the paper's "ConstantEvaluator", §3).
+
+    Before a query is looked up in the compiled-query cache, every
+    sub-expression that can be evaluated independently of the source data —
+    no variables, no parameters, no sub-queries, no aggregates — is replaced
+    by the constant it evaluates to (e.g. [AddDays(1998-12-01, -90)] becomes
+    the literal date). The result is the canonical form of the query. *)
+
+val expr : Ast.expr -> Ast.expr
+val query : Ast.query -> Ast.query
+
+val is_closed : Ast.expr -> bool
+(** True when the expression references no variables, parameters,
+    sub-queries or aggregates and can therefore be pre-evaluated. *)

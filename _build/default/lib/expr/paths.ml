@@ -1,0 +1,82 @@
+(* A use-site is a maximal chain [Member (... Member (Var v, f1) ..., fn)].
+   The collector walks top-down; when it enters a member chain it peels the
+   full path and records it if the root is the variable of interest. *)
+
+let dedup paths =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    paths
+
+let rec chain_root acc (e : Ast.expr) =
+  match e with
+  | Ast.Member (inner, name) -> chain_root (name :: acc) inner
+  | _ -> (e, acc)
+
+let collect ~want acc e =
+  let rec go bound acc (e : Ast.expr) =
+    match e with
+    | Ast.Member _ -> (
+      let root, path = chain_root [] e in
+      match root with
+      | Ast.Var v when (not (List.mem v bound)) && want v ->
+        (v, path) :: acc
+      | _ ->
+        (* Not a variable chain end-to-end: keep walking inside the root. *)
+        go bound acc root)
+    | Ast.Var v -> if (not (List.mem v bound)) && want v then (v, []) :: acc else acc
+    | Ast.Const _ | Ast.Param _ -> acc
+    | Ast.Unop (_, e) -> go bound acc e
+    | Ast.Binop (_, a, b) -> go bound (go bound acc a) b
+    | Ast.If (c, t, e) -> go bound (go bound (go bound acc c) t) e
+    | Ast.Call (_, args) -> List.fold_left (go bound) acc args
+    | Ast.Agg (_, src, sel) -> (
+      let acc = go bound acc src in
+      match sel with
+      | None -> acc
+      | Some l -> go (l.Ast.params @ bound) acc l.Ast.body)
+    | Ast.Subquery q -> go_query bound acc q
+    | Ast.Record_of fields -> List.fold_left (fun acc (_, e) -> go bound acc e) acc fields
+  and go_lambda bound acc (l : Ast.lambda) = go (l.Ast.params @ bound) acc l.Ast.body
+  and go_query bound acc (q : Ast.query) =
+    match q with
+    | Ast.Source _ -> acc
+    | Ast.Where (src, l) | Ast.Select (src, l) ->
+      go_lambda bound (go_query bound acc src) l
+    | Ast.Join j ->
+      let acc = go_query bound (go_query bound acc j.left) j.right in
+      let acc = go_lambda bound acc j.left_key in
+      let acc = go_lambda bound acc j.right_key in
+      go_lambda bound acc j.result
+    | Ast.Group_by g ->
+      let acc = go_query bound acc g.group_source in
+      let acc = go_lambda bound acc g.key in
+      (match g.group_result with None -> acc | Some l -> go_lambda bound acc l)
+    | Ast.Order_by (src, keys) ->
+      List.fold_left
+        (fun acc (k : Ast.sort_key) -> go_lambda bound acc k.by)
+        (go_query bound acc src)
+        keys
+    | Ast.Take (src, e) | Ast.Skip (src, e) -> go bound (go_query bound acc src) e
+    | Ast.Distinct src -> go_query bound acc src
+  in
+  go [] acc e
+
+let of_expr ~var e =
+  collect ~want:(String.equal var) [] e
+  |> List.rev_map snd |> dedup
+
+let of_lambda (l : Ast.lambda) =
+  match l.Ast.params with
+  | [ p ] -> of_expr ~var:p l.Ast.body
+  | _ -> invalid_arg "Paths.of_lambda: expected a single parameter"
+
+let roots e =
+  collect ~want:(fun _ -> true) [] e
+  |> List.rev_map (fun (v, path) -> v :: path)
+  |> dedup

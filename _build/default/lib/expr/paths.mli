@@ -1,0 +1,22 @@
+(** Member-path analysis.
+
+    Collects the member chains an expression dereferences from a given
+    variable ([s.Shop.City], [s.Price], ...). Drives the implicit
+    projection of the hybrid engine (§6.1.1: "only copy the members of the
+    source objects that will be accessed by native code") and the
+    instrumented runs' model of which object fields the managed engines
+    touch. *)
+
+val of_expr : var:string -> Ast.expr -> string list list
+(** Maximal paths rooted at [Var var], de-duplicated, in first-use order.
+    A bare use of the variable itself (not under a [Member]) reports the
+    empty path [[]] — the whole element is needed. Occurrences under
+    lambdas that rebind [var] are ignored. *)
+
+val of_lambda : Ast.lambda -> string list list
+(** Paths rooted at the lambda's single parameter.
+    @raise Invalid_argument for multi-parameter lambdas. *)
+
+val roots : Ast.expr -> string list list
+(** All maximal paths rooted at any free variable, with the variable name
+    as the first component. *)

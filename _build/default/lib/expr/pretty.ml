@@ -1,0 +1,126 @@
+open Lq_value
+
+let binop_symbol : Ast.binop -> string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+let func_name : Ast.func -> string = function
+  | Ast.Starts_with -> "StartsWith"
+  | Ast.Ends_with -> "EndsWith"
+  | Ast.Contains -> "Contains"
+  | Ast.Like -> "Like"
+  | Ast.Lower -> "Lower"
+  | Ast.Upper -> "Upper"
+  | Ast.Length -> "Length"
+  | Ast.Abs -> "Abs"
+  | Ast.Year -> "Year"
+  | Ast.Add_days -> "AddDays"
+
+let agg_name : Ast.agg -> string = function
+  | Ast.Sum -> "Sum"
+  | Ast.Count -> "Count"
+  | Ast.Min -> "Min"
+  | Ast.Max -> "Max"
+  | Ast.Avg -> "Average"
+
+let pp_const ~hide_consts fmt v =
+  if hide_consts then
+    let ty =
+      match Value.type_of v with
+      | Some ty -> Vtype.to_string ty
+      | None -> "null"
+    in
+    Format.fprintf fmt "?:%s" ty
+  else Value.pp fmt v
+
+let rec pp_expr ~hide_consts fmt (e : Ast.expr) =
+  let pe fmt e = pp_expr ~hide_consts fmt e in
+  match e with
+  | Ast.Const v -> pp_const ~hide_consts fmt v
+  | Ast.Param p -> Format.fprintf fmt "@%s" p
+  | Ast.Var v -> Format.pp_print_string fmt v
+  | Ast.Member (e, name) -> Format.fprintf fmt "%a.%s" pe e name
+  | Ast.Unop (Ast.Neg, e) -> Format.fprintf fmt "-(%a)" pe e
+  | Ast.Unop (Ast.Not, e) -> Format.fprintf fmt "!(%a)" pe e
+  | Ast.Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pe a (binop_symbol op) pe b
+  | Ast.If (c, t, e) -> Format.fprintf fmt "(%a ? %a : %a)" pe c pe t pe e
+  | Ast.Call (f, args) ->
+    Format.fprintf fmt "%s(%a)" (func_name f)
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pe)
+      args
+  | Ast.Agg (kind, src, sel) ->
+    Format.fprintf fmt "%a.%s(%a)" pe src (agg_name kind)
+      (Format.pp_print_option (pp_lambda ~hide_consts))
+      sel
+  | Ast.Subquery q -> Format.fprintf fmt "(%a)" (pp_query ~hide_consts) q
+  | Ast.Record_of fields ->
+    Format.fprintf fmt "new {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (fun fmt (n, e) -> Format.fprintf fmt "%s = %a" n pe e))
+      fields
+
+and pp_lambda ~hide_consts fmt (l : Ast.lambda) =
+  let params =
+    match l.params with
+    | [ p ] -> p
+    | ps -> "(" ^ String.concat ", " ps ^ ")"
+  in
+  Format.fprintf fmt "%s => %a" params (pp_expr ~hide_consts) l.body
+
+and pp_query ~hide_consts fmt (q : Ast.query) =
+  let pq fmt q = pp_query ~hide_consts fmt q in
+  let pl fmt l = pp_lambda ~hide_consts fmt l in
+  match q with
+  | Ast.Source name -> Format.pp_print_string fmt name
+  | Ast.Where (src, pred) -> Format.fprintf fmt "%a@,.Where(%a)" pq src pl pred
+  | Ast.Select (src, sel) -> Format.fprintf fmt "%a@,.Select(%a)" pq src pl sel
+  | Ast.Join { left; right; left_key; right_key; result } ->
+    Format.fprintf fmt "%a@,.Join(%a,@ %a,@ %a,@ %a)" pq left pq right pl
+      left_key pl right_key pl result
+  | Ast.Group_by { group_source; key; group_result } -> (
+    match group_result with
+    | None -> Format.fprintf fmt "%a@,.GroupBy(%a)" pq group_source pl key
+    | Some r ->
+      Format.fprintf fmt "%a@,.GroupBy(%a,@ %a)" pq group_source pl key pl r)
+  | Ast.Order_by (src, keys) ->
+    Format.fprintf fmt "%a" pq src;
+    List.iteri
+      (fun i (k : Ast.sort_key) ->
+        let name =
+          match (i, k.dir) with
+          | 0, Ast.Asc -> "OrderBy"
+          | 0, Ast.Desc -> "OrderByDescending"
+          | _, Ast.Asc -> "ThenBy"
+          | _, Ast.Desc -> "ThenByDescending"
+        in
+        Format.fprintf fmt "@,.%s(%a)" name pl k.by)
+      keys
+  | Ast.Take (src, n) ->
+    Format.fprintf fmt "%a@,.Take(%a)" pq src (pp_expr ~hide_consts) n
+  | Ast.Skip (src, n) ->
+    Format.fprintf fmt "%a@,.Skip(%a)" pq src (pp_expr ~hide_consts) n
+  | Ast.Distinct src -> Format.fprintf fmt "%a@,.Distinct()" pq src
+
+let pp_expr ?(hide_consts = false) fmt e = pp_expr ~hide_consts fmt e
+let pp_lambda ?(hide_consts = false) fmt l = pp_lambda ~hide_consts fmt l
+
+let pp_query ?(hide_consts = false) fmt q =
+  Format.fprintf fmt "@[<v 2>%a@]" (pp_query ~hide_consts) q
+
+let expr_to_string ?hide_consts e = Format.asprintf "%a" (pp_expr ?hide_consts) e
+let query_to_string ?hide_consts q = Format.asprintf "%a" (pp_query ?hide_consts) q

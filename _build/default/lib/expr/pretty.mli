@@ -1,0 +1,16 @@
+(** Printers for expression trees.
+
+    Queries print in chained method-call style, close to the C# surface
+    syntax of the paper ([source.Where(s => ...).Select(s => ...)]).
+    The [~hide_consts] mode prints every constant as a typed placeholder;
+    the query cache uses it to build parameter-insensitive shape keys. *)
+
+val pp_expr : ?hide_consts:bool -> Format.formatter -> Ast.expr -> unit
+val pp_lambda : ?hide_consts:bool -> Format.formatter -> Ast.lambda -> unit
+val pp_query : ?hide_consts:bool -> Format.formatter -> Ast.query -> unit
+val expr_to_string : ?hide_consts:bool -> Ast.expr -> string
+val query_to_string : ?hide_consts:bool -> Ast.query -> string
+
+val binop_symbol : Ast.binop -> string
+val func_name : Ast.func -> string
+val agg_name : Ast.agg -> string

@@ -1,0 +1,25 @@
+(** Scalar operator semantics on boxed values.
+
+    Single source of truth for what [+], [=], [LIKE], ... mean on
+    {!Lq_value.Value.t}, shared by the reference interpreter, the
+    LINQ-to-objects baseline and the generated-C# engine, so that all boxed
+    backends agree bit-for-bit (the differential test suite depends on it). *)
+
+open Lq_value
+
+val unop : Ast.unop -> Value.t -> Value.t
+
+val binop : Ast.binop -> Value.t -> Value.t -> Value.t
+(** Numeric operators promote [Int] to [Float] when mixed; [Div] on two
+    [Int]s is integer division (C# semantics); comparisons yield [Bool];
+    [And]/[Or] expect [Bool]s (evaluation of operands is the caller's
+    concern — the interpreter short-circuits). *)
+
+val call : Ast.func -> Value.t list -> Value.t
+
+val like_match : pattern:string -> string -> bool
+(** SQL [LIKE]: [%] matches any run, [_] any single character. *)
+
+val cmp : Value.t -> Value.t -> int
+(** Ordering comparison with [Int]/[Float] promotion, used by [Lt]..[Ge],
+    [ORDER BY], [Min]/[Max]. *)

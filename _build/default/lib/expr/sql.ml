@@ -1,0 +1,214 @@
+open Lq_value
+
+exception Not_representable of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Not_representable s)) fmt
+
+let sql_string s = "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+
+let const_to_sql (v : Value.t) =
+  match v with
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%g" f
+  | Value.Str s -> sql_string s
+  | Value.Date d -> Printf.sprintf "DATE '%s'" (Date.to_string d)
+  | Value.Bool b -> if b then "TRUE" else "FALSE"
+  | Value.Null -> "NULL"
+  | Value.Record _ | Value.List _ -> fail "composite constant"
+
+let binop_sql : Ast.binop -> string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "="
+  | Ast.Ne -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "AND"
+  | Ast.Or -> "OR"
+
+let rec expr_to_sql ?(alias = Fun.id) (e : Ast.expr) : string =
+  let go e = expr_to_sql ~alias e in
+  match e with
+  | Ast.Const v -> const_to_sql v
+  | Ast.Param p -> ":" ^ p
+  | Ast.Var v -> alias v
+  | Ast.Member (Ast.Var v, f) -> Printf.sprintf "%s.%s" (alias v) f
+  | Ast.Member (e, f) -> Printf.sprintf "(%s).%s" (go e) f
+  | Ast.Unop (Ast.Neg, e) -> Printf.sprintf "-(%s)" (go e)
+  | Ast.Unop (Ast.Not, e) -> Printf.sprintf "NOT (%s)" (go e)
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (go a) (binop_sql op) (go b)
+  | Ast.If (c, t, e) ->
+    Printf.sprintf "CASE WHEN %s THEN %s ELSE %s END" (go c) (go t) (go e)
+  | Ast.Call (Ast.Like, [ s; pat ]) -> Printf.sprintf "(%s LIKE %s)" (go s) (go pat)
+  | Ast.Call (Ast.Starts_with, [ s; p ]) ->
+    Printf.sprintf "(%s LIKE %s || '%%')" (go s) (go p)
+  | Ast.Call (Ast.Ends_with, [ s; p ]) ->
+    Printf.sprintf "(%s LIKE '%%' || %s)" (go s) (go p)
+  | Ast.Call (Ast.Contains, [ s; p ]) ->
+    Printf.sprintf "(%s LIKE '%%' || %s || '%%')" (go s) (go p)
+  | Ast.Call (Ast.Lower, [ s ]) -> Printf.sprintf "LOWER(%s)" (go s)
+  | Ast.Call (Ast.Upper, [ s ]) -> Printf.sprintf "UPPER(%s)" (go s)
+  | Ast.Call (Ast.Length, [ s ]) -> Printf.sprintf "LENGTH(%s)" (go s)
+  | Ast.Call (Ast.Abs, [ x ]) -> Printf.sprintf "ABS(%s)" (go x)
+  | Ast.Call (Ast.Year, [ d ]) -> Printf.sprintf "EXTRACT(YEAR FROM %s)" (go d)
+  | Ast.Call (Ast.Add_days, [ d; n ]) ->
+    Printf.sprintf "(%s + %s * INTERVAL '1' DAY)" (go d) (go n)
+  | Ast.Call (f, _) -> fail "call %s" (Pretty.func_name f)
+  | Ast.Agg _ -> fail "aggregate outside a GROUP BY rendering"
+  | Ast.Subquery q -> Printf.sprintf "(%s)" (to_sql q)
+  | Ast.Record_of _ -> fail "record construction outside a SELECT list"
+
+(* Aggregates inside a group result body. *)
+and agg_to_sql ~alias (e : Ast.expr) : string =
+  match e with
+  | Ast.Agg (kind, _, sel) -> (
+    let arg =
+      match sel with
+      | None -> "*"
+      | Some (l : Ast.lambda) -> (
+        match l.Ast.params with
+        | [ p ] ->
+          expr_to_sql ~alias:(fun v -> if v = p then alias "" else v) l.Ast.body
+        | _ -> fail "aggregate selector arity")
+    in
+    match kind with
+    | Ast.Count -> "COUNT(*)"
+    | Ast.Sum -> Printf.sprintf "SUM(%s)" arg
+    | Ast.Min -> Printf.sprintf "MIN(%s)" arg
+    | Ast.Max -> Printf.sprintf "MAX(%s)" arg
+    | Ast.Avg -> Printf.sprintf "AVG(%s)" arg)
+  | _ -> fail "expected aggregate"
+
+and select_list ~go_item (fields : (string * Ast.expr) list) =
+  String.concat ",\n       "
+    (List.map (fun (n, e) -> Printf.sprintf "%s AS %s" (go_item e) n) fields)
+
+and to_sql (q : Ast.query) : string =
+  let fresh =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Printf.sprintf "t%d" !n
+  in
+  let rec go (q : Ast.query) : string =
+    match q with
+    | Ast.Source name -> Printf.sprintf "SELECT * FROM %s" name
+    | Ast.Where (src, pred) -> (
+      match pred.Ast.params with
+      | [ p ] ->
+        let a = fresh () in
+        Printf.sprintf "SELECT * FROM (\n%s\n) %s\nWHERE %s" (go src) a
+          (expr_to_sql ~alias:(fun v -> if v = p then a else v) pred.Ast.body)
+      | _ -> fail "predicate arity")
+    | Ast.Select (src, sel) -> (
+      match (sel.Ast.params, sel.Ast.body) with
+      | [ p ], Ast.Record_of fields ->
+        let a = fresh () in
+        let alias v = if v = p then a else v in
+        Printf.sprintf "SELECT %s\nFROM (\n%s\n) %s"
+          (select_list ~go_item:(expr_to_sql ~alias) fields)
+          (go src) a
+      | [ p ], body ->
+        let a = fresh () in
+        let alias v = if v = p then a else v in
+        Printf.sprintf "SELECT %s AS value\nFROM (\n%s\n) %s"
+          (expr_to_sql ~alias body) (go src) a
+      | _ -> fail "selector arity")
+    | Ast.Join { left; right; left_key; right_key; result } -> (
+      match (result.Ast.params, result.Ast.body) with
+      | [ pl; pr ], body ->
+        let la = fresh () and ra = fresh () in
+        let alias v = if v = pl then la else if v = pr then ra else v in
+        let lk =
+          match left_key.Ast.params with
+          | [ p ] ->
+            expr_to_sql ~alias:(fun v -> if v = p then la else v) left_key.Ast.body
+          | _ -> fail "key arity"
+        in
+        let rk =
+          match right_key.Ast.params with
+          | [ p ] ->
+            expr_to_sql ~alias:(fun v -> if v = p then ra else v) right_key.Ast.body
+          | _ -> fail "key arity"
+        in
+        let sel =
+          match body with
+          | Ast.Record_of fields -> select_list ~go_item:(expr_to_sql ~alias) fields
+          | Ast.Var v when v = pl -> la ^ ".*"
+          | Ast.Var v when v = pr -> ra ^ ".*"
+          | e -> Printf.sprintf "%s AS value" (expr_to_sql ~alias e)
+        in
+        Printf.sprintf "SELECT %s\nFROM (\n%s\n) %s\nJOIN (\n%s\n) %s ON %s = %s" sel
+          (go left) la (go right) ra lk rk
+      | _ -> fail "join result arity")
+    | Ast.Group_by { group_source; key; group_result } -> (
+      let a = fresh () in
+      let key_alias p v = if v = p then a else v in
+      let key_exprs =
+        match (key.Ast.params, key.Ast.body) with
+        | [ p ], Ast.Record_of fields ->
+          List.map (fun (n, e) -> (n, expr_to_sql ~alias:(key_alias p) e)) fields
+        | [ p ], e -> [ ("key", expr_to_sql ~alias:(key_alias p) e) ]
+        | _ -> fail "key arity"
+      in
+      match group_result with
+      | None -> fail "group objects as values"
+      | Some result -> (
+        match (result.Ast.params, result.Ast.body) with
+        | [ g ], Ast.Record_of fields ->
+          let rec render_field (e : Ast.expr) =
+            match e with
+            | Ast.Agg _ -> agg_to_sql ~alias:(fun _ -> a) e
+            | Ast.Member (Ast.Var v, k) when v = g && k = Ast.group_key_field -> (
+              match key_exprs with
+              | [ (_, sql) ] -> sql
+              | _ -> fail "composite key used as a scalar")
+            | Ast.Member (Ast.Member (Ast.Var v, k), f)
+              when v = g && k = Ast.group_key_field -> (
+              match List.assoc_opt f key_exprs with
+              | Some sql -> sql
+              | None -> fail "unknown key part %s" f)
+            | Ast.Binop (op, x, y) ->
+              (* arithmetic over aggregates, e.g. sum over count *)
+              Printf.sprintf "(%s %s %s)" (render_field x) (binop_sql op)
+                (render_field y)
+            | e -> expr_to_sql ~alias:(fun _ -> a) e
+          in
+          Printf.sprintf "SELECT %s\nFROM (\n%s\n) %s\nGROUP BY %s"
+            (String.concat ",\n       "
+               (List.map (fun (n, e) -> Printf.sprintf "%s AS %s" (render_field e) n) fields))
+            (go group_source) a
+            (String.concat ", " (List.map snd key_exprs))
+        | _ -> fail "group result shape"))
+    | Ast.Order_by (src, keys) ->
+      let a = fresh () in
+      let parts =
+        List.map
+          (fun (k : Ast.sort_key) ->
+            match k.Ast.by.Ast.params with
+            | [ p ] ->
+              Printf.sprintf "%s %s"
+                (expr_to_sql ~alias:(fun v -> if v = p then a else v) k.Ast.by.Ast.body)
+                (match k.Ast.dir with Ast.Asc -> "ASC" | Ast.Desc -> "DESC")
+            | _ -> fail "sort key arity")
+          keys
+      in
+      Printf.sprintf "SELECT * FROM (\n%s\n) %s\nORDER BY %s" (go src) a
+        (String.concat ", " parts)
+    | Ast.Take (src, n) ->
+      Printf.sprintf "%s\nLIMIT %s" (go src) (expr_to_sql n)
+    | Ast.Skip (src, n) ->
+      Printf.sprintf "%s\nOFFSET %s" (go src) (expr_to_sql n)
+    | Ast.Distinct src ->
+      let a = fresh () in
+      Printf.sprintf "SELECT DISTINCT * FROM (\n%s\n) %s" (go src) a
+  in
+  go q
+
+let expr_to_sql ?alias e = expr_to_sql ?alias e

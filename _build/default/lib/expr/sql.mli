@@ -1,0 +1,18 @@
+(** SQL rendering of expression trees.
+
+    The inverse direction of LINQ-to-SQL's translation (§2.2): renders a
+    query tree as the SQL a relational system would receive, with each
+    operator becoming a derived table. Used for documentation and by the
+    CLI — the Table 1 stand-ins conceptually execute "this SQL", and
+    printing it makes the comparison concrete. Queries whose constructs
+    have no SQL equivalent in this renderer (e.g. group objects used as
+    values) are rejected. *)
+
+exception Not_representable of string
+
+val expr_to_sql : ?alias:(string -> string) -> Ast.expr -> string
+(** Scalar expression; [alias] rewrites variable names (the caller binds
+    lambda parameters to table aliases). *)
+
+val to_sql : Ast.query -> string
+(** The full [SELECT] statement, formatted over multiple lines. *)

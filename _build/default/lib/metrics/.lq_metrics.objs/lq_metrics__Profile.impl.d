@@ -1,0 +1,1 @@
+lib/metrics/profile.ml: Fun Hashtbl List Printf String Unix

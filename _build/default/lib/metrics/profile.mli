@@ -1,0 +1,25 @@
+(** Wall-clock phase profiling.
+
+    The cost-breakdown figures of the paper (Figs. 8, 10, 12) decompose a
+    hybrid run into iterate / apply-predicates / data-staging / native-op /
+    return-result phases. Engines accumulate those phases here. Phase names
+    repeat freely; times with the same name add up. *)
+
+type t
+
+val create : unit -> t
+val now_ms : unit -> float
+(** Monotonic-enough wall clock in milliseconds. *)
+
+val add : t -> string -> float -> unit
+(** Adds [ms] to a named phase. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk, charging its duration to the phase. *)
+
+val phases : t -> (string * float) list
+(** Accumulated (name, milliseconds), in first-use order. *)
+
+val total_ms : t -> float
+val reset : t -> unit
+val to_string : t -> string

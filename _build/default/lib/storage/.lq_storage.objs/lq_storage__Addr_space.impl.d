@@ -1,0 +1,1 @@
+lib/storage/addr_space.ml:

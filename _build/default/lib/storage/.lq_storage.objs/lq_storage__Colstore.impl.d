@@ -1,0 +1,1 @@
+lib/storage/colstore.ml: Addr_space Array Dict Ftype Layout Lq_value Rowstore Value

@@ -1,0 +1,1 @@
+lib/storage/colstore.mli: Dict Layout Lq_value Rowstore Value

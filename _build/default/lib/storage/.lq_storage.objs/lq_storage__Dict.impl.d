@@ -1,0 +1,1 @@
+lib/storage/dict.ml: Array Hashtbl Printf

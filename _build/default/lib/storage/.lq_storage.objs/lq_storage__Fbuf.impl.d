@@ -1,0 +1,1 @@
+lib/storage/fbuf.ml: Bytes Int32 Int64

@@ -1,0 +1,1 @@
+lib/storage/ftype.ml: Format Lq_value Printf

@@ -1,0 +1,1 @@
+lib/storage/ftype.mli: Format Lq_value

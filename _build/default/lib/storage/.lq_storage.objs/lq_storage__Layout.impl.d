@@ -1,0 +1,1 @@
+lib/storage/layout.ml: Array Buffer Ftype Hashtbl List Lq_value Printf

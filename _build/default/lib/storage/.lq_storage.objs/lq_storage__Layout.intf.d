@@ -1,0 +1,1 @@
+lib/storage/layout.mli: Ftype Lq_value

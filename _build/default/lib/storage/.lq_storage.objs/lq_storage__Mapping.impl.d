@@ -1,0 +1,1 @@
+lib/storage/mapping.ml: Buffer Dict Fbuf Ftype Hashtbl Layout List Lq_value Option Printf String Value Vtype

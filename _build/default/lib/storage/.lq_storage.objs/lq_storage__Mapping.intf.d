@@ -1,0 +1,1 @@
+lib/storage/mapping.mli: Dict Layout Lq_value Value Vtype

@@ -1,0 +1,1 @@
+lib/storage/pagelist.ml: Addr_space Bytes List

@@ -1,0 +1,1 @@
+lib/storage/rowstore.ml: Addr_space Array Bytes Dict Fbuf Ftype Layout List Lq_value Printf Value Vtype

@@ -1,0 +1,1 @@
+lib/storage/rowstore.mli: Dict Layout Lq_value Value

@@ -1,0 +1,9 @@
+let cursor = ref 0x1000
+
+let alloc bytes =
+  let base = !cursor in
+  let padded = (max bytes 1 + 63) land lnot 63 in
+  cursor := base + padded;
+  base
+
+let reset () = cursor := 0x1000

@@ -1,0 +1,12 @@
+(** Synthetic address space for cache simulation.
+
+    Every flat store and every modelled managed-heap object receives a
+    range of synthetic byte addresses from one global bump allocator, so
+    the cache simulator sees a single consistent address space in which
+    distinct allocations never alias. *)
+
+val alloc : int -> int
+(** [alloc bytes] reserves a 64-byte-aligned range and returns its base. *)
+
+val reset : unit -> unit
+(** Restart the allocator (tests only; invalidates outstanding bases). *)

@@ -1,0 +1,62 @@
+open Lq_value
+
+type data =
+  | Ints of int array
+  | Floats of float array
+
+type t = {
+  layout : Layout.t;
+  dict : Dict.t;
+  columns : data array;
+  bases : int array;
+  nrows : int;
+}
+
+let of_rowstore rs =
+  let layout = Rowstore.layout rs in
+  let n = Rowstore.length rs in
+  let columns =
+    Array.mapi
+      (fun col (f : Layout.field) ->
+        match f.Layout.ftype with
+        | Ftype.F64 -> Floats (Array.init n (fun row -> Rowstore.get_float rs ~row ~col))
+        | Ftype.Bool8 | Ftype.I32 | Ftype.I64 | Ftype.Date32 | Ftype.Str32 ->
+          Ints (Array.init n (fun row -> Rowstore.get_int rs ~row ~col)))
+      (Layout.fields layout)
+  in
+  let bases = Array.map (fun _ -> Addr_space.alloc (8 * max n 1)) columns in
+  { layout; dict = Rowstore.dict rs; columns; bases; nrows = n }
+
+let length t = t.nrows
+let layout t = t.layout
+let dict t = t.dict
+let column t i = t.columns.(i)
+let column_by_name t name = t.columns.(Layout.field_index_exn t.layout name)
+
+let ints t i =
+  match t.columns.(i) with
+  | Ints a -> a
+  | Floats _ -> invalid_arg "Colstore.ints: float column"
+
+let floats t i =
+  match t.columns.(i) with
+  | Floats a -> a
+  | Ints _ -> invalid_arg "Colstore.floats: integer column"
+
+let base_addr t i = t.bases.(i)
+
+let get_value t ~row ~col =
+  let f = Layout.field_at t.layout col in
+  match (t.columns.(col), f.Layout.ftype) with
+  | Floats a, _ -> Value.Float a.(row)
+  | Ints a, Ftype.Bool8 -> Value.Bool (a.(row) <> 0)
+  | Ints a, Ftype.Date32 -> Value.Date a.(row)
+  | Ints a, Ftype.Str32 -> Value.Str (Dict.get t.dict a.(row))
+  | Ints a, (Ftype.I32 | Ftype.I64) -> Value.Int a.(row)
+  | Ints _, Ftype.F64 -> assert false
+
+let row_value t row =
+  Value.Record
+    (Array.mapi
+       (fun col (f : Layout.field) -> (f.Layout.name, get_value t ~row ~col))
+       (Layout.fields t.layout))

@@ -1,0 +1,33 @@
+(** Column store: one dense array per field.
+
+    The storage the VectorWise stand-in engine scans. Integer-family
+    fields (ints, dates, bools, dictionary-coded strings) become [int]
+    arrays, floats become [float] arrays; both are unboxed and contiguous
+    in OCaml, so a per-column scan has the access pattern of a real
+    columnar executor. *)
+
+open Lq_value
+
+type data =
+  | Ints of int array
+  | Floats of float array
+
+type t
+
+val of_rowstore : Rowstore.t -> t
+(** Decomposes a row store into columns (the dictionary is shared). *)
+
+val length : t -> int
+val layout : t -> Layout.t
+val dict : t -> Dict.t
+val column : t -> int -> data
+val column_by_name : t -> string -> data
+val ints : t -> int -> int array
+(** @raise Invalid_argument if the column is a float column. *)
+
+val floats : t -> int -> float array
+val base_addr : t -> int -> int
+(** Synthetic base address of a column, 8 bytes per element. *)
+
+val get_value : t -> row:int -> col:int -> Value.t
+val row_value : t -> int -> Value.t

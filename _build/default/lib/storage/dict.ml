@@ -1,0 +1,31 @@
+type t = {
+  codes : (string, int) Hashtbl.t;
+  mutable strings : string array;
+  mutable count : int;
+}
+
+let create () = { codes = Hashtbl.create 256; strings = Array.make 256 ""; count = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.codes s with
+  | Some code -> code
+  | None ->
+    let code = t.count in
+    if code = Array.length t.strings then begin
+      let strings = Array.make (code * 2) "" in
+      Array.blit t.strings 0 strings 0 code;
+      t.strings <- strings
+    end;
+    t.strings.(code) <- s;
+    Hashtbl.add t.codes s code;
+    t.count <- code + 1;
+    code
+
+let find t s = Hashtbl.find_opt t.codes s
+
+let get t code =
+  if code < 0 || code >= t.count then
+    invalid_arg (Printf.sprintf "Dict.get: unknown code %d" code);
+  t.strings.(code)
+
+let size t = t.count

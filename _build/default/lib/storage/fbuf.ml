@@ -1,0 +1,8 @@
+let get_bool b off = Bytes.unsafe_get b off <> '\000'
+let set_bool b off v = Bytes.unsafe_set b off (if v then '\001' else '\000')
+let get_i32 b off = Int32.to_int (Bytes.get_int32_le b off)
+let set_i32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_i64 b off = Int64.to_int (Bytes.get_int64_le b off)
+let set_i64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+let get_f64 b off = Int64.float_of_bits (Bytes.get_int64_le b off)
+let set_f64 b off v = Bytes.set_int64_le b off (Int64.bits_of_float v)

@@ -1,0 +1,18 @@
+(** Little-endian primitive accessors over raw byte buffers.
+
+    The moral equivalent of C pointer dereferences into unmanaged memory:
+    all flat row/column/page storage bottoms out here. Integer widths
+    narrower than the OCaml [int] are sign-extended on read. *)
+
+val get_bool : bytes -> int -> bool
+val set_bool : bytes -> int -> bool -> unit
+val get_i32 : bytes -> int -> int
+val set_i32 : bytes -> int -> int -> unit
+val get_i64 : bytes -> int -> int
+(** Reads a 64-bit value into a 63-bit OCaml [int] (top bit folded); all
+    writers in this repository only store values produced by [set_i64],
+    which round-trip exactly for any OCaml [int]. *)
+
+val set_i64 : bytes -> int -> int -> unit
+val get_f64 : bytes -> int -> float
+val set_f64 : bytes -> int -> float -> unit

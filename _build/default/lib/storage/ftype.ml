@@ -1,0 +1,34 @@
+type t = Bool8 | I32 | I64 | F64 | Date32 | Str32
+
+let width = function
+  | Bool8 -> 1
+  | I32 | Date32 | Str32 -> 4
+  | I64 | F64 -> 8
+
+let of_vtype : Lq_value.Vtype.t -> t = function
+  | Lq_value.Vtype.Bool -> Bool8
+  | Lq_value.Vtype.Int -> I64
+  | Lq_value.Vtype.Float -> F64
+  | Lq_value.Vtype.String -> Str32
+  | Lq_value.Vtype.Date -> Date32
+  | (Lq_value.Vtype.Record _ | Lq_value.Vtype.List _) as ty ->
+    invalid_arg
+      (Printf.sprintf "Ftype.of_vtype: %s has no flat representation"
+         (Lq_value.Vtype.to_string ty))
+
+let to_vtype : t -> Lq_value.Vtype.t = function
+  | Bool8 -> Lq_value.Vtype.Bool
+  | I32 | I64 -> Lq_value.Vtype.Int
+  | F64 -> Lq_value.Vtype.Float
+  | Date32 -> Lq_value.Vtype.Date
+  | Str32 -> Lq_value.Vtype.String
+
+let c_type = function
+  | Bool8 -> "uint8_t"
+  | I32 -> "int32_t"
+  | I64 -> "int64_t"
+  | F64 -> "double"
+  | Date32 -> "int32_t /* date */"
+  | Str32 -> "int32_t /* dict */"
+
+let pp fmt t = Format.pp_print_string fmt (c_type t)

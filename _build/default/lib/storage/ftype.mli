@@ -1,0 +1,30 @@
+(** Flat (native) field types.
+
+    The generated C code of the paper processes rows laid out as C structs.
+    These are the field representations available in that world: fixed
+    width, pointer-free. Strings are dictionary-encoded 32-bit handles
+    ({!Dict}), dates are day-count integers. *)
+
+type t =
+  | Bool8  (** 1 byte, 0/1 *)
+  | I32  (** 4-byte signed integer *)
+  | I64  (** 8-byte signed integer *)
+  | F64  (** IEEE double *)
+  | Date32  (** 4-byte day count since 1970-01-01 *)
+  | Str32  (** 4-byte dictionary code *)
+
+val width : t -> int
+
+val of_vtype : Lq_value.Vtype.t -> t
+(** Representation chosen for a scalar host type ([Int] maps to [I64]).
+    @raise Invalid_argument for record or list types — those must be
+    flattened by a {!Mapping} first. *)
+
+val to_vtype : t -> Lq_value.Vtype.t
+(** The host type a flat field decodes to. *)
+
+val c_type : t -> string
+(** The C spelling used by the generated-source pretty-printer
+    (e.g. ["int64_t"], ["double"]). *)
+
+val pp : Format.formatter -> t -> unit

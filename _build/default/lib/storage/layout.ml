@@ -1,0 +1,70 @@
+type field = {
+  name : string;
+  ftype : Ftype.t;
+  vty : Lq_value.Vtype.t;
+  offset : int;
+}
+
+type t = {
+  fields : field array;
+  index : (string, int) Hashtbl.t;
+  row_width : int;
+}
+
+let build specs =
+  let index = Hashtbl.create 16 in
+  let offset = ref 0 in
+  let fields =
+    Array.of_list
+      (List.mapi
+         (fun i (name, vty) ->
+           if Hashtbl.mem index name then
+             invalid_arg (Printf.sprintf "Layout: duplicate field %S" name);
+           Hashtbl.add index name i;
+           let ftype = Ftype.of_vtype vty in
+           let field = { name; ftype; vty; offset = !offset } in
+           offset := !offset + Ftype.width ftype;
+           field)
+         specs)
+  in
+  { fields; index; row_width = !offset }
+
+let make specs = build specs
+
+let of_schema schema =
+  build
+    (Array.to_list (Lq_value.Schema.fields schema)
+    |> List.map (fun (f : Lq_value.Schema.field) -> (f.name, f.ty)))
+
+let fields t = t.fields
+let arity t = Array.length t.fields
+let row_width t = t.row_width
+let field_index t name = Hashtbl.find_opt t.index name
+
+let field_index_exn t name =
+  match field_index t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Layout: unknown field %S" name)
+
+let field_at t i = t.fields.(i)
+
+let reorder t ~first =
+  let all = Array.to_list t.fields in
+  let picked = List.map (fun name -> List.nth all (field_index_exn t name)) first in
+  let rest = List.filter (fun f -> not (List.mem f.name first)) all in
+  build (List.map (fun f -> (f.name, f.vty)) (picked @ rest))
+
+let to_schema t =
+  Lq_value.Schema.make (Array.to_list t.fields |> List.map (fun f -> (f.name, f.vty)))
+
+let c_struct ~name t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "typedef struct %s {\n" name);
+  Array.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %s;  /* offset %d */\n" (Ftype.c_type f.ftype)
+           f.name f.offset))
+    t.fields;
+  Buffer.add_string buf (Printf.sprintf "} %s;  /* %d bytes */\n" name t.row_width);
+  Buffer.contents buf

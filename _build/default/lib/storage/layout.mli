@@ -1,0 +1,41 @@
+(** Fixed-width row layouts — the generated C struct definitions.
+
+    A layout assigns every field an offset within a row of [row_width]
+    bytes, in declaration order (like a packed C struct). §5.2 notes the
+    code generator may reorder intermediate-result fields so that fields
+    accessed together sit together; {!reorder} implements that. *)
+
+type field = {
+  name : string;
+  ftype : Ftype.t;
+  vty : Lq_value.Vtype.t;  (** host type the field decodes to *)
+  offset : int;
+}
+
+type t
+
+val make : (string * Lq_value.Vtype.t) list -> t
+(** Layout for scalar host-typed fields, in order.
+    @raise Invalid_argument on non-scalar types or duplicate names. *)
+
+val of_schema : Lq_value.Schema.t -> t
+(** @raise Invalid_argument if the schema has nested fields (flatten with a
+    {!Mapping} first). *)
+
+val fields : t -> field array
+val arity : t -> int
+val row_width : t -> int
+val field_index : t -> string -> int option
+val field_index_exn : t -> string -> int
+val field_at : t -> int -> field
+
+val reorder : t -> first:string list -> t
+(** A layout with the named fields packed first (§5.2: group fields that
+    are accessed together / copied as a block), the rest following in
+    original order. Offsets are recomputed. *)
+
+val to_schema : t -> Lq_value.Schema.t
+
+val c_struct : name:string -> t -> string
+(** C source of the equivalent struct declaration, for generated-code
+    listings. *)

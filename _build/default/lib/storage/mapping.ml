@@ -1,0 +1,107 @@
+open Lq_value
+
+type entry = {
+  path : string list;
+  flat_name : string;
+  vty : Vtype.t;
+}
+
+type t = {
+  entries : entry list;
+  with_index : bool;
+  layout : Layout.t;
+}
+
+let index_field = "__idx"
+
+let resolve_path source path =
+  let rec go ty = function
+    | [] -> ty
+    | name :: rest -> (
+      match Vtype.field ty name with
+      | Some fty -> go fty rest
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Mapping: type %s has no member %S" (Vtype.to_string ty) name))
+  in
+  go source path
+
+let build ~source ~paths ~with_index =
+  let seen = Hashtbl.create 16 in
+  let unique = List.filter (fun p ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+      paths
+  in
+  let entries =
+    List.mapi
+      (fun i path ->
+        let vty = resolve_path source path in
+        if not (Vtype.is_scalar vty) then
+          invalid_arg
+            (Printf.sprintf "Mapping: path %s leads to non-scalar %s"
+               (String.concat "." path) (Vtype.to_string vty));
+        let leaf = match List.rev path with x :: _ -> x | [] -> "elem" in
+        { path; flat_name = Printf.sprintf "%s_%d" leaf (i + 1); vty })
+      unique
+  in
+  let flat_fields = List.map (fun e -> (e.flat_name, e.vty)) entries in
+  let flat_fields =
+    if with_index then flat_fields @ [ (index_field, Vtype.Int) ] else flat_fields
+  in
+  { entries; with_index; layout = Layout.make flat_fields }
+
+let entries t = t.entries
+let with_index t = t.with_index
+let layout t = t.layout
+
+let flat_name t path =
+  List.find_opt (fun e -> e.path = path) t.entries
+  |> Option.map (fun e -> e.flat_name)
+
+let flat_index t path =
+  Option.bind (flat_name t path) (Layout.field_index t.layout)
+
+let extract v path = List.fold_left Value.field v path
+
+let write_row t ~dict page off ~index v =
+  List.iteri
+    (fun col e ->
+      let f = Layout.field_at t.layout col in
+      let target = off + f.Layout.offset in
+      match extract v e.path with
+      | Value.Bool b -> Fbuf.set_bool page target b
+      | Value.Int i -> (
+        match f.Layout.ftype with
+        | Ftype.I32 -> Fbuf.set_i32 page target i
+        | Ftype.I64 -> Fbuf.set_i64 page target i
+        | _ -> invalid_arg "Mapping.write_row: int into non-int field")
+      | Value.Float x -> Fbuf.set_f64 page target x
+      | Value.Date d -> Fbuf.set_i32 page target d
+      | Value.Str s -> Fbuf.set_i32 page target (Dict.intern dict s)
+      | (Value.Null | Value.Record _ | Value.List _) as bad ->
+        invalid_arg
+          (Printf.sprintf "Mapping.write_row: cannot stage %s" (Value.to_string bad)))
+    t.entries;
+  if t.with_index then begin
+    let col = Layout.field_index_exn t.layout index_field in
+    let f = Layout.field_at t.layout col in
+    Fbuf.set_i64 page (off + f.Layout.offset) index
+  end
+
+let describe t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "object-oriented                  -> native\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-32s -> %s : %s\n"
+           (String.concat "." e.path) e.flat_name (Vtype.to_string e.vty)))
+    t.entries;
+  if t.with_index then
+    Buffer.add_string buf
+      (Printf.sprintf "%-32s -> %s : int (source array index)\n" "<reference>" index_field);
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Object-layout → native-layout mappings (§6.2, Figs. 5–6).
+
+    The hybrid engine must copy parts of arbitrarily nested object graphs
+    into flat unmanaged rows. A mapping pairs (a) the object-oriented
+    representation — paths through nested record fields of the source
+    element type — with (b) the chosen native representation — one flat
+    field per path, named after its object-side leaf plus a unique numeric
+    suffix (exactly the naming rule of §6.2).
+
+    The mapping also implements the *implicit projection* of §6.1.1: only
+    the paths actually referenced by the query are added, so only those
+    fields are staged. When the query's result must reference original
+    source objects (the Min variant), an extra [__idx] field carries the
+    element's index in the source array so C# — here, the managed side —
+    can look the object up again. *)
+
+open Lq_value
+
+type entry = {
+  path : string list;  (** member path from the source element *)
+  flat_name : string;  (** leaf name + "_" + unique id *)
+  vty : Vtype.t;  (** scalar host type at the end of the path *)
+}
+
+type t
+
+val index_field : string
+(** ["__idx"] — the source-array index column of the Min variant. *)
+
+val build : source:Vtype.t -> paths:string list list -> with_index:bool -> t
+(** [build ~source ~paths ~with_index] resolves each path against the
+    (record) element type [source] and lays the flat row out in path order.
+    Duplicate paths collapse to one entry.
+    @raise Invalid_argument on unknown members or non-scalar leaves. *)
+
+val entries : t -> entry list
+val with_index : t -> bool
+val layout : t -> Layout.t
+(** Flat layout; field names are the [flat_name]s, plus [__idx] last when
+    requested. *)
+
+val flat_name : t -> string list -> string option
+(** The flat field carrying a given object path. *)
+
+val flat_index : t -> string list -> int option
+(** Its column index in {!layout}. *)
+
+val extract : Value.t -> string list -> Value.t
+(** Follows a member path through a boxed value. *)
+
+val write_row : t -> dict:Dict.t -> bytes -> int -> index:int -> Value.t -> unit
+(** [write_row m ~dict page off ~index v] performs the implicit projection
+    of one source element [v] into a flat row at byte offset [off]. *)
+
+val describe : t -> string
+(** Human-readable two-column rendering of the mapping (object path →
+    native field), as in Fig. 5. *)

@@ -1,0 +1,98 @@
+type slot = { page : bytes; off : int; addr : int }
+type page = { bytes : bytes; base : int; mutable used_rows : int }
+
+type mode =
+  | Staged of page list ref  (** newest first *)
+  | Buffered of page * (t -> unit)
+
+and t = {
+  page_bytes : int;
+  row_width : int;
+  per_page : int;
+  mode : mode;
+  mutable total : int;
+}
+
+let default_page_bytes = 64 * 1024
+
+let new_page page_bytes =
+  { bytes = Bytes.make page_bytes '\000'; base = Addr_space.alloc page_bytes; used_rows = 0 }
+
+let check_width ~page_bytes ~row_width =
+  if row_width <= 0 then invalid_arg "Pagelist: row width must be positive";
+  if row_width > page_bytes then invalid_arg "Pagelist: row wider than a page"
+
+let create_staged ?(page_bytes = default_page_bytes) ~row_width () =
+  check_width ~page_bytes ~row_width;
+  {
+    page_bytes;
+    row_width;
+    per_page = page_bytes / row_width;
+    mode = Staged (ref []);
+    total = 0;
+  }
+
+let create_buffered ?(page_bytes = default_page_bytes) ~row_width ~on_full () =
+  check_width ~page_bytes ~row_width;
+  {
+    page_bytes;
+    row_width;
+    per_page = page_bytes / row_width;
+    mode = Buffered (new_page page_bytes, on_full);
+    total = 0;
+  }
+
+let rows_per_page t = t.per_page
+
+let slot_of t page =
+  let row = page.used_rows in
+  page.used_rows <- row + 1;
+  t.total <- t.total + 1;
+  { page = page.bytes; off = row * t.row_width; addr = page.base + (row * t.row_width) }
+
+let alloc t =
+  match t.mode with
+  | Staged pages -> (
+    match !pages with
+    | p :: _ when p.used_rows < t.per_page -> slot_of t p
+    | _ ->
+      let p = new_page t.page_bytes in
+      pages := p :: !pages;
+      slot_of t p)
+  | Buffered (page, on_full) ->
+    if page.used_rows >= t.per_page then begin
+      on_full t;
+      page.used_rows <- 0
+    end;
+    slot_of t page
+
+let flush t =
+  match t.mode with
+  | Staged _ -> ()
+  | Buffered (page, on_full) ->
+    if page.used_rows > 0 then begin
+      on_full t;
+      page.used_rows <- 0
+    end
+
+let rows_available t =
+  match t.mode with
+  | Staged pages -> List.fold_left (fun n p -> n + p.used_rows) 0 !pages
+  | Buffered (page, _) -> page.used_rows
+
+let total_rows t = t.total
+
+let iter t f =
+  let visit page =
+    for row = 0 to page.used_rows - 1 do
+      f { page = page.bytes; off = row * t.row_width; addr = page.base + (row * t.row_width) }
+    done
+  in
+  match t.mode with
+  | Staged pages -> List.iter visit (List.rev !pages)
+  | Buffered (page, _) -> visit page
+
+let memory_footprint t =
+  match t.mode with
+  | Staged pages -> List.length !pages * t.page_bytes
+  | Buffered _ -> t.page_bytes

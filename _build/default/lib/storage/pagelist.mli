@@ -1,0 +1,49 @@
+(** Unmanaged buffer pages (§6.1).
+
+    The hybrid engine stages filtered, projected input rows into
+    fixed-size pages before handing them to the native part.
+
+    - {e staged} mode (§6.1.1, full materialization): pages are chained
+      into a linked list and all input is copied before the native code
+      runs once;
+    - {e buffered} mode (§6.1.2): a single page is reused; whenever it
+      fills up, [on_full] is invoked (the call into native code) and the
+      page is overwritten with the next batch, keeping the footprint at
+      one page (64 KiB by default, the size §7.1 settles on). *)
+
+type t
+
+type slot = {
+  page : bytes;
+  off : int;  (** byte offset of the row within [page] *)
+  addr : int;  (** synthetic address, for cache tracing *)
+}
+
+val create_staged : ?page_bytes:int -> row_width:int -> unit -> t
+val create_buffered : ?page_bytes:int -> row_width:int -> on_full:(t -> unit) -> unit -> t
+
+val alloc : t -> slot
+(** Space for one row. In buffered mode this may first invoke [on_full]
+    with the full page; the returned slot then points into the recycled
+    page. *)
+
+val flush : t -> unit
+(** Buffered mode: delivers the final partial page via [on_full] (no-op if
+    the page is empty). Staged mode: no-op. *)
+
+val rows_available : t -> int
+(** Rows currently readable through {!iter} — all staged rows, or the rows
+    of the page being delivered/filled in buffered mode. *)
+
+val total_rows : t -> int
+(** Rows ever written. *)
+
+val rows_per_page : t -> int
+
+val iter : t -> (slot -> unit) -> unit
+(** Visits every readable row slot in write order. *)
+
+val memory_footprint : t -> int
+(** Bytes of page memory currently allocated — the Fig. 7 discussion's
+    390 MB (staged) vs one-page (buffered) contrast is measured with
+    this. *)

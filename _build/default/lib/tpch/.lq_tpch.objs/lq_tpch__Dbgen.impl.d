@@ -1,0 +1,1 @@
+lib/tpch/dbgen.ml: Array Date Float List Lq_catalog Lq_exec Lq_value Printf Schema Schemas String Value

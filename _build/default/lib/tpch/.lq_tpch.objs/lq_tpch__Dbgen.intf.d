@@ -1,0 +1,1 @@
+lib/tpch/dbgen.mli: Date Lq_catalog Lq_value Schema Value

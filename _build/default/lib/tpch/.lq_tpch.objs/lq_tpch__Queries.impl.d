@@ -1,0 +1,1 @@
+lib/tpch/queries.ml: Date Lq_expr Lq_value Value

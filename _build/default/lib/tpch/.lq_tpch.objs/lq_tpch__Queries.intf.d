@@ -1,0 +1,1 @@
+lib/tpch/queries.mli: Lq_expr Lq_value Value

@@ -1,0 +1,1 @@
+lib/tpch/schemas.ml: Lq_value Schema Vtype

@@ -1,0 +1,1 @@
+lib/tpch/schemas.mli: Lq_value Schema

@@ -1,0 +1,1 @@
+lib/tpch/tbl_io.ml: Array Buffer Date Filename Fun List Lq_catalog Lq_value Printf Schema String Value Vtype

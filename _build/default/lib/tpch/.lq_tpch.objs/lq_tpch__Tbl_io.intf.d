@@ -1,0 +1,1 @@
+lib/tpch/tbl_io.mli: Lq_catalog Lq_value Schema Value

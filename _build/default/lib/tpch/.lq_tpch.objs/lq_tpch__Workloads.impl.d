@@ -1,0 +1,1 @@
+lib/tpch/workloads.ml: Dbgen List Lq_expr Lq_value Printf Queries Value

@@ -1,0 +1,1 @@
+lib/tpch/workloads.mli: Lq_expr Lq_value Value

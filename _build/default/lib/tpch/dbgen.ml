@@ -1,0 +1,254 @@
+open Lq_value
+module Prng = Lq_exec.Prng
+
+type sizes = {
+  regions : int;
+  nations : int;
+  suppliers : int;
+  customers : int;
+  parts : int;
+  partsupps : int;
+  orders : int;
+  lineitems : int;
+}
+
+let sizes ~sf =
+  let scale base = max 1 (int_of_float (float_of_int base *. sf)) in
+  let parts = scale 200_000 in
+  let orders = scale 1_500_000 in
+  {
+    regions = 5;
+    nations = 25;
+    suppliers = scale 10_000;
+    customers = scale 150_000;
+    parts;
+    partsupps = parts * 4;
+    orders;
+    lineitems = orders * 4;
+  }
+
+let date_lo = Date.of_ymd 1992 1 1
+let order_date_hi = Date.of_ymd 1998 8 2
+let date_hi = Date.of_ymd 1998 12 1
+let max_ship_offset = 121
+
+let shipdate_cutoff s =
+  (* Ship dates are (uniform order date) + (uniform 1..121); approximate
+     the quantile linearly over the full ship-date span. *)
+  let lo = float_of_int date_lo and hi = float_of_int (order_date_hi + max_ship_offset) in
+  int_of_float (lo +. (s *. (hi -. lo)))
+
+let orderdate_cutoff s =
+  let lo = float_of_int date_lo and hi = float_of_int order_date_hi in
+  int_of_float (lo +. (s *. (hi -. lo)))
+
+(* --- dbgen text pools --- *)
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nation_names =
+  [|
+    "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA"; "FRANCE";
+    "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN"; "JORDAN"; "KENYA";
+    "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA"; "SAUDI ARABIA";
+    "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES";
+  |]
+
+(* region of each nation, as in dbgen *)
+let nation_regions =
+  [| 0; 1; 1; 1; 4; 0; 3; 3; 2; 2; 4; 4; 2; 4; 0; 0; 0; 1; 2; 3; 4; 2; 3; 3; 1 |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let type_syl1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let type_syl2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let type_syl3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+let containers1 = [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |]
+let containers2 = [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+
+let noise_words =
+  [|
+    "blithely"; "carefully"; "furiously"; "quickly"; "slyly"; "ideas"; "deposits";
+    "foxes"; "packages"; "accounts"; "instructions"; "requests"; "pinto beans";
+    "theodolites"; "dependencies"; "excuses"; "platelets"; "asymptotes";
+  |]
+
+let comment rng =
+  let n = 3 + Prng.int rng 5 in
+  String.concat " " (List.init n (fun _ -> Prng.pick rng noise_words))
+
+let phone rng =
+  Printf.sprintf "%02d-%03d-%03d-%04d" (10 + Prng.int rng 25) (Prng.int rng 1000)
+    (Prng.int rng 1000) (Prng.int rng 10000)
+
+let money rng lo hi = Float.round (Prng.float rng (hi -. lo) *. 100.0) /. 100.0 +. lo
+
+let generate ?(seed = 42) ~sf () =
+  let sz = sizes ~sf in
+  let rng = Prng.create seed in
+  let regions =
+    List.init sz.regions (fun i ->
+        Schema.row Schemas.region
+          [ Value.Int i; Value.Str region_names.(i); Value.Str (comment rng) ])
+  in
+  let nations =
+    List.init sz.nations (fun i ->
+        Schema.row Schemas.nation
+          [
+            Value.Int i;
+            Value.Str nation_names.(i);
+            Value.Int nation_regions.(i);
+            Value.Str (comment rng);
+          ])
+  in
+  let suppliers =
+    List.init sz.suppliers (fun i ->
+        let k = i + 1 in
+        Schema.row Schemas.supplier
+          [
+            Value.Int k;
+            Value.Str (Printf.sprintf "Supplier#%09d" k);
+            Value.Str (Printf.sprintf "%d %s Road" (Prng.int rng 999) (Prng.pick rng noise_words));
+            Value.Int (Prng.int rng sz.nations);
+            Value.Str (phone rng);
+            Value.Float (money rng (-999.99) 9999.99);
+            Value.Str (comment rng);
+          ])
+  in
+  let customers =
+    List.init sz.customers (fun i ->
+        let k = i + 1 in
+        Schema.row Schemas.customer
+          [
+            Value.Int k;
+            Value.Str (Printf.sprintf "Customer#%09d" k);
+            Value.Str (Printf.sprintf "%d %s Street" (Prng.int rng 999) (Prng.pick rng noise_words));
+            Value.Int (Prng.int rng sz.nations);
+            Value.Str (phone rng);
+            Value.Float (money rng (-999.99) 9999.99);
+            Value.Str (Prng.pick rng segments);
+            Value.Str (comment rng);
+          ])
+  in
+  let retail_price = Array.make (sz.parts + 1) 0.0 in
+  let parts =
+    List.init sz.parts (fun i ->
+        let k = i + 1 in
+        let price = 900.0 +. (float_of_int (k mod 1000) /. 10.0) +. (100.0 *. float_of_int (k mod 10)) in
+        retail_price.(k) <- price;
+        Schema.row Schemas.part
+          [
+            Value.Int k;
+            Value.Str
+              (Printf.sprintf "%s %s part %d"
+                 (String.lowercase_ascii (Prng.pick rng type_syl2))
+                 (String.lowercase_ascii (Prng.pick rng type_syl3))
+                 k);
+            Value.Str (Printf.sprintf "Manufacturer#%d" (1 + Prng.int rng 5));
+            Value.Str (Printf.sprintf "Brand#%d%d" (1 + Prng.int rng 5) (1 + Prng.int rng 5));
+            Value.Str
+              (Printf.sprintf "%s %s %s" (Prng.pick rng type_syl1)
+                 (Prng.pick rng type_syl2) (Prng.pick rng type_syl3));
+            Value.Int (1 + Prng.int rng 50);
+            Value.Str (Printf.sprintf "%s %s" (Prng.pick rng containers1) (Prng.pick rng containers2));
+            Value.Float price;
+            Value.Str (comment rng);
+          ])
+  in
+  let partsupps =
+    List.concat
+      (List.init sz.parts (fun i ->
+           let pk = i + 1 in
+           List.init 4 (fun j ->
+               (* dbgen's supplier spread for a part *)
+               let sk = 1 + ((pk + (j * ((sz.suppliers / 4) + 1))) mod sz.suppliers) in
+               Schema.row Schemas.partsupp
+                 [
+                   Value.Int pk;
+                   Value.Int sk;
+                   Value.Int (1 + Prng.int rng 9999);
+                   Value.Float (money rng 1.0 1000.0);
+                   Value.Str (comment rng);
+                 ])))
+  in
+  let order_rows = ref [] in
+  let line_rows = ref [] in
+  let breakpoint = Date.of_ymd 1995 6 17 in
+  for i = 0 to sz.orders - 1 do
+    let ok = i + 1 in
+    let custkey = 1 + Prng.int rng sz.customers in
+    let orderdate = Prng.int_range rng date_lo order_date_hi in
+    let nlines = 1 + Prng.int rng 7 in
+    let total = ref 0.0 in
+    let lines =
+      List.init nlines (fun ln ->
+          let partkey = 1 + Prng.int rng sz.parts in
+          let suppkey = 1 + ((partkey + (ln * ((sz.suppliers / 4) + 1))) mod sz.suppliers) in
+          let quantity = float_of_int (1 + Prng.int rng 50) in
+          let extended = quantity *. retail_price.(partkey) /. 10.0 in
+          let discount = float_of_int (Prng.int rng 11) /. 100.0 in
+          let tax = float_of_int (Prng.int rng 9) /. 100.0 in
+          let shipdate = orderdate + 1 + Prng.int rng max_ship_offset in
+          let commitdate = orderdate + 30 + Prng.int rng 61 in
+          let receiptdate = shipdate + 1 + Prng.int rng 30 in
+          total := !total +. (extended *. (1.0 -. discount) *. (1.0 +. tax));
+          let returnflag =
+            if receiptdate <= breakpoint then (if Prng.bool rng then "R" else "A")
+            else "N"
+          in
+          let linestatus = if shipdate > breakpoint then "O" else "F" in
+          Schema.row Schemas.lineitem
+            [
+              Value.Int ok;
+              Value.Int partkey;
+              Value.Int suppkey;
+              Value.Int (ln + 1);
+              Value.Float quantity;
+              Value.Float extended;
+              Value.Float discount;
+              Value.Float tax;
+              Value.Str returnflag;
+              Value.Str linestatus;
+              Value.Date shipdate;
+              Value.Date commitdate;
+              Value.Date receiptdate;
+              Value.Str (Prng.pick rng instructs);
+              Value.Str (Prng.pick rng modes);
+              Value.Str (comment rng);
+            ])
+    in
+    line_rows := List.rev_append lines !line_rows;
+    order_rows :=
+      Schema.row Schemas.orders
+        [
+          Value.Int ok;
+          Value.Int custkey;
+          Value.Str (if orderdate < breakpoint then "F" else "O");
+          Value.Float (Float.round (!total *. 100.0) /. 100.0);
+          Value.Date orderdate;
+          Value.Str (Prng.pick rng priorities);
+          Value.Str (Printf.sprintf "Clerk#%09d" (1 + Prng.int rng (max 1 (sz.orders / 1000))));
+          Value.Int 0;
+          Value.Str (comment rng);
+        ]
+      :: !order_rows
+  done;
+  [
+    ("region", Schemas.region, regions);
+    ("nation", Schemas.nation, nations);
+    ("supplier", Schemas.supplier, suppliers);
+    ("customer", Schemas.customer, customers);
+    ("part", Schemas.part, parts);
+    ("partsupp", Schemas.partsupp, partsupps);
+    ("orders", Schemas.orders, List.rev !order_rows);
+    ("lineitem", Schemas.lineitem, List.rev !line_rows);
+  ]
+
+let load ?seed ~sf () =
+  let cat = Lq_catalog.Catalog.create () in
+  List.iter
+    (fun (name, schema, rows) -> Lq_catalog.Catalog.add cat ~name ~schema rows)
+    (generate ?seed ~sf ());
+  cat

@@ -1,0 +1,47 @@
+(** Deterministic TPC-H data generator (dbgen stand-in).
+
+    Produces the eight relations at a configurable scale factor with
+    dbgen-like cardinalities and distributions (uniform order dates over
+    1992-01-01..1998-08-02, ship/commit/receipt offsets, return flags
+    derived from the receipt date, the 5 market segments, part types with
+    the syllable structure Q2's ["%BRASS"] predicate relies on, ...).
+    Fully seeded: the same (scale, seed) always yields the same dataset.
+
+    The paper loads a 1 GB (SF 1) dataset; the benchmarks here default to
+    a smaller scale, which preserves every relative shape. *)
+
+open Lq_value
+
+type sizes = {
+  regions : int;
+  nations : int;
+  suppliers : int;
+  customers : int;
+  parts : int;
+  partsupps : int;
+  orders : int;
+  lineitems : int;
+}
+
+val sizes : sf:float -> sizes
+(** Cardinalities at a scale factor (lineitems is an expectation). *)
+
+val generate : ?seed:int -> sf:float -> unit -> (string * Schema.t * Value.t list) list
+(** All eight relations, in load order. *)
+
+val load : ?seed:int -> sf:float -> unit -> Lq_catalog.Catalog.t
+(** Generates and registers everything in a fresh catalog. *)
+
+val date_lo : Date.t
+(** 1992-01-01, the earliest order date. *)
+
+val date_hi : Date.t
+(** 1998-12-01, an upper bound on every ship date. *)
+
+val shipdate_cutoff : float -> Date.t
+(** [shipdate_cutoff s] is a date such that the predicate
+    [l_shipdate <= cutoff] has selectivity ≈ [s] on [lineitem] —
+    the selectivity axis of Figs. 7–12. *)
+
+val orderdate_cutoff : float -> Date.t
+(** Same for [o_orderdate <= cutoff] on [orders]. *)

@@ -1,0 +1,503 @@
+open Lq_value
+open Lq_expr.Dsl
+
+(* --- Q1: pricing summary report ---------------------------------- *)
+
+let q1_aggregates g =
+  let one = float 1.0 in
+  let disc_price x = (v x $. "l_extendedprice") *: (one -: (v x $. "l_discount")) in
+  [
+    ("l_returnflag", v g $. "Key" $. "l_returnflag");
+    ("l_linestatus", v g $. "Key" $. "l_linestatus");
+    ("sum_qty", sum (v g) "x" (v "x" $. "l_quantity"));
+    ("sum_base_price", sum (v g) "x" (v "x" $. "l_extendedprice"));
+    ("sum_disc_price", sum (v g) "x" (disc_price "x"));
+    ("sum_charge", sum (v g) "x" (disc_price "x" *: (one +: (v "x" $. "l_tax"))));
+    ("avg_qty", avg (v g) "x" (v "x" $. "l_quantity"));
+    ("avg_price", avg (v g) "x" (v "x" $. "l_extendedprice"));
+    ("avg_disc", avg (v g) "x" (v "x" $. "l_discount"));
+    ("count_order", count (v g));
+  ]
+
+let q1_grouping q =
+  q
+  |> group_by
+       ~key:
+         ( "l",
+           record
+             [
+               ("l_returnflag", v "l" $. "l_returnflag");
+               ("l_linestatus", v "l" $. "l_linestatus");
+             ] )
+       ~result:("g", record (q1_aggregates "g"))
+  |> order_by
+       [
+         ("r", v "r" $. "l_returnflag", asc); ("r", v "r" $. "l_linestatus", asc);
+       ]
+
+let q1 =
+  source "lineitem"
+  |> where "l"
+       (v "l" $. "l_shipdate" <=: add_days (date "1998-12-01") (neg (p "q1_delta")))
+  |> q1_grouping
+
+(* --- Q2: minimum-cost supplier ------------------------------------ *)
+
+(* partsupp joined down to suppliers in the parameter region, carrying the
+   fields the outer query needs. *)
+let ps_in_region ~prefix =
+  let pv name = prefix ^ name in
+  let sn =
+    join
+      ~on:((pv "s", v (pv "s") $. "s_nationkey"), (pv "n", v (pv "n") $. "n_nationkey"))
+      ~result:
+        ( pv "s",
+          pv "n",
+          record
+            [
+              ("s_suppkey", v (pv "s") $. "s_suppkey");
+              ("s_acctbal", v (pv "s") $. "s_acctbal");
+              ("s_name", v (pv "s") $. "s_name");
+              ("s_address", v (pv "s") $. "s_address");
+              ("s_phone", v (pv "s") $. "s_phone");
+              ("s_comment", v (pv "s") $. "s_comment");
+              ("n_name", v (pv "n") $. "n_name");
+              ("n_regionkey", v (pv "n") $. "n_regionkey");
+            ] )
+      (source "supplier") (source "nation")
+  in
+  let snr =
+    join
+      ~on:((pv "sn", v (pv "sn") $. "n_regionkey"), (pv "r", v (pv "r") $. "r_regionkey"))
+      ~result:(pv "sn", pv "r", v (pv "sn"))
+      sn
+      (source "region" |> where (pv "rf") (v (pv "rf") $. "r_name" =: p "q2_region"))
+  in
+  join
+    ~on:((pv "ps", v (pv "ps") $. "ps_suppkey"), (pv "snr", v (pv "snr") $. "s_suppkey"))
+    ~result:
+      ( pv "ps",
+        pv "snr",
+        record
+          [
+            ("ps_partkey", v (pv "ps") $. "ps_partkey");
+            ("ps_supplycost", v (pv "ps") $. "ps_supplycost");
+            ("s_acctbal", v (pv "snr") $. "s_acctbal");
+            ("s_name", v (pv "snr") $. "s_name");
+            ("s_address", v (pv "snr") $. "s_address");
+            ("s_phone", v (pv "snr") $. "s_phone");
+            ("s_comment", v (pv "snr") $. "s_comment");
+            ("n_name", v (pv "snr") $. "n_name");
+          ] )
+    (source "partsupp") snr
+
+let part_filtered =
+  source "part"
+  |> where "pt"
+       ((v "pt" $. "p_size" =: p "q2_size")
+       &&: like (v "pt" $. "p_type") (p "q2_type"))
+
+let q2_candidates =
+  join
+    ~on:(("pf", v "pf" $. "p_partkey"), ("pse", v "pse" $. "ps_partkey"))
+    ~result:
+      ( "pf",
+        "pse",
+        record
+          [
+            ("p_partkey", v "pf" $. "p_partkey");
+            ("p_mfgr", v "pf" $. "p_mfgr");
+            ("ps_supplycost", v "pse" $. "ps_supplycost");
+            ("s_acctbal", v "pse" $. "s_acctbal");
+            ("s_name", v "pse" $. "s_name");
+            ("s_address", v "pse" $. "s_address");
+            ("s_phone", v "pse" $. "s_phone");
+            ("s_comment", v "pse" $. "s_comment");
+            ("n_name", v "pse" $. "n_name");
+          ] )
+    part_filtered
+    (ps_in_region ~prefix:"")
+
+let q2_output q =
+  q
+  |> select "f"
+       (record
+          [
+            ("s_acctbal", v "f" $. "s_acctbal");
+            ("s_name", v "f" $. "s_name");
+            ("n_name", v "f" $. "n_name");
+            ("p_partkey", v "f" $. "p_partkey");
+            ("p_mfgr", v "f" $. "p_mfgr");
+            ("s_address", v "f" $. "s_address");
+            ("s_phone", v "f" $. "s_phone");
+            ("s_comment", v "f" $. "s_comment");
+          ])
+  |> order_by
+       [
+         ("r", v "r" $. "s_acctbal", desc);
+         ("r", v "r" $. "n_name", asc);
+         ("r", v "r" $. "s_name", asc);
+         ("r", v "r" $. "p_partkey", asc);
+       ]
+  |> take 100
+
+let q2 =
+  (* Hand-decorrelated: per-part minimum cost computed once, joined back. *)
+  let min_cost =
+    ps_in_region ~prefix:"m"
+    |> group_by
+         ~key:("mg", v "mg" $. "ps_partkey")
+         ~result:
+           ( "g",
+             record
+               [
+                 ("mc_partkey", v "g" $. "Key");
+                 ("mc_cost", min_of (v "g") "x" (v "x" $. "ps_supplycost"));
+               ] )
+  in
+  join
+    ~on:(("cand", v "cand" $. "p_partkey"), ("mc", v "mc" $. "mc_partkey"))
+    ~result:
+      ( "cand",
+        "mc",
+        record
+          [
+            ("p_partkey", v "cand" $. "p_partkey");
+            ("p_mfgr", v "cand" $. "p_mfgr");
+            ("ps_supplycost", v "cand" $. "ps_supplycost");
+            ("s_acctbal", v "cand" $. "s_acctbal");
+            ("s_name", v "cand" $. "s_name");
+            ("s_address", v "cand" $. "s_address");
+            ("s_phone", v "cand" $. "s_phone");
+            ("s_comment", v "cand" $. "s_comment");
+            ("n_name", v "cand" $. "n_name");
+            ("mc_cost", v "mc" $. "mc_cost");
+          ] )
+    q2_candidates min_cost
+  |> where "f" (v "f" $. "ps_supplycost" =: (v "f" $. "mc_cost"))
+  |> q2_output
+
+let q2_correlated =
+  (* As naively written: the min sub-query correlates on the candidate's
+     part key and is re-evaluated per element (the query avalanche). *)
+  q2_candidates
+  |> where "f"
+       (v "f" $. "ps_supplycost"
+       =: min_of
+            (subquery
+               (ps_in_region ~prefix:"i"
+               |> where "iy" (v "iy" $. "ps_partkey" =: (v "f" $. "p_partkey"))))
+            "iz" (v "iz" $. "ps_supplycost"))
+  |> q2_output
+
+(* --- Q3: shipping priority ---------------------------------------- *)
+
+let q3_join ~lineitem ~orders ~customer =
+  let co =
+    join
+      ~on:(("c", v "c" $. "c_custkey"), ("o", v "o" $. "o_custkey"))
+      ~result:
+        ( "c",
+          "o",
+          record
+            [
+              ("o_orderkey", v "o" $. "o_orderkey");
+              ("o_orderdate", v "o" $. "o_orderdate");
+              ("o_shippriority", v "o" $. "o_shippriority");
+            ] )
+      customer orders
+  in
+  join
+    ~on:(("co", v "co" $. "o_orderkey"), ("l", v "l" $. "l_orderkey"))
+    ~result:
+      ( "co",
+        "l",
+        record
+          [
+            ("l_orderkey", v "l" $. "l_orderkey");
+            ("o_orderdate", v "co" $. "o_orderdate");
+            ("o_shippriority", v "co" $. "o_shippriority");
+            ( "rev",
+              (v "l" $. "l_extendedprice") *: (float 1.0 -: (v "l" $. "l_discount")) );
+          ] )
+    co lineitem
+
+let q3 =
+  q3_join
+    ~customer:
+      (source "customer" |> where "cf" (v "cf" $. "c_mktsegment" =: p "q3_segment"))
+    ~orders:(source "orders" |> where "of" (v "of" $. "o_orderdate" <: p "q3_date"))
+    ~lineitem:
+      (source "lineitem" |> where "lf" (v "lf" $. "l_shipdate" >: p "q3_date"))
+  |> group_by
+       ~key:
+         ( "x",
+           record
+             [
+               ("l_orderkey", v "x" $. "l_orderkey");
+               ("o_orderdate", v "x" $. "o_orderdate");
+               ("o_shippriority", v "x" $. "o_shippriority");
+             ] )
+       ~result:
+         ( "g",
+           record
+             [
+               ("l_orderkey", v "g" $. "Key" $. "l_orderkey");
+               ("revenue", sum (v "g") "x" (v "x" $. "rev"));
+               ("o_orderdate", v "g" $. "Key" $. "o_orderdate");
+               ("o_shippriority", v "g" $. "Key" $. "o_shippriority");
+             ] )
+  |> order_by [ ("r", v "r" $. "revenue", desc); ("r", v "r" $. "o_orderdate", asc) ]
+  |> take 10
+
+let default_params =
+  [
+    ("q1_delta", Value.Int 90);
+    ("q2_size", Value.Int 15);
+    ("q2_type", Value.Str "%BRASS");
+    ("q2_region", Value.Str "EUROPE");
+    ("q3_segment", Value.Str "BUILDING");
+    ("q3_date", Value.Date (Date.of_ymd 1995 3 15));
+  ]
+
+let all = [ ("Q1", q1); ("Q2", q2); ("Q3", q3) ]
+
+(* --- Queries beyond the paper's evaluation set --------------------- *)
+(* §7 evaluates Q1-Q3; these exercise the remaining operator surface:
+   scalar results (Q6), 6-way join trees with cross-side predicates (Q5),
+   top-N over customer aggregates (Q10), conditional aggregation (Q12)
+   and aggregate arithmetic (Q14). *)
+
+let q6 =
+  source "lineitem"
+  |> where "l"
+       ((v "l" $. "l_shipdate" >=: p "q6_date")
+       &&: (v "l" $. "l_shipdate" <: add_days (p "q6_date") (int 365))
+       &&: (v "l" $. "l_discount" >=: (p "q6_discount" -: float 0.01))
+       &&: (v "l" $. "l_discount" <=: (p "q6_discount" +: float 0.01))
+       &&: (v "l" $. "l_quantity" <: p "q6_quantity"))
+  |> group_by
+       ~key:("l", int 1)
+       ~result:
+         ( "g",
+           record
+             [ ("revenue", sum (v "g") "x" ((v "x" $. "l_extendedprice") *: (v "x" $. "l_discount"))) ] )
+
+let q5 =
+  (* customer ⋈ orders ⋈ lineitem ⋈ supplier ⋈ nation ⋈ region, with the
+     non-key condition c_nationkey = s_nationkey as a residual filter. *)
+  let co =
+    join
+      ~on:(("c", v "c" $. "c_custkey"), ("o", v "o" $. "o_custkey"))
+      ~result:
+        ( "c",
+          "o",
+          record
+            [ ("c_nationkey", v "c" $. "c_nationkey"); ("o_orderkey", v "o" $. "o_orderkey") ] )
+      (source "customer")
+      (source "orders"
+      |> where "of"
+           ((v "of" $. "o_orderdate" >=: p "q5_date")
+           &&: (v "of" $. "o_orderdate" <: add_days (p "q5_date") (int 365))))
+  in
+  let col =
+    join
+      ~on:(("co", v "co" $. "o_orderkey"), ("l", v "l" $. "l_orderkey"))
+      ~result:
+        ( "co",
+          "l",
+          record
+            [
+              ("c_nationkey", v "co" $. "c_nationkey");
+              ("l_suppkey", v "l" $. "l_suppkey");
+              ( "rev",
+                (v "l" $. "l_extendedprice") *: (float 1.0 -: (v "l" $. "l_discount")) );
+            ] )
+      co (source "lineitem")
+  in
+  let sup_nation =
+    join
+      ~on:(("s", v "s" $. "s_nationkey"), ("n", v "n" $. "n_nationkey"))
+      ~result:
+        ( "s",
+          "n",
+          record
+            [
+              ("s_suppkey", v "s" $. "s_suppkey");
+              ("s_nationkey", v "s" $. "s_nationkey");
+              ("n_name", v "n" $. "n_name");
+              ("n_regionkey", v "n" $. "n_regionkey");
+            ] )
+      (source "supplier") (source "nation")
+  in
+  let sup_region =
+    join
+      ~on:(("sn", v "sn" $. "n_regionkey"), ("r", v "r" $. "r_regionkey"))
+      ~result:("sn", "r", v "sn")
+      sup_nation
+      (source "region" |> where "rf" (v "rf" $. "r_name" =: p "q5_region"))
+  in
+  join
+    ~on:(("x", v "x" $. "l_suppkey"), ("sr", v "sr" $. "s_suppkey"))
+    ~result:
+      ( "x",
+        "sr",
+        record
+          [
+            ("n_name", v "sr" $. "n_name");
+            ("rev", v "x" $. "rev");
+            ("c_nationkey", v "x" $. "c_nationkey");
+            ("s_nationkey", v "sr" $. "s_nationkey");
+          ] )
+    col sup_region
+  |> where "f" (v "f" $. "c_nationkey" =: (v "f" $. "s_nationkey"))
+  |> group_by
+       ~key:("f", v "f" $. "n_name")
+       ~result:
+         ( "g",
+           record
+             [ ("n_name", v "g" $. "Key"); ("revenue", sum (v "g") "x" (v "x" $. "rev")) ] )
+  |> order_by [ ("r", v "r" $. "revenue", desc) ]
+
+let q10 =
+  let ol =
+    join
+      ~on:(("o", v "o" $. "o_orderkey"), ("l", v "l" $. "l_orderkey"))
+      ~result:
+        ( "o",
+          "l",
+          record
+            [
+              ("o_custkey", v "o" $. "o_custkey");
+              ( "rev",
+                (v "l" $. "l_extendedprice") *: (float 1.0 -: (v "l" $. "l_discount")) );
+            ] )
+      (source "orders"
+      |> where "of"
+           ((v "of" $. "o_orderdate" >=: p "q10_date")
+           &&: (v "of" $. "o_orderdate" <: add_days (p "q10_date") (int 90))))
+      (source "lineitem" |> where "lf" (v "lf" $. "l_returnflag" =: str "R"))
+  in
+  join
+    ~on:(("c", v "c" $. "c_custkey"), ("x", v "x" $. "o_custkey"))
+    ~result:
+      ( "c",
+        "x",
+        record
+          [
+            ("c_custkey", v "c" $. "c_custkey");
+            ("c_name", v "c" $. "c_name");
+            ("c_acctbal", v "c" $. "c_acctbal");
+            ("c_phone", v "c" $. "c_phone");
+            ("rev", v "x" $. "rev");
+          ] )
+    (source "customer") ol
+  |> group_by
+       ~key:
+         ( "x",
+           record
+             [
+               ("c_custkey", v "x" $. "c_custkey");
+               ("c_name", v "x" $. "c_name");
+               ("c_acctbal", v "x" $. "c_acctbal");
+               ("c_phone", v "x" $. "c_phone");
+             ] )
+       ~result:
+         ( "g",
+           record
+             [
+               ("c_custkey", v "g" $. "Key" $. "c_custkey");
+               ("c_name", v "g" $. "Key" $. "c_name");
+               ("revenue", sum (v "g") "x" (v "x" $. "rev"));
+               ("c_acctbal", v "g" $. "Key" $. "c_acctbal");
+               ("c_phone", v "g" $. "Key" $. "c_phone");
+             ] )
+  |> order_by [ ("r", v "r" $. "revenue", desc) ]
+  |> take 20
+
+let q12 =
+  let high_pri x =
+    ((v x $. "o_orderpriority" =: str "1-URGENT")
+    ||: (v x $. "o_orderpriority" =: str "2-HIGH"))
+  in
+  join
+    ~on:(("o", v "o" $. "o_orderkey"), ("l", v "l" $. "l_orderkey"))
+    ~result:
+      ( "o",
+        "l",
+        record
+          [
+            ("o_orderpriority", v "o" $. "o_orderpriority");
+            ("l_shipmode", v "l" $. "l_shipmode");
+          ] )
+    (source "orders")
+    (source "lineitem"
+    |> where "lf"
+         (((v "lf" $. "l_shipmode" =: p "q12_mode1")
+          ||: (v "lf" $. "l_shipmode" =: p "q12_mode2"))
+         &&: (v "lf" $. "l_commitdate" <: (v "lf" $. "l_receiptdate"))
+         &&: (v "lf" $. "l_shipdate" <: (v "lf" $. "l_commitdate"))
+         &&: (v "lf" $. "l_receiptdate" >=: p "q12_date")
+         &&: (v "lf" $. "l_receiptdate" <: add_days (p "q12_date") (int 365))))
+  |> group_by
+       ~key:("x", v "x" $. "l_shipmode")
+       ~result:
+         ( "g",
+           record
+             [
+               ("l_shipmode", v "g" $. "Key");
+               ( "high_line_count",
+                 sum (v "g") "x" (if_ (high_pri "x") (int 1) (int 0)) );
+               ( "low_line_count",
+                 sum (v "g") "x" (if_ (high_pri "x") (int 0) (int 1)) );
+             ] )
+  |> order_by [ ("r", v "r" $. "l_shipmode", asc) ]
+
+let q14 =
+  join
+    ~on:(("l", v "l" $. "l_partkey"), ("pt", v "pt" $. "p_partkey"))
+    ~result:
+      ( "l",
+        "pt",
+        record
+          [
+            ("p_type", v "pt" $. "p_type");
+            ( "rev",
+              (v "l" $. "l_extendedprice") *: (float 1.0 -: (v "l" $. "l_discount")) );
+          ] )
+    (source "lineitem"
+    |> where "lf"
+         ((v "lf" $. "l_shipdate" >=: p "q14_date")
+         &&: (v "lf" $. "l_shipdate" <: add_days (p "q14_date") (int 30))))
+    (source "part")
+  |> group_by
+       ~key:("x", int 1)
+       ~result:
+         ( "g",
+           record
+             [
+               ( "promo_revenue",
+                 float 100.0
+                 *: sum (v "g") "x"
+                      (if_ (starts_with (v "x" $. "p_type") (str "PROMO"))
+                         (v "x" $. "rev") (float 0.0))
+                 /: sum (v "g") "x" (v "x" $. "rev") );
+             ] )
+
+let extended_params =
+  default_params
+  @ [
+      ("q5_region", Value.Str "ASIA");
+      ("q5_date", Value.Date (Date.of_ymd 1994 1 1));
+      ("q6_date", Value.Date (Date.of_ymd 1994 1 1));
+      ("q6_discount", Value.Float 0.06);
+      ("q6_quantity", Value.Float 24.0);
+      ("q10_date", Value.Date (Date.of_ymd 1993 10 1));
+      ("q12_mode1", Value.Str "MAIL");
+      ("q12_mode2", Value.Str "SHIP");
+      ("q12_date", Value.Date (Date.of_ymd 1994 1 1));
+      ("q14_date", Value.Date (Date.of_ymd 1995 9 1));
+    ]
+
+let extended =
+  [ ("Q5", q5); ("Q6", q6); ("Q10", q10); ("Q12", q12); ("Q14", q14) ]

@@ -1,0 +1,73 @@
+(** TPC-H queries 1–3 as LINQ expression trees (§7 evaluates these).
+
+    The queries take their selection constants as [Param]s so the
+    compiled-query cache can reuse plans across parameter values; defaults
+    matching the TPC-H specification are provided by {!default_params}. *)
+
+open Lq_value
+
+val q1 : Lq_expr.Ast.query
+(** Pricing summary report: [@q1_delta] days before 1998-12-01 cut the
+    lineitems; eight aggregates over (returnflag, linestatus) groups,
+    ordered by the keys. *)
+
+val q2 : Lq_expr.Ast.query
+(** Minimum-cost supplier, *hand-decorrelated* (§7.4: "we used a
+    hand-optimized query plan that eliminates the nested sub-query"): the
+    per-part minimum supply cost in [@q2_region] is computed once by a
+    grouped sub-plan and joined back. Parameters [@q2_size], [@q2_type]
+    (a LIKE suffix), [@q2_region]. *)
+
+val q2_correlated : Lq_expr.Ast.query
+(** Q2 as naively written: a correlated min sub-query in the predicate,
+    re-evaluated per element by LINQ-to-objects — the query-avalanche
+    formulation. Only interpretive engines accept it. *)
+
+val q3 : Lq_expr.Ast.query
+(** Shipping priority: customers in [@q3_segment], orders before
+    [@q3_date], lineitems shipped after [@q3_date]; top 10 open orders by
+    revenue. *)
+
+val q1_grouping : Lq_expr.Ast.query -> Lq_expr.Ast.query
+(** Q1's grouping/aggregation/ordering applied to any lineitem-shaped
+    input (the Fig. 7 sweep reuses it under a variable selection). *)
+
+val q3_join :
+  lineitem:Lq_expr.Ast.query ->
+  orders:Lq_expr.Ast.query ->
+  customer:Lq_expr.Ast.query ->
+  Lq_expr.Ast.query
+(** Q3's customer⋈orders⋈lineitem join producing the pre-aggregation
+    element (the Fig. 11 sweep varies the inputs' selections). *)
+
+val default_params : (string * Value.t) list
+(** Specification values: delta 90, size 15, type "%BRASS",
+    region "EUROPE", segment "BUILDING", date 1995-03-15. *)
+
+val all : (string * Lq_expr.Ast.query) list
+(** [("Q1", q1); ("Q2", q2); ("Q3", q3)]. *)
+
+(* Queries beyond the paper's evaluation set, exercising the remaining
+   operator surface (scalar aggregates, 6-way join trees, conditional
+   aggregation, aggregate arithmetic). Parameters in {!extended_params}. *)
+
+val q5 : Lq_expr.Ast.query
+(** Local supplier volume: revenue per nation for intra-nation sales in
+    [@q5_region] during the year from [@q5_date]. *)
+
+val q6 : Lq_expr.Ast.query
+(** Forecasting revenue change: one scalar [Sum] under a conjunctive range
+    predicate. *)
+
+val q10 : Lq_expr.Ast.query
+(** Returned-item reporting: top 20 customers by lost revenue. *)
+
+val q12 : Lq_expr.Ast.query
+(** Shipping modes and order priority: conditional counts via [If] inside
+    [Sum]. *)
+
+val q14 : Lq_expr.Ast.query
+(** Promotion effect: percentage built from two aggregates of one group. *)
+
+val extended_params : (string * Value.t) list
+val extended : (string * Lq_expr.Ast.query) list

@@ -1,0 +1,110 @@
+open Lq_value
+
+let region =
+  Schema.make
+    [ ("r_regionkey", Vtype.Int); ("r_name", Vtype.String); ("r_comment", Vtype.String) ]
+
+let nation =
+  Schema.make
+    [
+      ("n_nationkey", Vtype.Int);
+      ("n_name", Vtype.String);
+      ("n_regionkey", Vtype.Int);
+      ("n_comment", Vtype.String);
+    ]
+
+let supplier =
+  Schema.make
+    [
+      ("s_suppkey", Vtype.Int);
+      ("s_name", Vtype.String);
+      ("s_address", Vtype.String);
+      ("s_nationkey", Vtype.Int);
+      ("s_phone", Vtype.String);
+      ("s_acctbal", Vtype.Float);
+      ("s_comment", Vtype.String);
+    ]
+
+let customer =
+  Schema.make
+    [
+      ("c_custkey", Vtype.Int);
+      ("c_name", Vtype.String);
+      ("c_address", Vtype.String);
+      ("c_nationkey", Vtype.Int);
+      ("c_phone", Vtype.String);
+      ("c_acctbal", Vtype.Float);
+      ("c_mktsegment", Vtype.String);
+      ("c_comment", Vtype.String);
+    ]
+
+let part =
+  Schema.make
+    [
+      ("p_partkey", Vtype.Int);
+      ("p_name", Vtype.String);
+      ("p_mfgr", Vtype.String);
+      ("p_brand", Vtype.String);
+      ("p_type", Vtype.String);
+      ("p_size", Vtype.Int);
+      ("p_container", Vtype.String);
+      ("p_retailprice", Vtype.Float);
+      ("p_comment", Vtype.String);
+    ]
+
+let partsupp =
+  Schema.make
+    [
+      ("ps_partkey", Vtype.Int);
+      ("ps_suppkey", Vtype.Int);
+      ("ps_availqty", Vtype.Int);
+      ("ps_supplycost", Vtype.Float);
+      ("ps_comment", Vtype.String);
+    ]
+
+let orders =
+  Schema.make
+    [
+      ("o_orderkey", Vtype.Int);
+      ("o_custkey", Vtype.Int);
+      ("o_orderstatus", Vtype.String);
+      ("o_totalprice", Vtype.Float);
+      ("o_orderdate", Vtype.Date);
+      ("o_orderpriority", Vtype.String);
+      ("o_clerk", Vtype.String);
+      ("o_shippriority", Vtype.Int);
+      ("o_comment", Vtype.String);
+    ]
+
+let lineitem =
+  Schema.make
+    [
+      ("l_orderkey", Vtype.Int);
+      ("l_partkey", Vtype.Int);
+      ("l_suppkey", Vtype.Int);
+      ("l_linenumber", Vtype.Int);
+      ("l_quantity", Vtype.Float);
+      ("l_extendedprice", Vtype.Float);
+      ("l_discount", Vtype.Float);
+      ("l_tax", Vtype.Float);
+      ("l_returnflag", Vtype.String);
+      ("l_linestatus", Vtype.String);
+      ("l_shipdate", Vtype.Date);
+      ("l_commitdate", Vtype.Date);
+      ("l_receiptdate", Vtype.Date);
+      ("l_shipinstruct", Vtype.String);
+      ("l_shipmode", Vtype.String);
+      ("l_comment", Vtype.String);
+    ]
+
+let all =
+  [
+    ("region", region);
+    ("nation", nation);
+    ("supplier", supplier);
+    ("customer", customer);
+    ("part", part);
+    ("partsupp", partsupp);
+    ("orders", orders);
+    ("lineitem", lineitem);
+  ]

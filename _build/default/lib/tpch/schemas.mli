@@ -1,0 +1,18 @@
+(** TPC-H relation schemas, with the standard column prefixes
+    ([l_], [o_], [c_], ...). All columns are scalar, so every relation
+    satisfies the native engine's array-of-structs requirement (§7.1
+    stores them as flat arrays for the generated C code). *)
+
+open Lq_value
+
+val region : Schema.t
+val nation : Schema.t
+val supplier : Schema.t
+val customer : Schema.t
+val part : Schema.t
+val partsupp : Schema.t
+val orders : Schema.t
+val lineitem : Schema.t
+
+val all : (string * Schema.t) list
+(** Table name → schema, in load order. *)

@@ -1,0 +1,89 @@
+open Lq_value
+
+let field_to_string (v : Value.t) =
+  match v with
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.2f" f
+  | Value.Str s -> s
+  | Value.Date d -> Date.to_string d
+  | Value.Bool b -> if b then "1" else "0"
+  | Value.Null | Value.Record _ | Value.List _ ->
+    invalid_arg "Tbl_io: only flat scalar rows can be written"
+
+let row_to_line schema row =
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun (f : Schema.field) ->
+      Buffer.add_string buf (field_to_string (Value.field row f.Schema.name));
+      Buffer.add_char buf '|')
+    (Schema.fields schema);
+  Buffer.contents buf
+
+let parse_field (ty : Vtype.t) (s : string) : Value.t =
+  match ty with
+  | Vtype.Int -> Value.Int (int_of_string s)
+  | Vtype.Float -> Value.Float (float_of_string s)
+  | Vtype.String -> Value.Str s
+  | Vtype.Date -> Value.Date (Date.of_string s)
+  | Vtype.Bool -> Value.Bool (String.equal s "1")
+  | Vtype.Record _ | Vtype.List _ -> invalid_arg "Tbl_io: nested schema"
+
+let line_to_row schema line =
+  let fields = Schema.fields schema in
+  let parts = String.split_on_char '|' line in
+  (* dbgen lines end with a trailing separator: drop the empty tail *)
+  let parts =
+    match List.rev parts with
+    | "" :: rest -> List.rev rest
+    | _ -> parts
+  in
+  if List.length parts <> Array.length fields then
+    failwith
+      (Printf.sprintf "Tbl_io: expected %d fields, found %d in %S"
+         (Array.length fields) (List.length parts) line);
+  Schema.row schema
+    (List.mapi (fun i s -> parse_field fields.(i).Schema.ty s) parts)
+
+let write_table ~dir ~name schema rows =
+  let path = Filename.concat dir (name ^ ".tbl") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun row ->
+          output_string oc (row_to_line schema row);
+          output_char oc '\n')
+        rows)
+
+let read_table ~dir ~name schema =
+  let path = Filename.concat dir (name ^ ".tbl") in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rows = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line > 0 then rows := line_to_row schema line :: !rows
+         done
+       with End_of_file -> ());
+      List.rev !rows)
+
+let dump ~dir cat =
+  List.iter
+    (fun name ->
+      let table = Lq_catalog.Catalog.table cat name in
+      write_table ~dir ~name
+        (Lq_catalog.Catalog.schema table)
+        (Lq_catalog.Catalog.rows table))
+    (Lq_catalog.Catalog.names cat)
+
+let load_dir ~dir tables =
+  let cat = Lq_catalog.Catalog.create () in
+  List.iter
+    (fun (name, schema) ->
+      Lq_catalog.Catalog.add cat ~name ~schema (read_table ~dir ~name schema))
+    tables;
+  cat

@@ -1,0 +1,31 @@
+(** dbgen-compatible [.tbl] file interchange.
+
+    The reference TPC-H generator emits pipe-delimited [table.tbl] files;
+    this module writes the generated relations in that format and loads
+    such files back into a catalog, so datasets can be produced once and
+    reused (or swapped with files from the real dbgen).
+
+    Column encoding per type: integers and day-precision dates as printed
+    by dbgen ([YYYY-MM-DD]), floats with two decimals (the DECIMAL(15,2)
+    money columns), booleans as [0]/[1]. *)
+
+open Lq_value
+
+val write_table : dir:string -> name:string -> Schema.t -> Value.t list -> unit
+(** Writes [dir/name.tbl]. @raise Sys_error on I/O failure,
+    [Invalid_argument] on nested schemas. *)
+
+val read_table : dir:string -> name:string -> Schema.t -> Value.t list
+(** Parses [dir/name.tbl] against the schema.
+    @raise Failure on malformed lines. *)
+
+val dump : dir:string -> Lq_catalog.Catalog.t -> unit
+(** Writes every registered (flat) table. *)
+
+val load_dir :
+  dir:string -> (string * Schema.t) list -> Lq_catalog.Catalog.t
+(** Builds a catalog from [.tbl] files; the list gives table names and
+    schemas (e.g. {!Schemas.all}). *)
+
+val row_to_line : Schema.t -> Value.t -> string
+val line_to_row : Schema.t -> string -> Value.t

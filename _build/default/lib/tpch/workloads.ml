@@ -1,0 +1,41 @@
+open Lq_value
+open Lq_expr.Dsl
+
+let filtered_lineitem =
+  source "lineitem" |> where "lf" (v "lf" $. "l_shipdate" <=: p "cutoff")
+
+let aggregation = Queries.q1_grouping filtered_lineitem
+
+let aggregation_n n =
+  if n < 1 then invalid_arg "Workloads.aggregation_n";
+  let one = float 1.0 in
+  (* n distinct Sums over the same staged columns: scaled versions of the
+     discounted price. *)
+  let agg i =
+    ( Printf.sprintf "sum_%d" i,
+      sum (v "g") "x"
+        ((v "x" $. "l_extendedprice")
+        *: (one -: (v "x" $. "l_discount"))
+        *: float (1.0 +. (float_of_int i /. 100.0))) )
+  in
+  filtered_lineitem
+  |> group_by
+       ~key:("l", v "l" $. "l_returnflag")
+       ~result:
+         ("g", record (("flag", v "g" $. "Key") :: List.init n agg))
+
+let sorting =
+  filtered_lineitem |> order_by [ ("s", v "s" $. "l_extendedprice", asc) ]
+
+let join =
+  Queries.q3_join
+    ~customer:
+      (source "customer" |> where "cf" (v "cf" $. "c_mktsegment" =: str "BUILDING"))
+    ~orders:(source "orders" |> where "of" (v "of" $. "o_orderdate" <=: p "cutoff_o"))
+    ~lineitem:filtered_lineitem
+
+let params ~sel =
+  [
+    ("cutoff", Value.Date (Dbgen.shipdate_cutoff sel));
+    ("cutoff_o", Value.Date (Dbgen.orderdate_cutoff sel));
+  ]

@@ -1,0 +1,29 @@
+(** Parameterized workloads for the figure sweeps of §7.
+
+    Each workload isolates one operation class over TPC-H data with a
+    selectivity knob realized as a date-cutoff parameter [@cutoff]
+    (plus Q3's fixed market-segment filter for the join workload), exactly
+    as §7.1–7.3 vary the selections. *)
+
+open Lq_value
+
+val aggregation : Lq_expr.Ast.query
+(** Fig. 7/8: Q1's eight aggregates over lineitems with
+    [l_shipdate <= @cutoff]. *)
+
+val aggregation_n : int -> Lq_expr.Ast.query
+(** Variable number of [Sum] aggregates over the same staged data (the
+    §7.1 "varied the number of aggregates" experiment); [n >= 1]. *)
+
+val sorting : Lq_expr.Ast.query
+(** Fig. 9/10: lineitems with [l_shipdate <= @cutoff] sorted by
+    [l_extendedprice] (result elements are the source rows, so the Min
+    variant applies). *)
+
+val join : Lq_expr.Ast.query
+(** Fig. 11/12: the Q3 join with [l_shipdate <= @cutoff],
+    [o_orderdate <= @cutoff] and the constant-selectivity market-segment
+    filter; the result is the join's intermediate element. *)
+
+val params : sel:float -> (string * Value.t) list
+(** Parameter bindings realizing selectivity [sel] for any workload. *)

@@ -1,0 +1,1 @@
+lib/value/date.ml: Char Format Printf String

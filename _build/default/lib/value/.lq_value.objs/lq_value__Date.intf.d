@@ -1,0 +1,1 @@
+lib/value/date.mli: Format

@@ -1,0 +1,1 @@
+lib/value/schema.ml: Array Hashtbl List Option Printf Value Vtype

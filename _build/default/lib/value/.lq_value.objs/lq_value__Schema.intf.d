@@ -1,0 +1,1 @@
+lib/value/schema.mli: Format Value Vtype

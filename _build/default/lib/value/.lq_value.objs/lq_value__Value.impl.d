@@ -1,0 +1,1 @@
+lib/value/value.ml: Array Bool Date Float Format Hashtbl Int List Option Printf Stdlib String Vtype

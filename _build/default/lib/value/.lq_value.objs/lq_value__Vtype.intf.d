@@ -1,0 +1,1 @@
+lib/value/vtype.mli: Format

@@ -1,0 +1,51 @@
+type t = int
+
+(* Civil-calendar conversions after Howard Hinnant's public-domain
+   chrono-compatible algorithms; exact over the full proleptic Gregorian
+   calendar. *)
+
+let of_ymd y m d =
+  if m < 1 || m > 12 then invalid_arg "Date.of_ymd: month out of range";
+  if d < 1 || d > 31 then invalid_arg "Date.of_ymd: day out of range";
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let to_ymd z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Date.of_string: %S" s) in
+  if String.length s <> 10 || s.[4] <> '-' || s.[7] <> '-' then fail ();
+  let num off len =
+    let rec go i acc =
+      if i = len then acc
+      else
+        match s.[off + i] with
+        | '0' .. '9' as c -> go (i + 1) ((acc * 10) + Char.code c - 48)
+        | _ -> fail ()
+    in
+    go 0 0
+  in
+  of_ymd (num 0 4) (num 5 2) (num 8 2)
+
+let to_string t =
+  let y, m, d = to_ymd t in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let add_days t n = t + n
+let year t = let y, _, _ = to_ymd t in y
+let pp fmt t = Format.pp_print_string fmt (to_string t)

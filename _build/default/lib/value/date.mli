@@ -1,0 +1,29 @@
+(** Calendar dates encoded as days since the Unix epoch (1970-01-01).
+
+    TPC-H columns of SQL type [DATE] are stored as [int] day counts so that
+    the flat (native) engine can keep them as 32-bit integers, exactly like
+    the generated C code of the paper keeps dates as plain integers. *)
+
+type t = int
+(** Days since 1970-01-01; negative values are dates before the epoch. *)
+
+val of_ymd : int -> int -> int -> t
+(** [of_ymd y m d] encodes the civil date [y]-[m]-[d] ([m] in 1..12,
+    [d] in 1..31). *)
+
+val to_ymd : t -> int * int * int
+(** Inverse of {!of_ymd}. *)
+
+val of_string : string -> t
+(** Parses ["YYYY-MM-DD"]. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Renders as ["YYYY-MM-DD"]. *)
+
+val add_days : t -> int -> t
+(** [add_days t n] is the date [n] days after [t]. *)
+
+val year : t -> int
+(** Calendar year of the date. *)
+
+val pp : Format.formatter -> t -> unit

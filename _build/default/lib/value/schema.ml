@@ -1,0 +1,55 @@
+type field = { name : string; ty : Vtype.t }
+type t = { fields : field array; index : (string, int) Hashtbl.t }
+
+let make field_list =
+  let fields =
+    Array.of_list (List.map (fun (name, ty) -> { name; ty }) field_list)
+  in
+  let index = Hashtbl.create (Array.length fields) in
+  Array.iteri
+    (fun i f ->
+      if Hashtbl.mem index f.name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate field %S" f.name);
+      Hashtbl.add index f.name i)
+    fields;
+  { fields; index }
+
+let fields t = t.fields
+let arity t = Array.length t.fields
+let field_index t name = Hashtbl.find_opt t.index name
+
+let field_index_exn t name =
+  match field_index t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema: unknown field %S" name)
+
+let field_type t name =
+  Option.map (fun i -> t.fields.(i).ty) (field_index t name)
+
+let mem t name = Hashtbl.mem t.index name
+let names t = Array.to_list t.fields |> List.map (fun f -> f.name)
+
+let to_vtype t =
+  Vtype.Record (Array.to_list t.fields |> List.map (fun f -> (f.name, f.ty)))
+
+let of_vtype = function
+  | Vtype.Record fields -> Some (make fields)
+  | Vtype.Bool | Vtype.Int | Vtype.Float | Vtype.String | Vtype.Date
+  | Vtype.List _ ->
+    None
+
+let row t values =
+  if List.length values <> Array.length t.fields then
+    invalid_arg "Schema.row: arity mismatch";
+  Value.Record
+    (Array.of_list (List.map2 (fun f v -> (f.name, v)) (Array.to_list t.fields) values))
+
+let project t names =
+  make
+    (List.map
+       (fun name ->
+         let i = field_index_exn t name in
+         (name, t.fields.(i).ty))
+       names)
+
+let pp fmt t = Vtype.pp fmt (to_vtype t)

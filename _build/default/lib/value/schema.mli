@@ -1,0 +1,37 @@
+(** Named, ordered, typed record schemas with O(1) field lookup.
+
+    A schema plays the role of the static class/struct definition the
+    paper's code generators recover through C# reflection: it fixes field
+    order (for positional access in compiled plans) and field types (for
+    flat-layout generation in the native engine). *)
+
+type field = { name : string; ty : Vtype.t }
+
+type t
+
+val make : (string * Vtype.t) list -> t
+(** @raise Invalid_argument on duplicate field names. *)
+
+val fields : t -> field array
+val arity : t -> int
+
+val field_index : t -> string -> int option
+val field_index_exn : t -> string -> int
+val field_type : t -> string -> Vtype.t option
+val mem : t -> string -> bool
+val names : t -> string list
+
+val to_vtype : t -> Vtype.t
+(** The record type described by the schema. *)
+
+val of_vtype : Vtype.t -> t option
+(** Recovers a schema from a [Vtype.Record]. *)
+
+val row : t -> Value.t list -> Value.t
+(** [row schema values] builds a record value with the schema's field names,
+    in schema order. @raise Invalid_argument on arity mismatch. *)
+
+val project : t -> string list -> t
+(** Sub-schema with the given fields, in the given order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of Date.t
+  | Record of (string * t) array
+  | List of t list
+
+let rec type_of = function
+  | Null -> None
+  | Bool _ -> Some Vtype.Bool
+  | Int _ -> Some Vtype.Int
+  | Float _ -> Some Vtype.Float
+  | Str _ -> Some Vtype.String
+  | Date _ -> Some Vtype.Date
+  | Record fields ->
+    let field_ty (name, v) =
+      match type_of v with
+      | Some ty -> Some (name, ty)
+      | None -> None
+    in
+    let tys = Array.to_list fields |> List.filter_map field_ty in
+    if List.length tys = Array.length fields then Some (Vtype.Record tys) else None
+  | List [] -> None
+  | List (x :: _) -> Option.map (fun ty -> Vtype.List ty) (type_of x)
+
+let constructor_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
+  | Date _ -> 5
+  | Record _ -> 6
+  | List _ -> 7
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool a, Bool b -> Bool.compare a b
+  | Int a, Int b -> Int.compare a b
+  | Float a, Float b -> Float.compare a b
+  | Str a, Str b -> String.compare a b
+  | Date a, Date b -> Int.compare a b
+  | Record a, Record b ->
+    let n = Stdlib.min (Array.length a) (Array.length b) in
+    let rec go i =
+      if i = n then Int.compare (Array.length a) (Array.length b)
+      else
+        let _, va = a.(i) and _, vb = b.(i) in
+        let c = compare va vb in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  | List a, List b -> List.compare compare a b
+  | (Null | Bool _ | Int _ | Float _ | Str _ | Date _ | Record _ | List _), _ ->
+    Int.compare (constructor_rank a) (constructor_rank b)
+
+let equal a b = compare a b = 0
+
+let rec hash v =
+  let combine seed h = (seed * 0x01000193) lxor h in
+  match v with
+  | Null -> 0x2f
+  | Bool b -> if b then 0x11 else 0x13
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Date d -> combine 0x5d (Hashtbl.hash d)
+  | Record fields ->
+    Array.fold_left (fun acc (_, v) -> combine acc (hash v)) 0x7a fields
+  | List xs -> List.fold_left (fun acc v -> combine acc (hash v)) 0x3b xs
+
+let field_opt v name =
+  match v with
+  | Record fields ->
+    let n = Array.length fields in
+    let rec go i =
+      if i = n then None
+      else
+        let fname, fval = fields.(i) in
+        if String.equal fname name then Some fval else go (i + 1)
+    in
+    go 0
+  | Null | Bool _ | Int _ | Float _ | Str _ | Date _ | List _ -> None
+
+let rec pp fmt = function
+  | Null -> Format.pp_print_string fmt "null"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+  | Date d -> Date.pp fmt d
+  | Record fields ->
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_seq
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         (fun fmt (n, v) -> Format.fprintf fmt "%s=%a" n pp v))
+      (Array.to_seq fields)
+  | List xs ->
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         pp)
+      xs
+
+let to_string v = Format.asprintf "%a" pp v
+
+let type_error expected v =
+  invalid_arg (Printf.sprintf "Value: expected %s, got %s" expected (to_string v))
+
+let field v name =
+  match field_opt v name with
+  | Some x -> x
+  | None -> type_error (Printf.sprintf "record with field %S" name) v
+
+let record fields = Record (Array.of_list fields)
+let list xs = List xs
+
+let to_bool = function Bool b -> b | v -> type_error "bool" v
+let to_int = function Int i -> i | v -> type_error "int" v
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> type_error "float" v
+
+let to_str = function Str s -> s | v -> type_error "string" v
+let to_date = function Date d -> d | v -> type_error "date" v
+
+let to_elements v =
+  match v with
+  | List xs -> xs
+  | Record _ -> (
+    match field_opt v "Items" with
+    | Some (List xs) -> xs
+    | Some _ | None -> type_error "enumerable" v)
+  | Null | Bool _ | Int _ | Float _ | Str _ | Date _ -> type_error "enumerable" v

@@ -1,0 +1,55 @@
+(** Dynamic values: the boxed, managed-heap data model.
+
+    All "managed" engines (the LINQ-to-objects baseline and the generated-C#
+    analogue) process values of this type. Records are self-describing
+    (field names stored with the values) which mirrors the reflective access
+    the paper's expression trees perform on C# objects. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of Date.t
+  | Record of (string * t) array
+  | List of t list
+
+val type_of : t -> Vtype.t option
+(** Runtime type of a value; [None] for [Null] and for empty lists (whose
+    element type is unknown). *)
+
+val compare : t -> t -> int
+(** Total order. [Null] sorts lowest; values of different constructors are
+    ordered by constructor; records compare field-by-field. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash, compatible with {!equal}. *)
+
+val field : t -> string -> t
+(** Member access on a record. @raise Invalid_argument if the value is not
+    a record or lacks the field. *)
+
+val field_opt : t -> string -> t option
+
+val record : (string * t) list -> t
+val list : t list -> t
+
+(* Checked scalar projections; raise [Invalid_argument] on mismatch. *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_float : t -> float
+(** [to_float] accepts both [Int] and [Float]. *)
+
+val to_str : t -> string
+val to_date : t -> Date.t
+val to_elements : t -> t list
+(** Elements of a [List], or of a group record's ["Items"] field — group
+    values are records [{Key; Items}] and behave as enumerables, like LINQ
+    [IGrouping]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

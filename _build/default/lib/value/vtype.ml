@@ -1,0 +1,46 @@
+type t =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date
+  | Record of (string * t) list
+  | List of t
+
+let rec equal a b =
+  match (a, b) with
+  | Bool, Bool | Int, Int | Float, Float | String, String | Date, Date -> true
+  | Record fa, Record fb ->
+    List.length fa = List.length fb
+    && List.for_all2 (fun (na, ta) (nb, tb) -> String.equal na nb && equal ta tb) fa fb
+  | List a, List b -> equal a b
+  | (Bool | Int | Float | String | Date | Record _ | List _), _ -> false
+
+let rec pp fmt = function
+  | Bool -> Format.pp_print_string fmt "bool"
+  | Int -> Format.pp_print_string fmt "int"
+  | Float -> Format.pp_print_string fmt "float"
+  | String -> Format.pp_print_string fmt "string"
+  | Date -> Format.pp_print_string fmt "date"
+  | Record fields ->
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         (fun fmt (n, t) -> Format.fprintf fmt "%s: %a" n pp t))
+      fields
+  | List t -> Format.fprintf fmt "list<%a>" pp t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let field ty name =
+  match ty with
+  | Record fields -> List.assoc_opt name fields
+  | Bool | Int | Float | String | Date | List _ -> None
+
+let is_scalar = function
+  | Bool | Int | Float | String | Date -> true
+  | Record _ | List _ -> false
+
+let is_numeric = function
+  | Int | Float -> true
+  | Bool | String | Date | Record _ | List _ -> false

@@ -1,0 +1,29 @@
+(** Types of the dynamic value model.
+
+    The host-language data model of the paper (C# objects, structs, strings,
+    decimals, nested references, enumerables) is reproduced with a small
+    dynamic type universe: scalars, records (objects / anonymous types) and
+    lists (enumerables, e.g. the element lists of groups). *)
+
+type t =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date
+  | Record of (string * t) list  (** object / struct / anonymous type *)
+  | List of t  (** enumerable of elements of one type *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val field : t -> string -> t option
+(** [field ty name] is the type of member [name] if [ty] is a record that
+    declares it. *)
+
+val is_scalar : t -> bool
+(** True for [Bool], [Int], [Float], [String] and [Date]. *)
+
+val is_numeric : t -> bool
+(** True for [Int] and [Float]. *)

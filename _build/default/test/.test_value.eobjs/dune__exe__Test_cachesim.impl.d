@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Heap_model Hierarchy Level List Lq_cachesim Lq_testkit QCheck2 String

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest List Lq_catalog Lq_compiled Lq_core Lq_expr Lq_testkit Lq_value Printf Value

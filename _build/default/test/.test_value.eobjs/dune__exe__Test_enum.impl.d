@@ -1,0 +1,1 @@
+test/test_enum.ml: Alcotest Fun Int List Lq_enum Lq_testkit QCheck2

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Float Fun Hashtbl Int Int_table List Lq_exec Lq_testkit Prng QCheck2 Quicksort Topk

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Ast Date Eval Fold List Lq_expr Lq_testkit Lq_tpch Lq_value Paths Pretty Printf Scalar Schema Shape Sql Typecheck Value Vtype

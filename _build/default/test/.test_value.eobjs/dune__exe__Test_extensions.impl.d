@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest List Lq_catalog Lq_core Lq_expr Lq_parallel Lq_testkit Lq_tpch Lq_value Option Value

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest List Lq_catalog Lq_core Lq_expr Lq_hybrid Lq_metrics Lq_testkit Lq_value Printf Schema String

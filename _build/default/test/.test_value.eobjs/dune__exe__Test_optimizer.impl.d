@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Ast List Lq_catalog Lq_core Lq_expr Lq_testkit Pretty String

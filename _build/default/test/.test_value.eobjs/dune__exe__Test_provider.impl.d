@@ -1,0 +1,1 @@
+test/test_provider.ml: Alcotest List Lq_cachesim Lq_catalog Lq_core Lq_expr Lq_testkit Printf

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Colstore Dict Fbuf Fun Layout List Lq_expr Lq_storage Lq_testkit Lq_value Mapping Option Pagelist Printf QCheck2 Rowstore Schema String Value Vtype

@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Filename List Lq_catalog Lq_core Lq_expr Lq_testkit Lq_tpch Lq_value Printf Schema Sys Unix Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Date List Lq_testkit Lq_value Printf QCheck2 Schema Value Vtype

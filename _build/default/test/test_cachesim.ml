@@ -1,0 +1,123 @@
+(* Tests for the cache simulator: single-level LRU behaviour, hierarchy
+   plumbing, capacity effects, and the heap placement model. *)
+
+open Lq_cachesim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_level () =
+  (* 4 sets x 2 ways x 16-byte lines = 128 bytes *)
+  Level.create ~name:"t" ~size_bytes:128 ~ways:2 ~line_bytes:16
+
+let test_level_basics () =
+  let l = small_level () in
+  check_bool "cold miss" false (Level.access l 0);
+  check_bool "hit same line" true (Level.access l 8);
+  check_bool "different line misses" false (Level.access l 16);
+  check_int "accesses" 3 (Level.accesses l);
+  check_int "hits" 1 (Level.hits l);
+  check_int "misses" 2 (Level.misses l)
+
+let test_level_lru () =
+  let l = small_level () in
+  (* set 0 lines: addresses 0, 64, 128 map to set 0 (line = addr/16, set = line mod 4) *)
+  ignore (Level.access l 0);
+  ignore (Level.access l 64);
+  (* both ways of set 0 filled; touch 0 to make 64 the LRU *)
+  ignore (Level.access l 0);
+  ignore (Level.access l 128);
+  (* evicts 64 *)
+  check_bool "0 still resident" true (Level.access l 0);
+  check_bool "64 evicted" false (Level.access l 64)
+
+let test_level_validation () =
+  Alcotest.check_raises "bad geometry"
+    (Invalid_argument "Level.create: size not a multiple of way size") (fun () ->
+      ignore (Level.create ~name:"x" ~size_bytes:100 ~ways:3 ~line_bytes:16))
+
+let test_level_reset () =
+  let l = small_level () in
+  ignore (Level.access l 0);
+  Level.reset l;
+  check_int "counters cleared" 0 (Level.accesses l);
+  check_bool "contents cleared" false (Level.access l 0)
+
+(* sequential scan of a working set larger than the level: every line
+   misses once per pass (LRU thrashing), smaller-than-cache sets hit. *)
+let test_capacity_effect () =
+  let l = small_level () in
+  let scan n =
+    Level.reset l;
+    for pass = 1 to 2 do
+      ignore pass;
+      for i = 0 to n - 1 do
+        ignore (Level.access l (i * 16))
+      done
+    done;
+    Level.misses l
+  in
+  check_int "fits: second pass all hits" 4 (scan 4);
+  check_bool "thrashes: more misses" true (scan 32 > 32)
+
+let test_hierarchy () =
+  let h = Hierarchy.create () in
+  Hierarchy.read h 0;
+  (* cold: misses at all three levels *)
+  check_int "l1 miss" 1 (Level.misses (Hierarchy.l1 h));
+  check_int "llc miss" 1 (Hierarchy.llc_misses h);
+  Hierarchy.read h 0;
+  (* now an L1 hit; L2/L3 untouched *)
+  check_int "l1 hit" 1 (Level.hits (Hierarchy.l1 h));
+  check_int "llc unchanged" 1 (Hierarchy.llc_misses h);
+  check_int "reads" 2 (Hierarchy.reads h);
+  check_bool "report has 3 lines" true
+    (List.length (String.split_on_char '\n' (Hierarchy.report h)) = 3);
+  Hierarchy.reset h;
+  check_int "reset" 0 (Hierarchy.reads h)
+
+(* A hierarchy-level property: bigger L3 never has more misses on the
+   same trace. *)
+let prop_l3_monotone =
+  Lq_testkit.qtest ~count:50 "cachesim: larger LLC never misses more"
+    QCheck2.Gen.(list_size (int_range 0 500) (int_range 0 (1 lsl 20)))
+    (fun addrs ->
+      let run size_kb =
+        let h =
+          Hierarchy.create
+            ~l3:(Level.create ~name:"L3" ~size_bytes:(size_kb * 1024) ~ways:4 ~line_bytes:64)
+            ()
+        in
+        List.iter (Hierarchy.read h) addrs;
+        Hierarchy.llc_misses h
+      in
+      run 512 <= run 64)
+
+let test_heap_model () =
+  let h = Heap_model.create () in
+  let a = Heap_model.alloc_object h ~nfields:3 in
+  let b = Heap_model.alloc_object h ~nfields:3 in
+  check_bool "distinct" true (a <> b);
+  check_bool "ordered" true (b > a);
+  check_int "allocated" 2 (Heap_model.objects_allocated h);
+  check_int "field addr" (a + Heap_model.header_bytes + (2 * Heap_model.slot_bytes))
+    (Heap_model.field_addr ~base:a ~slot:2);
+  let rows = Heap_model.alloc_rows h ~nrows:10 ~nfields:2 in
+  check_int "ten rows" 10 (Array.length rows);
+  check_bool "strictly increasing" true
+    (Array.for_all2 (fun x y -> x < y) (Array.sub rows 0 9) (Array.sub rows 1 9))
+
+let () =
+  Alcotest.run "cachesim"
+    [
+      ( "level",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_level_basics;
+          Alcotest.test_case "LRU eviction" `Quick test_level_lru;
+          Alcotest.test_case "validation" `Quick test_level_validation;
+          Alcotest.test_case "reset" `Quick test_level_reset;
+          Alcotest.test_case "capacity effect" `Quick test_capacity_effect;
+        ] );
+      ("hierarchy", [ Alcotest.test_case "read path" `Quick test_hierarchy; prop_l3_monotone ]);
+      ("heap model", [ Alcotest.test_case "placement" `Quick test_heap_model ]);
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the LINQ-to-objects enumerator substrate: list semantics,
+   laziness / deferred execution, and operator properties. *)
+
+module E = Lq_enum.Enumerable
+
+let check_ints = Alcotest.(check (list int))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let of_l = E.of_list
+let ints_gen = QCheck2.Gen.(list_size (int_range 0 40) (int_range (-20) 20))
+
+(* --- construction and conversion --- *)
+
+let test_construction () =
+  check_ints "of_list" [ 1; 2; 3 ] (E.to_list (of_l [ 1; 2; 3 ]));
+  check_ints "of_array" [ 1; 2 ] (E.to_list (E.of_array [| 1; 2 |]));
+  check_ints "range" [ 5; 6; 7 ] (E.to_list (E.range 5 3));
+  check_ints "repeat" [ 9; 9 ] (E.to_list (E.repeat 9 2));
+  check_ints "empty" [] (E.to_list E.empty);
+  check_ints "singleton" [ 4 ] (E.to_list (E.singleton 4));
+  check_ints "unfold" [ 0; 1; 2 ]
+    (E.to_list (E.unfold (fun s -> if s < 3 then Some (s, s + 1) else None) 0));
+  check_ints "seq roundtrip" [ 1; 2 ] (E.to_list (E.of_seq (E.to_seq (of_l [ 1; 2 ]))))
+
+let test_restriction_projection () =
+  check_ints "where" [ 2; 4 ] (E.to_list (E.where (fun x -> x mod 2 = 0) (E.range 1 4)));
+  check_ints "select" [ 2; 4; 6 ] (E.to_list (E.select (fun x -> 2 * x) (E.range 1 3)));
+  check_ints "selecti" [ 0; 2; 6 ]
+    (E.to_list (E.selecti (fun i x -> i * x) (E.range 1 3)));
+  check_ints "wherei" [ 1; 3 ] (E.to_list (E.wherei (fun i _ -> i mod 2 = 0) (of_l [ 1; 2; 3; 4 ])));
+  check_ints "select_many" [ 1; 1; 2; 1; 2; 3 ]
+    (E.to_list (E.select_many (fun n -> E.range 1 n) (E.range 1 3)))
+
+let test_partitioning () =
+  check_ints "take" [ 1; 2 ] (E.to_list (E.take 2 (E.range 1 9)));
+  check_ints "take more than available" [ 1; 2 ] (E.to_list (E.take 5 (E.range 1 2)));
+  check_ints "skip" [ 3; 4 ] (E.to_list (E.skip 2 (E.range 1 4)));
+  check_ints "skip all" [] (E.to_list (E.skip 9 (E.range 1 4)));
+  check_ints "take_while" [ 1; 2 ] (E.to_list (E.take_while (fun x -> x < 3) (E.range 1 9)));
+  check_ints "skip_while" [ 3; 1 ] (E.to_list (E.skip_while (fun x -> x < 3) (of_l [ 1; 2; 3; 1 ])))
+
+let test_set_ops () =
+  check_ints "distinct keeps first" [ 3; 1; 2 ] (E.to_list (E.distinct (of_l [ 3; 1; 3; 2; 1 ])));
+  check_ints "union" [ 1; 2; 3 ] (E.to_list (E.union (of_l [ 1; 2 ]) (of_l [ 2; 3 ])));
+  check_ints "intersect" [ 2 ] (E.to_list (E.intersect (of_l [ 1; 2; 2 ]) (of_l [ 2; 4 ])));
+  check_ints "except" [ 1; 3 ] (E.to_list (E.except (of_l [ 1; 2; 3; 1 ]) (of_l [ 2 ])))
+
+let test_ordering () =
+  check_ints "sort" [ 1; 2; 3 ] (E.to_list (E.sort ~cmp:Int.compare (of_l [ 2; 3; 1 ])));
+  check_ints "reverse" [ 3; 2; 1 ] (E.to_list (E.reverse (E.range 1 3)));
+  (* stability: equal keys keep input order *)
+  let pairs = [ (1, "a"); (0, "b"); (1, "c"); (0, "d") ] in
+  Alcotest.(check (list (pair int string)))
+    "stable multi-key"
+    [ (0, "b"); (0, "d"); (1, "a"); (1, "c") ]
+    (E.to_list (E.sort_by_keys ~keys:[ ((fun (k, _) -> k), Int.compare) ] (of_l pairs)))
+
+let test_grouping_join () =
+  Alcotest.(check (list (pair int (list int))))
+    "group_by first-occurrence order"
+    [ (1, [ 1; 3 ]); (0, [ 2; 4 ]) ]
+    (E.to_list (E.group_by ~key:(fun x -> x mod 2) (E.range 1 4)));
+  Alcotest.(check (list (pair int string)))
+    "join order: outer then inner"
+    [ (1, "x"); (1, "y"); (2, "z") ]
+    (E.to_list
+       (E.join
+          ~outer_key:(fun o -> o)
+          ~inner_key:(fun (k, _) -> k)
+          ~result:(fun o (_, s) -> (o, s))
+          (of_l [ 1; 2; 3 ])
+          (of_l [ (2, "z"); (1, "x"); (1, "y") ])));
+  Alcotest.(check (list (pair int int)))
+    "group_join counts"
+    [ (1, 2); (2, 1); (3, 0) ]
+    (E.to_list
+       (E.group_join
+          ~outer_key:Fun.id
+          ~inner_key:Fun.id
+          ~result:(fun o xs -> (o, List.length xs))
+          (of_l [ 1; 2; 3 ])
+          (of_l [ 1; 2; 1 ])))
+
+let test_aggregates () =
+  check_int "count" 4 (E.count (E.range 1 4));
+  check_int "count_where" 2 (E.count_where (fun x -> x > 2) (E.range 1 4));
+  check_int "sum" 10 (E.sum_int Fun.id (E.range 1 4));
+  Alcotest.(check (option (float 1e-9))) "average" (Some 2.5)
+    (E.average float_of_int (E.range 1 4));
+  Alcotest.(check (option int)) "min_by" (Some 1)
+    (E.min_by ~cmp:Int.compare ~key:Fun.id (of_l [ 3; 1; 2 ]));
+  Alcotest.(check (option int)) "max_by" (Some 3)
+    (E.max_by ~cmp:Int.compare ~key:Fun.id (of_l [ 3; 1; 2 ]));
+  check_bool "any" true (E.any (fun x -> x = 3) (E.range 1 4));
+  check_bool "all" false (E.all (fun x -> x < 3) (E.range 1 4));
+  check_bool "contains" true (E.contains 2 (E.range 1 4));
+  Alcotest.(check (option int)) "first_where" (Some 3)
+    (E.first_where (fun x -> x > 2) (E.range 1 9));
+  Alcotest.(check (option int)) "last" (Some 4) (E.last_opt (E.range 1 4));
+  Alcotest.(check (option int)) "element_at" (Some 3) (E.element_at 2 (E.range 1 9))
+
+(* --- deferred execution --- *)
+
+let test_laziness () =
+  let pulls = ref 0 in
+  let src =
+    E.select
+      (fun x ->
+        incr pulls;
+        x)
+      (E.range 1 1000)
+  in
+  (* declaration executes nothing *)
+  check_int "deferred" 0 !pulls;
+  ignore (E.to_list (E.take 3 src));
+  check_int "take pulls only 3" 3 !pulls;
+  pulls := 0;
+  ignore (E.first_opt (E.where (fun x -> x > 5) src));
+  check_int "first stops at 6" 6 !pulls;
+  pulls := 0;
+  ignore (E.any (fun x -> x = 2) src);
+  check_int "any stops early" 2 !pulls
+
+let test_reenumeration () =
+  (* each enumeration restarts (IEnumerable semantics) *)
+  let calls = ref 0 in
+  let src =
+    E.select
+      (fun x ->
+        incr calls;
+        x)
+      (E.range 1 3)
+  in
+  ignore (E.to_list src);
+  ignore (E.to_list src);
+  check_int "two independent enumerations" 6 !calls
+
+(* --- properties vs list semantics --- *)
+
+let prop_where =
+  Lq_testkit.qtest "enum: where = List.filter" ints_gen (fun xs ->
+      E.to_list (E.where (fun x -> x > 0) (of_l xs)) = List.filter (fun x -> x > 0) xs)
+
+let prop_select =
+  Lq_testkit.qtest "enum: select = List.map" ints_gen (fun xs ->
+      E.to_list (E.select (fun x -> (x * 3) + 1) (of_l xs))
+      = List.map (fun x -> (x * 3) + 1) xs)
+
+let prop_take_skip =
+  Lq_testkit.qtest "enum: take n @ skip n = id"
+    QCheck2.Gen.(pair ints_gen (int_range 0 50))
+    (fun (xs, n) ->
+      E.to_list (E.concat (E.take n (of_l xs)) (E.skip n (of_l xs))) = xs)
+
+let prop_sort =
+  Lq_testkit.qtest "enum: sort = List.stable_sort" ints_gen (fun xs ->
+      E.to_list (E.sort ~cmp:Int.compare (of_l xs)) = List.stable_sort Int.compare xs)
+
+let prop_distinct =
+  Lq_testkit.qtest "enum: distinct = first occurrences" ints_gen (fun xs ->
+      let expected =
+        List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs
+        |> List.rev
+      in
+      E.to_list (E.distinct (of_l xs)) = expected)
+
+let prop_group_partition =
+  Lq_testkit.qtest "enum: group_by partitions input" ints_gen (fun xs ->
+      let groups = E.to_list (E.group_by ~key:(fun x -> x mod 3) (of_l xs)) in
+      List.concat_map snd groups |> List.sort compare = List.sort compare xs)
+
+
+let test_zip_unfold_edge () =
+  check_ints "zip shorter wins" [ 11; 22 ]
+    (E.to_list (E.zip ( + ) (of_l [ 1; 2; 3 ]) (of_l [ 10; 20 ])));
+  check_ints "unfold empty" [] (E.to_list (E.unfold (fun _ -> None) 0))
+
+let test_sort_deferred () =
+  (* OrderedEnumerable semantics: sorting is deferred until the first pull *)
+  let touched = ref 0 in
+  let src =
+    E.select
+      (fun x ->
+        incr touched;
+        x)
+      (E.range 1 100)
+  in
+  let sorted = E.sort ~cmp:Int.compare src in
+  check_int "declaration runs nothing" 0 !touched;
+  ignore (E.first_opt sorted);
+  check_int "first pull materializes all" 100 !touched
+
+let test_select_many_laziness () =
+  let inner_created = ref 0 in
+  let src =
+    E.select_many
+      (fun n ->
+        incr inner_created;
+        E.repeat n 2)
+      (E.range 1 100)
+  in
+  ignore (E.to_list (E.take 4 src));
+  check_int "only needed inner enumerables" 2 !inner_created
+
+let () =
+  Alcotest.run "enum"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "restriction/projection" `Quick test_restriction_projection;
+          Alcotest.test_case "partitioning" `Quick test_partitioning;
+          Alcotest.test_case "set operators" `Quick test_set_ops;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "grouping/join" `Quick test_grouping_join;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+        ] );
+      ( "laziness",
+        [
+          Alcotest.test_case "deferred execution" `Quick test_laziness;
+          Alcotest.test_case "re-enumeration" `Quick test_reenumeration;
+          Alcotest.test_case "zip/unfold edges" `Quick test_zip_unfold_edge;
+          Alcotest.test_case "sort deferred" `Quick test_sort_deferred;
+          Alcotest.test_case "select_many lazy" `Quick test_select_many_laziness;
+        ] );
+      ( "properties",
+        [
+          prop_where;
+          prop_select;
+          prop_take_skip;
+          prop_sort;
+          prop_distinct;
+          prop_group_partition;
+        ] );
+    ]

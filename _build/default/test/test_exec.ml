@@ -1,0 +1,189 @@
+(* Tests for the shared execution substrates: PRNG, open-addressing
+   tables, quicksort, top-K heap. *)
+
+open Lq_exec
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+(* --- prng --- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 1 and b = Prng.create 1 in
+  let seq r = List.init 50 (fun _ -> Prng.int r 1000) in
+  check_ints "same seed same stream" (seq a) (seq b);
+  let c = Prng.create 2 in
+  check_bool "different seed differs" true (seq (Prng.create 1) <> seq c)
+
+let test_prng_ranges () =
+  let r = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 7 in
+    check_bool "bounded" true (x >= 0 && x < 7);
+    let y = Prng.int_range r (-3) 3 in
+    check_bool "range" true (y >= -3 && y <= 3);
+    let f = Prng.float r 2.0 in
+    check_bool "float" true (f >= 0.0 && f < 2.0)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: non-positive bound")
+    (fun () -> ignore (Prng.int r 0))
+
+(* --- int table vs Hashtbl model --- *)
+
+type op = Set of int * int | Find of int
+
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 0 200)
+      (oneof
+         [
+           map2 (fun k v -> Set (k, v)) (int_range (-50) 50) small_int;
+           map (fun k -> Find k) (int_range (-50) 50);
+         ]))
+
+let prop_int_table_model =
+  Lq_testkit.qtest ~count:200 "int_table: agrees with Hashtbl" gen_ops (fun ops ->
+      let t = Int_table.create 4 in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (function
+          | Set (k, v) ->
+            Int_table.set t k v;
+            Hashtbl.replace model k v;
+            true
+          | Find k -> Int_table.find t k = Hashtbl.find_opt model k)
+        ops
+      && Int_table.length t = Hashtbl.length model)
+
+let test_int_table_find_or_add () =
+  let t = Int_table.create 2 in
+  check_int "adds" 7 (Int_table.find_or_add t 1 (fun () -> 7));
+  check_int "finds existing" 7 (Int_table.find_or_add t 1 (fun () -> 9));
+  check_int "size" 1 (Int_table.length t);
+  (* growth over many dense keys *)
+  for k = 0 to 10_000 do
+    Int_table.set t k (k * 2)
+  done;
+  check_bool "after growth" true (Int_table.find t 9999 = Some 19998)
+
+let test_multimap_order () =
+  let m = Int_table.Multi.create 4 in
+  List.iter
+    (fun (k, v) -> Int_table.Multi.add m k v)
+    [ (1, 10); (2, 20); (1, 11); (1, 12); (2, 21) ];
+  let collect k =
+    let acc = ref [] in
+    Int_table.Multi.iter_matches m k (fun v -> acc := v :: !acc);
+    List.rev !acc
+  in
+  check_ints "insertion order per key" [ 10; 11; 12 ] (collect 1);
+  check_ints "other key" [ 20; 21 ] (collect 2);
+  check_ints "missing key" [] (collect 3);
+  check_int "count_matches" 3 (Int_table.Multi.count_matches m 1);
+  check_int "fold" 33 (Int_table.Multi.fold_matches m 1 ( + ) 0)
+
+(* --- quicksort --- *)
+
+let ints_gen = QCheck2.Gen.(array_size (int_range 0 300) (int_range (-1000) 1000))
+
+let prop_quicksort_ints =
+  Lq_testkit.qtest ~count:200 "quicksort: sorts ints" ints_gen (fun arr ->
+      let a = Array.copy arr and b = Array.copy arr in
+      Quicksort.ints a;
+      Array.sort Int.compare b;
+      a = b)
+
+let prop_quicksort_floats =
+  Lq_testkit.qtest ~count:200 "quicksort: sorts floats"
+    QCheck2.Gen.(array_size (int_range 0 300) (float_range (-1e6) 1e6))
+    (fun arr ->
+      let a = Array.copy arr in
+      Quicksort.floats a;
+      Quicksort.is_sorted ~cmp:Float.compare a)
+
+let prop_quicksort_indices =
+  Lq_testkit.qtest ~count:200 "quicksort: index sort is a stable permutation" ints_gen
+    (fun keys ->
+      let idx = Array.init (Array.length keys) Fun.id in
+      Quicksort.indices_by_int_key ~key:keys idx;
+      let seen = Array.make (Array.length keys) false in
+      Array.iter (fun i -> seen.(i) <- true) idx;
+      Array.for_all Fun.id seen
+      && Quicksort.is_sorted
+           ~cmp:(fun i j ->
+             let c = Int.compare keys.(i) keys.(j) in
+             if c <> 0 then c else Int.compare i j)
+           idx)
+
+let test_quicksort_desc () =
+  let keys = [| 1.0; 3.0; 2.0 |] in
+  let idx = [| 0; 1; 2 |] in
+  Quicksort.indices_by_float_key ~key:keys ~desc:true idx;
+  check_ints "desc order" [ 1; 2; 0 ] (Array.to_list idx)
+
+(* --- top-K --- *)
+
+let prop_topk =
+  Lq_testkit.qtest ~count:200 "topk: equals sort-then-take"
+    QCheck2.Gen.(pair ints_gen (int_range 0 20))
+    (fun (arr, k) ->
+      let heap = Topk.create ~cmp:Int.compare ~k in
+      Array.iter (Topk.push heap) arr;
+      let expected =
+        let copy = Array.copy arr in
+        Array.sort Int.compare copy;
+        Array.to_list (Array.sub copy 0 (min k (Array.length copy)))
+      in
+      Topk.to_sorted_list heap = expected)
+
+let prop_topk_stable =
+  Lq_testkit.qtest ~count:200 "topk: with seq tie-break equals stable sort+take"
+    QCheck2.Gen.(pair (array_size (int_range 0 100) (int_range 0 5)) (int_range 0 10))
+    (fun (arr, k) ->
+      let cmp (a, i) (b, j) =
+        let c = Int.compare a b in
+        if c <> 0 then c else Int.compare i j
+      in
+      let heap = Topk.create ~cmp ~k in
+      Array.iteri (fun i x -> Topk.push heap (x, i)) arr;
+      let expected =
+        Array.to_list arr
+        |> List.mapi (fun i x -> (x, i))
+        |> List.stable_sort cmp
+        |> List.filteri (fun i _ -> i < k)
+      in
+      Topk.to_sorted_list heap = expected)
+
+let test_topk_edge () =
+  let heap = Topk.create ~cmp:Int.compare ~k:0 in
+  Topk.push heap 1;
+  check_int "k=0 keeps nothing" 0 (Topk.length heap);
+  let h1 = Topk.create ~cmp:Int.compare ~k:5 in
+  check_ints "empty" [] (Topk.to_sorted_list h1)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+        ] );
+      ( "int_table",
+        [
+          prop_int_table_model;
+          Alcotest.test_case "find_or_add + growth" `Quick test_int_table_find_or_add;
+          Alcotest.test_case "multimap order" `Quick test_multimap_order;
+        ] );
+      ( "quicksort",
+        [
+          prop_quicksort_ints;
+          prop_quicksort_floats;
+          prop_quicksort_indices;
+          Alcotest.test_case "descending" `Quick test_quicksort_desc;
+        ] );
+      ( "topk",
+        [ prop_topk; prop_topk_stable; Alcotest.test_case "edges" `Quick test_topk_edge ]
+      );
+    ]

@@ -1,0 +1,181 @@
+(* Tests for the heuristic optimizer: structural effects of push-down and
+   reordering, and semantic preservation on random queries. *)
+
+open Lq_expr
+open Lq_expr.Dsl
+module O = Lq_core.Optimizer
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- structural helpers --- *)
+
+let test_conjuncts () =
+  let e = (v "x" =: int 1) &&: ((v "x" >: int 2) &&: (v "x" <: int 9)) in
+  Alcotest.(check int) "three conjuncts" 3 (List.length (O.conjuncts e));
+  Alcotest.(check int) "or is atomic" 1
+    (List.length (O.conjuncts ((v "x" =: int 1) ||: (v "x" =: int 2))))
+
+let test_simplify () =
+  check_str "member of record construction" "a.x"
+    (Pretty.expr_to_string
+       (O.simplify_expr
+          (Ast.Member (record [ ("p", v "a" $. "x"); ("q", v "b") ], "p"))));
+  check_str "double negation" "c" (Pretty.expr_to_string (O.simplify_expr (not_ (not_ (v "c")))));
+  check_str "true absorbed" "c"
+    (Pretty.expr_to_string (O.simplify_expr (bool true &&: v "c")))
+
+let test_predicate_cost () =
+  check_bool "like costs more than compare" true
+    (O.predicate_cost (like (v "s" $. "a") (str "%x%"))
+    > O.predicate_cost (v "s" $. "a" =: str "x"));
+  check_bool "subquery dominates" true
+    (O.predicate_cost (v "s" $. "k" =: sum_items (subquery (source "t")))
+    > O.predicate_cost (like (v "s" $. "a") (str "%x%")))
+
+(* --- push-down --- *)
+
+let test_pushdown_through_select () =
+  let q =
+    source "t"
+    |> select "s" (record [ ("a", v "s" $. "x"); ("b", v "s" $. "y") ])
+    |> where "r" (v "r" $. "a" >: int 5)
+  in
+  let optimized = O.run ~options:{ O.default with reorder = false } q in
+  (* the filter must now sit under the Select, over t's elements *)
+  check_bool "where below select" true
+    (match optimized with
+    | Ast.Select (Ast.Where (Ast.Source "t", pred), _) ->
+      Pretty.expr_to_string pred.Ast.body = "(__pd_s.x > 5)"
+    | _ -> false)
+
+let test_pushdown_through_join () =
+  let q =
+    join
+      ~on:(("l", v "l" $. "k"), ("r", v "r" $. "k"))
+      ~result:("l", "r", record [ ("a", v "l" $. "a"); ("b", v "r" $. "b") ])
+      (source "t1") (source "t2")
+    |> where "x" ((v "x" $. "a" >: int 1) &&: (v "x" $. "b" <: int 2))
+  in
+  let optimized = O.run ~options:{ O.default with reorder = false } q in
+  check_bool "split to both sides" true
+    (match optimized with
+    | Ast.Join { left = Ast.Where (Ast.Source "t1", _); right = Ast.Where (Ast.Source "t2", _); _ } ->
+      true
+    | _ -> false)
+
+let test_pushdown_residual () =
+  (* A cross-side conjunct must stay above the join. *)
+  let q =
+    join
+      ~on:(("l", v "l" $. "k"), ("r", v "r" $. "k"))
+      ~result:("l", "r", record [ ("a", v "l" $. "a"); ("b", v "r" $. "b") ])
+      (source "t1") (source "t2")
+    |> where "x" ((v "x" $. "a" >: int 1) &&: (v "x" $. "a" <: (v "x" $. "b")))
+  in
+  let optimized = O.run ~options:{ O.default with reorder = false } q in
+  check_bool "residual above join" true
+    (match optimized with
+    | Ast.Where (Ast.Join { left = Ast.Where _; right = Ast.Source "t2"; _ }, pred) ->
+      Pretty.expr_to_string pred.Ast.body = "(x.a < x.b)"
+    | _ -> false)
+
+let test_pushdown_through_orderby () =
+  let q =
+    source "t"
+    |> order_by [ ("s", v "s" $. "k", asc) ]
+    |> where "x" (v "x" $. "k" >: int 5)
+  in
+  check_bool "filter below sort" true
+    (match O.run ~options:{ O.default with reorder = false } q with
+    | Ast.Order_by (Ast.Where (Ast.Source "t", _), _) -> true
+    | _ -> false)
+
+let test_no_pushdown_through_take () =
+  let q = source "t" |> take 5 |> where "x" (v "x" $. "k" >: int 5) in
+  check_bool "take blocks push-down" true
+    (match O.run q with Ast.Where (Ast.Take _, _) -> true | _ -> false)
+
+(* --- predicate reordering --- *)
+
+let test_reorder_cheap_first () =
+  let q =
+    source "t"
+    |> where "x" (like (v "x" $. "s") (str "%foo%") &&: (v "x" $. "k" =: int 1))
+  in
+  let optimized = O.run ~options:{ O.default with pushdown = false } q in
+  (* innermost Where = evaluated first = the cheap comparison *)
+  check_bool "cheap first" true
+    (match optimized with
+    | Ast.Where (Ast.Where (Ast.Source "t", cheap), expensive) ->
+      Pretty.expr_to_string cheap.Ast.body = "(x.k == 1)"
+      && String.length (Pretty.expr_to_string expensive.Ast.body) > 0
+    | _ -> false)
+
+(* --- semantic preservation (differential) --- *)
+
+let cat = Lq_testkit.sales_catalog ()
+
+let prop_optimizer_preserves_semantics =
+  Lq_testkit.qtest ~count:150 "optimizer: rewrites preserve results"
+    Lq_testkit.gen_query (fun q ->
+      let prov_off =
+        Lq_core.Provider.create ~optimizer:Lq_core.Optimizer.none cat
+      in
+      let prov_on = Lq_core.Provider.create cat in
+      let reference = Lq_core.Provider.reference prov_off q in
+      let optimized_ref =
+        Lq_expr.Eval.run (Lq_catalog.Catalog.eval_ctx cat ~params:[]) (Lq_core.Provider.optimized prov_on q)
+      in
+      Lq_testkit.rows_equal reference optimized_ref)
+
+(* push-down applied to a query with filters above a join must equal the
+   unoptimized run on every engine (the §2.3 "35%" rewrite, correctness
+   side) *)
+let test_q3_style_pushdown_equivalence () =
+  let q =
+    join
+      ~on:(("l", v "l" $. "city"), ("r", v "r" $. "city"))
+      ~result:
+        ( "l",
+          "r",
+          record [ ("city", v "l" $. "city"); ("qty", v "l" $. "qty"); ("rank", v "r" $. "rank") ]
+        )
+      (source "sales") (source "shops")
+    |> where "x" ((v "x" $. "qty" >: int 25) &&: (v "x" $. "rank" <: int 3))
+  in
+  let prov = Lq_core.Provider.create cat in
+  let expected = Lq_core.Provider.reference prov q in
+  List.iter
+    (fun engine ->
+      match Lq_core.Provider.run prov ~engine q with
+      | got ->
+        check_bool ("engine " ^ engine.Lq_catalog.Engine_intf.name) true
+          (Lq_testkit.rows_close expected got)
+      | exception Lq_catalog.Engine_intf.Unsupported _ -> ())
+    Lq_core.Engines.all
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "conjuncts" `Quick test_conjuncts;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+          Alcotest.test_case "predicate cost" `Quick test_predicate_cost;
+        ] );
+      ( "pushdown",
+        [
+          Alcotest.test_case "through select" `Quick test_pushdown_through_select;
+          Alcotest.test_case "through join" `Quick test_pushdown_through_join;
+          Alcotest.test_case "residual conjuncts" `Quick test_pushdown_residual;
+          Alcotest.test_case "through order_by" `Quick test_pushdown_through_orderby;
+          Alcotest.test_case "not through take" `Quick test_no_pushdown_through_take;
+        ] );
+      ("reorder", [ Alcotest.test_case "cheap first" `Quick test_reorder_cheap_first ]);
+      ( "semantics",
+        [
+          prop_optimizer_preserves_semantics;
+          Alcotest.test_case "q3-style equivalence" `Quick test_q3_style_pushdown_equivalence;
+        ] );
+    ]

@@ -1,0 +1,312 @@
+(* Tests for the flat storage substrate: byte buffers, layouts, the row
+   store, the dictionary, columns, buffer pages and §6.2 mappings. *)
+
+open Lq_value
+open Lq_storage
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- fbuf --- *)
+
+let test_fbuf_roundtrip () =
+  let b = Bytes.make 64 '\000' in
+  Fbuf.set_i32 b 0 (-123456);
+  check_int "i32" (-123456) (Fbuf.get_i32 b 0);
+  Fbuf.set_i64 b 8 max_int;
+  check_int "i64 max_int" max_int (Fbuf.get_i64 b 8);
+  Fbuf.set_i64 b 16 min_int;
+  check_int "i64 min_int" min_int (Fbuf.get_i64 b 16);
+  Fbuf.set_f64 b 24 3.14159;
+  Alcotest.(check (float 0.0)) "f64" 3.14159 (Fbuf.get_f64 b 24);
+  Fbuf.set_bool b 32 true;
+  check_bool "bool" true (Fbuf.get_bool b 32)
+
+let prop_fbuf_i64 =
+  Lq_testkit.qtest ~count:300 "fbuf: i64 roundtrips any int" QCheck2.Gen.int (fun x ->
+      let b = Bytes.make 8 '\000' in
+      Fbuf.set_i64 b 0 x;
+      Fbuf.get_i64 b 0 = x)
+
+(* --- layout --- *)
+
+let demo_layout () =
+  Layout.make
+    [
+      ("flag", Vtype.Bool);
+      ("qty", Vtype.Int);
+      ("price", Vtype.Float);
+      ("day", Vtype.Date);
+      ("name", Vtype.String);
+    ]
+
+let test_layout_offsets () =
+  let l = demo_layout () in
+  let offs = Array.to_list (Layout.fields l) |> List.map (fun f -> f.Layout.offset) in
+  Alcotest.(check (list int)) "packed offsets" [ 0; 1; 9; 17; 21 ] offs;
+  check_int "row width" 25 (Layout.row_width l);
+  check_int "index" 2 (Layout.field_index_exn l "price");
+  check_bool "c struct mentions types" true
+    (let s = Layout.c_struct ~name:"row_t" l in
+     String.length s > 0
+     && String.index_opt s '{' <> None
+     &&
+     let contains sub =
+       Lq_expr.Scalar.like_match ~pattern:("%" ^ sub ^ "%") s
+     in
+     contains "double" && contains "int64_t")
+
+let test_layout_reorder () =
+  let l = demo_layout () in
+  let r = Layout.reorder l ~first:[ "name"; "price" ] in
+  Alcotest.(check (list string))
+    "reordered names" [ "name"; "price"; "flag"; "qty"; "day" ]
+    (Array.to_list (Layout.fields r) |> List.map (fun f -> f.Layout.name));
+  check_int "same width" (Layout.row_width l) (Layout.row_width r);
+  check_int "first offset 0" 0 (Layout.field_at r 0).Layout.offset
+
+let test_layout_rejects_nested () =
+  Alcotest.check_raises "nested record"
+    (Invalid_argument "Ftype.of_vtype: {x: int} has no flat representation")
+    (fun () -> ignore (Layout.make [ ("r", Vtype.Record [ ("x", Vtype.Int) ]) ]))
+
+(* --- dict --- *)
+
+let test_dict () =
+  let d = Dict.create () in
+  let a = Dict.intern d "hello" in
+  let b = Dict.intern d "world" in
+  check_int "first is 0" 0 a;
+  check_int "second is 1" 1 b;
+  check_int "stable" a (Dict.intern d "hello");
+  check_str "decode" "world" (Dict.get d b);
+  check_bool "find miss" true (Dict.find d "nope" = None);
+  check_int "size" 2 (Dict.size d);
+  Alcotest.check_raises "bad code" (Invalid_argument "Dict.get: unknown code 99")
+    (fun () -> ignore (Dict.get d 99));
+  (* growth *)
+  for i = 0 to 2000 do
+    ignore (Dict.intern d (string_of_int i))
+  done;
+  check_str "after growth" "1500" (Dict.get d (Option.get (Dict.find d "1500")))
+
+(* --- rowstore --- *)
+
+let demo_schema =
+  Schema.make
+    [
+      ("flag", Vtype.Bool);
+      ("qty", Vtype.Int);
+      ("price", Vtype.Float);
+      ("day", Vtype.Date);
+      ("name", Vtype.String);
+    ]
+
+let demo_row i =
+  Schema.row demo_schema
+    [
+      Value.Bool (i mod 2 = 0);
+      Value.Int (i * 3);
+      Value.Float (float_of_int i /. 4.0);
+      Value.Date (1000 + i);
+      Value.Str (Printf.sprintf "s%d" (i mod 5));
+    ]
+
+let test_rowstore_roundtrip () =
+  let rows = List.init 100 demo_row in
+  let store =
+    Rowstore.of_records ~layout:(Layout.of_schema demo_schema)
+      ~dict:(Dict.create ()) rows
+  in
+  check_int "length" 100 (Rowstore.length store);
+  List.iteri
+    (fun i expected ->
+      check_bool
+        (Printf.sprintf "row %d" i)
+        true
+        (Value.equal expected (Rowstore.row_value store i)))
+    rows
+
+let test_rowstore_readers () =
+  let rows = List.init 10 demo_row in
+  let store =
+    Rowstore.of_records ~layout:(Layout.of_schema demo_schema) ~dict:(Dict.create ())
+      rows
+  in
+  let qty = Rowstore.int_reader store 1 in
+  let price = Rowstore.float_reader store 2 in
+  check_int "int reader" 9 (qty 3);
+  Alcotest.(check (float 0.0)) "float reader" 0.75 (price 3);
+  (* traced reader reports addresses within the store's range *)
+  let hits = ref [] in
+  let traced = Rowstore.int_reader ~trace:(fun a -> hits := a :: !hits) store 1 in
+  ignore (traced 3);
+  ignore (traced 4);
+  check_int "two traces" 2 (List.length !hits);
+  check_int "trace matches addr" (Rowstore.addr store ~row:3 ~col:1)
+    (List.nth !hits 1)
+
+let test_rowstore_write_clear () =
+  let store =
+    Rowstore.create ~layout:(Layout.make [ ("a", Vtype.Int); ("b", Vtype.Float) ])
+      ~dict:(Dict.create ()) ()
+  in
+  let r = Rowstore.alloc_row store in
+  Rowstore.set_int store ~row:r ~col:0 42;
+  Rowstore.set_float store ~row:r ~col:1 1.5;
+  check_int "read back" 42 (Rowstore.get_int store ~row:r ~col:0);
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Rowstore.get_int: float field") (fun () ->
+      ignore (Rowstore.get_int store ~row:r ~col:1));
+  Rowstore.clear store;
+  check_int "cleared" 0 (Rowstore.length store);
+  (* growth across many rows *)
+  for i = 0 to 5000 do
+    let r = Rowstore.alloc_row store in
+    Rowstore.set_int store ~row:r ~col:0 i
+  done;
+  check_int "growth preserves data" 4999 (Rowstore.get_int store ~row:4999 ~col:0)
+
+(* --- colstore --- *)
+
+let test_colstore () =
+  let rows = List.init 20 demo_row in
+  let store =
+    Rowstore.of_records ~layout:(Layout.of_schema demo_schema) ~dict:(Dict.create ())
+      rows
+  in
+  let cols = Colstore.of_rowstore store in
+  check_int "length" 20 (Colstore.length cols);
+  check_int "qty col" 9 (Colstore.ints cols 1).(3);
+  Alcotest.(check (float 0.0)) "price col" 0.75 (Colstore.floats cols 2).(3);
+  Alcotest.check_raises "wrong accessor" (Invalid_argument "Colstore.ints: float column")
+    (fun () -> ignore (Colstore.ints cols 2));
+  List.iteri
+    (fun i expected ->
+      check_bool "row reconstruction" true (Value.equal expected (Colstore.row_value cols i)))
+    rows
+
+(* --- pagelist --- *)
+
+let test_pagelist_staged () =
+  let pl = Pagelist.create_staged ~page_bytes:64 ~row_width:16 () in
+  check_int "rows per page" 4 (Pagelist.rows_per_page pl);
+  for i = 0 to 9 do
+    let slot = Pagelist.alloc pl in
+    Fbuf.set_i64 slot.Pagelist.page slot.Pagelist.off i
+  done;
+  check_int "total" 10 (Pagelist.total_rows pl);
+  check_int "available" 10 (Pagelist.rows_available pl);
+  check_int "three pages" (3 * 64) (Pagelist.memory_footprint pl);
+  let seen = ref [] in
+  Pagelist.iter pl (fun slot -> seen := Fbuf.get_i64 slot.Pagelist.page slot.Pagelist.off :: !seen);
+  Alcotest.(check (list int)) "write order" (List.init 10 Fun.id) (List.rev !seen)
+
+let test_pagelist_buffered () =
+  let flushes = ref [] in
+  let pl =
+    (* Recursive knot: on_full reads the pagelist being constructed. *)
+    let cell = ref None in
+    let pl =
+      Pagelist.create_buffered ~page_bytes:64 ~row_width:16
+        ~on_full:(fun pl -> flushes := Pagelist.rows_available pl :: !flushes)
+        ()
+    in
+    cell := Some pl;
+    pl
+  in
+  for i = 0 to 9 do
+    let slot = Pagelist.alloc pl in
+    Fbuf.set_i64 slot.Pagelist.page slot.Pagelist.off i
+  done;
+  Pagelist.flush pl;
+  (* 10 rows, 4 per page: full flushes at 4 and 8, final partial of 2 *)
+  Alcotest.(check (list int)) "flush sizes" [ 4; 4; 2 ] (List.rev !flushes);
+  check_int "constant footprint" 64 (Pagelist.memory_footprint pl);
+  check_int "total" 10 (Pagelist.total_rows pl)
+
+let test_pagelist_errors () =
+  Alcotest.check_raises "row wider than page"
+    (Invalid_argument "Pagelist: row wider than a page") (fun () ->
+      ignore (Pagelist.create_staged ~page_bytes:8 ~row_width:16 ()))
+
+(* --- mapping --- *)
+
+let nested_ty = Schema.to_vtype Lq_testkit.nested_schema
+
+let test_mapping_build () =
+  let m =
+    Mapping.build ~source:nested_ty
+      ~paths:[ [ "shop"; "city" ]; [ "item"; "price" ]; [ "shop"; "city" ] ]
+      ~with_index:true
+  in
+  (* duplicates collapse; names get unique suffixes; index column last *)
+  Alcotest.(check (list string))
+    "flat names" [ "city_1"; "price_2"; "__idx" ]
+    (Array.to_list (Layout.fields (Mapping.layout m)) |> List.map (fun f -> f.Layout.name));
+  check_bool "flat_name lookup" true
+    (Mapping.flat_name m [ "item"; "price" ] = Some "price_2");
+  check_bool "describe mentions path" true
+    (Lq_expr.Scalar.like_match ~pattern:"%shop.city%" (Mapping.describe m))
+
+let test_mapping_write () =
+  let m =
+    Mapping.build ~source:nested_ty
+      ~paths:[ [ "shop"; "city" ]; [ "item"; "price" ]; [ "oid" ] ]
+      ~with_index:true
+  in
+  let dict = Dict.create () in
+  let row = List.hd (Lq_testkit.nested_rows ~n:1 ()) in
+  let page = Bytes.make 256 '\000' in
+  Mapping.write_row m ~dict page 0 ~index:41 row;
+  let layout = Mapping.layout m in
+  let city_off = (Layout.field_at layout 0).Layout.offset in
+  let price_off = (Layout.field_at layout 1).Layout.offset in
+  let idx_off = (Layout.field_at layout 3).Layout.offset in
+  check_str "city staged" "London" (Dict.get dict (Fbuf.get_i32 page city_off));
+  check_bool "price staged" true
+    (Fbuf.get_f64 page price_off = Value.to_float (Mapping.extract row [ "item"; "price" ]));
+  check_int "index staged" 41 (Fbuf.get_i64 page idx_off)
+
+let test_mapping_errors () =
+  Alcotest.check_raises "unknown member"
+    (Invalid_argument "Mapping: type {name: string; price: float; weight: int} has no member \"nope\"")
+    (fun () ->
+      ignore (Mapping.build ~source:nested_ty ~paths:[ [ "item"; "nope" ] ] ~with_index:false));
+  check_bool "non-scalar leaf rejected" true
+    (match Mapping.build ~source:nested_ty ~paths:[ [ "item" ] ] ~with_index:false with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ("fbuf", [ Alcotest.test_case "roundtrip" `Quick test_fbuf_roundtrip; prop_fbuf_i64 ]);
+      ( "layout",
+        [
+          Alcotest.test_case "offsets" `Quick test_layout_offsets;
+          Alcotest.test_case "reorder" `Quick test_layout_reorder;
+          Alcotest.test_case "rejects nested" `Quick test_layout_rejects_nested;
+        ] );
+      ("dict", [ Alcotest.test_case "intern/get" `Quick test_dict ]);
+      ( "rowstore",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rowstore_roundtrip;
+          Alcotest.test_case "readers" `Quick test_rowstore_readers;
+          Alcotest.test_case "write/clear/growth" `Quick test_rowstore_write_clear;
+        ] );
+      ("colstore", [ Alcotest.test_case "decompose" `Quick test_colstore ]);
+      ( "pagelist",
+        [
+          Alcotest.test_case "staged" `Quick test_pagelist_staged;
+          Alcotest.test_case "buffered" `Quick test_pagelist_buffered;
+          Alcotest.test_case "errors" `Quick test_pagelist_errors;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "build" `Quick test_mapping_build;
+          Alcotest.test_case "write" `Quick test_mapping_write;
+          Alcotest.test_case "errors" `Quick test_mapping_errors;
+        ] );
+    ]

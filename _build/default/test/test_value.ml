@@ -1,0 +1,170 @@
+(* Unit and property tests for the value layer: dates, dynamic values,
+   schemas. *)
+
+open Lq_value
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* --- dates --- *)
+
+let test_date_epoch () =
+  check_int "epoch is day 0" 0 (Date.of_ymd 1970 1 1);
+  check_int "day after epoch" 1 (Date.of_ymd 1970 1 2);
+  check_int "day before epoch" (-1) (Date.of_ymd 1969 12 31)
+
+let test_date_known () =
+  (* Cross-checked against `date -d ... +%s` / 86400. *)
+  check_int "1998-12-01" 10561 (Date.of_ymd 1998 12 1);
+  check_int "1992-01-01" 8035 (Date.of_ymd 1992 1 1);
+  check_int "2000-02-29 leap" 11016 (Date.of_ymd 2000 2 29)
+
+let test_date_strings () =
+  check_str "roundtrip" "1998-12-01" (Date.to_string (Date.of_string "1998-12-01"));
+  check_str "pads" "0099-01-05" (Date.to_string (Date.of_ymd 99 1 5));
+  Alcotest.check_raises "bad format" (Invalid_argument "Date.of_string: \"1998/12/01\"")
+    (fun () -> ignore (Date.of_string "1998/12/01"))
+
+let test_date_arith () =
+  let d = Date.of_string "1998-12-01" in
+  check_str "minus 90" "1998-09-02" (Date.to_string (Date.add_days d (-90)));
+  check_int "year" 1998 (Date.year d);
+  check_int "year boundary" 1999 (Date.year (Date.add_days d 31))
+
+let prop_date_roundtrip =
+  Lq_testkit.qtest ~count:500 "date: ymd<->days roundtrip"
+    QCheck2.Gen.(int_range (-200_000) 200_000)
+    (fun day ->
+      let y, m, d = Date.to_ymd day in
+      Date.of_ymd y m d = day && m >= 1 && m <= 12 && d >= 1 && d <= 31)
+
+let prop_date_monotonic =
+  Lq_testkit.qtest ~count:500 "date: string order = day order"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 100_000))
+    (fun (a, b) ->
+      let sa = Date.to_string a and sb = Date.to_string b in
+      compare a b = compare sa sb)
+
+(* --- values --- *)
+
+let test_value_compare () =
+  check_bool "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  check_bool "null lowest" true (Value.compare Value.Null (Value.Bool false) < 0);
+  check_bool "record fieldwise" true
+    (Value.compare
+       (Value.record [ ("a", Value.Int 1); ("b", Value.Int 9) ])
+       (Value.record [ ("a", Value.Int 1); ("b", Value.Int 10) ])
+    < 0);
+  check_bool "list lexicographic" true
+    (Value.compare (Value.list [ Value.Int 1 ]) (Value.list [ Value.Int 1; Value.Int 0 ]) < 0)
+
+let test_value_hash_consistent () =
+  let a = Value.record [ ("x", Value.Str "hi"); ("y", Value.Float 2.5) ] in
+  let b = Value.record [ ("x", Value.Str "hi"); ("y", Value.Float 2.5) ] in
+  check_bool "equal values" true (Value.equal a b);
+  check_int "equal hashes" (Value.hash a) (Value.hash b)
+
+let test_value_field () =
+  let r = Value.record [ ("a", Value.Int 1); ("b", Value.Str "x") ] in
+  check_bool "field" true (Value.equal (Value.field r "b") (Value.Str "x"));
+  check_bool "field_opt miss" true (Value.field_opt r "c" = None);
+  Alcotest.check_raises "field miss raises"
+    (Invalid_argument
+       "Value: expected record with field \"c\", got {a=1; b=\"x\"}") (fun () ->
+      ignore (Value.field r "c"))
+
+let test_value_projections () =
+  check_int "to_int" 5 (Value.to_int (Value.Int 5));
+  Alcotest.(check (float 0.0)) "to_float promotes int" 5.0 (Value.to_float (Value.Int 5));
+  check_bool "to_elements of group record" true
+    (Value.to_elements
+       (Value.record [ ("Key", Value.Int 1); ("Items", Value.list [ Value.Int 7 ]) ])
+    = [ Value.Int 7 ])
+
+let test_type_of () =
+  check_bool "record type" true
+    (match Value.type_of (Value.record [ ("a", Value.Int 1) ]) with
+    | Some (Vtype.Record [ ("a", Vtype.Int) ]) -> true
+    | _ -> false);
+  check_bool "empty list untyped" true (Value.type_of (Value.list []) = None);
+  check_bool "null untyped" true (Value.type_of Value.Null = None)
+
+let prop_hash_respects_equal =
+  let gen =
+    QCheck2.Gen.(
+      sized @@ fix (fun self size ->
+          if size <= 1 then
+            oneof
+              [
+                map (fun i -> Value.Int i) small_int;
+                map (fun s -> Value.Str s) (small_string ~gen:printable);
+                map (fun b -> Value.Bool b) bool;
+              ]
+          else
+            oneof
+              [
+                map (fun i -> Value.Int i) small_int;
+                map
+                  (fun xs -> Value.list xs)
+                  (list_size (int_range 0 4) (self (size / 2)));
+                map
+                  (fun xs ->
+                    Value.record (List.mapi (fun i x -> (Printf.sprintf "f%d" i, x)) xs))
+                  (list_size (int_range 0 4) (self (size / 2)));
+              ]))
+  in
+  Lq_testkit.qtest ~count:300 "value: equal implies equal hash"
+    (QCheck2.Gen.pair gen gen) (fun (a, b) ->
+      (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+(* --- schemas --- *)
+
+let test_schema_basics () =
+  let s = Schema.make [ ("a", Vtype.Int); ("b", Vtype.String) ] in
+  check_int "arity" 2 (Schema.arity s);
+  check_bool "index" true (Schema.field_index s "b" = Some 1);
+  check_bool "type" true (Schema.field_type s "a" = Some Vtype.Int);
+  check_bool "mem" true (Schema.mem s "a" && not (Schema.mem s "z"));
+  Alcotest.check_raises "duplicate field"
+    (Invalid_argument "Schema.make: duplicate field \"a\"") (fun () ->
+      ignore (Schema.make [ ("a", Vtype.Int); ("a", Vtype.Int) ]))
+
+let test_schema_row_and_project () =
+  let s = Schema.make [ ("a", Vtype.Int); ("b", Vtype.String) ] in
+  let r = Schema.row s [ Value.Int 1; Value.Str "x" ] in
+  check_bool "row fields" true (Value.equal (Value.field r "a") (Value.Int 1));
+  let p = Schema.project s [ "b" ] in
+  check_int "projected arity" 1 (Schema.arity p);
+  check_bool "roundtrip via vtype" true
+    (match Schema.of_vtype (Schema.to_vtype s) with
+    | Some s' -> Schema.names s' = Schema.names s
+    | None -> false)
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "date",
+        [
+          Alcotest.test_case "epoch" `Quick test_date_epoch;
+          Alcotest.test_case "known days" `Quick test_date_known;
+          Alcotest.test_case "strings" `Quick test_date_strings;
+          Alcotest.test_case "arithmetic" `Quick test_date_arith;
+          prop_date_roundtrip;
+          prop_date_monotonic;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "hash" `Quick test_value_hash_consistent;
+          Alcotest.test_case "field access" `Quick test_value_field;
+          Alcotest.test_case "projections" `Quick test_value_projections;
+          Alcotest.test_case "type_of" `Quick test_type_of;
+          prop_hash_respects_equal;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "rows/project" `Quick test_schema_row_and_project;
+        ] );
+    ]
