@@ -48,7 +48,7 @@ let timed_runs () = if !quick then 1 else 3
 (* ------------------------------------------------------------------ *)
 (* timing helpers *)
 
-let now_ms () = Unix.gettimeofday () *. 1000.0
+let now_ms = Profile.now_ms
 
 let median xs =
   let sorted = List.sort compare xs in
@@ -581,7 +581,9 @@ let codegen () =
     deltas;
   let stats = Provider.cache_stats prov in
   note "\nquery cache across %d parameter variants of Q1: %d compilation(s), %d hit(s)"
-    (List.length deltas) stats.Lq_core.Query_cache.misses stats.Lq_core.Query_cache.hits
+    (List.length deltas) stats.Lq_core.Query_cache.misses stats.Lq_core.Query_cache.hits;
+  note "\ncache observability (per-engine hit/miss/compile-time counters):";
+  note "%s" (Provider.report prov)
 
 (* ------------------------------------------------------------------ *)
 (* bechamel micro: per-element operator overhead *)
@@ -674,6 +676,14 @@ let extensions () =
   Printf.printf "  first execution (compiles + runs)      %8.3f ms\n" cold;
   Printf.printf "  repeated execution (recycled result)   %8.3f ms   (%.0fx)\n%!" warm
     (cold /. warm);
+  (match Provider.result_cache_stats recycling with
+  | Some s ->
+    Printf.printf "  result cache: %d entr%s, %d rows held, %d hit(s), %d miss(es)\n%!"
+      s.Lq_core.Result_cache.entries
+      (if s.Lq_core.Result_cache.entries = 1 then "y" else "ies")
+      s.Lq_core.Result_cache.cached_rows s.Lq_core.Result_cache.hits
+      s.Lq_core.Result_cache.misses
+  | None -> ());
 
   note "\n-- parallel native scans (OCaml domains) --";
   let w = Lq_tpch.Workloads.aggregation in

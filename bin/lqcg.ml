@@ -85,15 +85,16 @@ let run_cmd =
     with
     | exception Engine_intf.Unsupported msg -> Printf.printf "unsupported: %s\n" msg
     | rows ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Lq_metrics.Profile.now_ms () in
       let rows2 =
         Lq_core.Provider.run provider ~engine ~params:Lq_tpch.Queries.extended_params
           query
       in
-      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let ms = Lq_metrics.Profile.now_ms () -. t0 in
       ignore rows;
       Printf.printf "%d rows in %.1f ms (warm plan)\n" (List.length rows2) ms;
-      List.iter (fun r -> Printf.printf "%s\n" (Value.to_string r)) rows2
+      List.iter (fun r -> Printf.printf "%s\n" (Value.to_string r)) rows2;
+      Printf.printf "\n%s" (Lq_core.Provider.report provider)
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
 

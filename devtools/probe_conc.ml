@@ -1,0 +1,76 @@
+(* Domain-safety probe: storm each engine independently with 4 Domains
+   sharing one provider, and report result mismatches. A non-zero count
+   means a prepared plan leaked mutable state across concurrent
+   executions (see the per-plan locks in nplan.ml / hybrid_engine.ml).
+
+     dune exec devtools/probe_conc.exe *)
+
+open Lq_expr.Dsl
+module Provider = Lq_core.Provider
+
+let queries =
+  List.concat_map
+    (fun n ->
+      [
+        source "sales" |> where "s" (v "s" $. "qty" >: int n);
+        source "sales" |> where "s" (v "s" $. "qty" >: int n) |> select "s" (v "s" $. "id");
+        source "sales"
+        |> where "s" (v "s" $. "city" =: str "Paris")
+        |> where "s" (v "s" $. "id" <: int (n * 10));
+        source "sales"
+        |> group_by
+             ~key:("s", v "s" $. "city")
+             ~result:
+               ( "g",
+                 record
+                   [ ("city", v "g" $. "Key"); ("total", sum (v "g") "x" (v "x" $. "qty")) ]
+               )
+        |> order_by [ ("r", v "r" $. "city", asc) ]
+        |> take n;
+      ])
+    [ 5; 17; 29 ]
+
+let () =
+  let engines =
+    [
+      Lq_core.Engines.linq_to_objects;
+      Lq_core.Engines.compiled_csharp;
+      Lq_core.Engines.compiled_c;
+      Lq_core.Engines.hybrid;
+      Lq_core.Engines.hybrid_buffered;
+      Lq_core.Engines.hybrid_min;
+      Lq_core.Engines.sqlserver_interpreted;
+      Lq_core.Engines.vectorwise;
+    ]
+  in
+  List.iter
+    (fun (engine : Lq_catalog.Engine_intf.t) ->
+      let mismatches = ref 0 in
+      for trial = 1 to 20 do
+        let cat = Lq_testkit.sales_catalog ~n:300 () in
+        let prov = Provider.create cat in
+        let expected =
+          List.filter_map
+            (fun q ->
+              match Provider.run prov ~engine q with
+              | rows -> Some (q, rows)
+              | exception Lq_catalog.Engine_intf.Unsupported _ -> None)
+            queries
+        in
+        let combos = Array.of_list expected in
+        let bad = Atomic.make 0 in
+        let domains =
+          List.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  let rng = Lq_exec.Prng.create (trial * 100 + d) in
+                  for _ = 1 to 25 do
+                    let q, want = combos.(Lq_exec.Prng.int rng (Array.length combos)) in
+                    let got = Provider.run prov ~engine q in
+                    if not (Lq_testkit.rows_equal want got) then Atomic.incr bad
+                  done))
+        in
+        List.iter Domain.join domains;
+        mismatches := !mismatches + Atomic.get bad
+      done;
+      Printf.printf "%-28s mismatches over 20 trials: %d\n%!" engine.name !mismatches)
+    engines

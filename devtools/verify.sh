@@ -1,0 +1,31 @@
+#!/bin/sh
+# One-command verification: format check (when ocamlformat is available),
+# full build, full test suite. This is the tier-1 gate — run it before
+# every commit.
+#
+#   sh devtools/verify.sh            # build + tests
+#   sh devtools/verify.sh --force    # also re-run tests that already passed
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FORCE=""
+if [ "${1:-}" = "--force" ]; then
+  FORCE="--force"
+fi
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt (check) =="
+  dune build @fmt
+else
+  echo "== dune fmt skipped (ocamlformat not installed) =="
+fi
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest $FORCE
+
+echo "== verify OK =="

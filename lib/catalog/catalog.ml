@@ -17,10 +17,20 @@ type t = {
   tables : (string, table) Hashtbl.t;
   dict : Lq_storage.Dict.t;
   heap : Lq_cachesim.Heap_model.t;
+  mutable listeners : (string -> unit) list;
+      (** invalidation hooks, called with the table name on mutation *)
 }
 
 let create () =
-  { tables = Hashtbl.create 16; dict = Lq_storage.Dict.create (); heap = Lq_cachesim.Heap_model.create () }
+  {
+    tables = Hashtbl.create 16;
+    dict = Lq_storage.Dict.create ();
+    heap = Lq_cachesim.Heap_model.create ();
+    listeners = [];
+  }
+
+let on_invalidate t f = t.listeners <- f :: t.listeners
+let notify_invalidate t name = List.iter (fun f -> f name) t.listeners
 
 let dict t = t.dict
 
@@ -29,9 +39,7 @@ let schema_is_flat schema =
     (fun (f : Schema.field) -> Vtype.is_scalar f.Schema.ty)
     (Schema.fields schema)
 
-let add t ~name ~schema rows =
-  if Hashtbl.mem t.tables name then
-    invalid_arg (Printf.sprintf "Catalog.add: table %S already registered" name);
+let make_table t ~name ~schema rows =
   let rec table =
     {
       name;
@@ -52,7 +60,22 @@ let add t ~name ~schema rows =
       indexes = Hashtbl.create 4;
     }
   in
-  Hashtbl.add t.tables name table
+  table
+
+let add t ~name ~schema rows =
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Printf.sprintf "Catalog.add: table %S already registered" name);
+  Hashtbl.add t.tables name (make_table t ~name ~schema rows)
+
+let replace t ~name ~schema rows =
+  Hashtbl.replace t.tables name (make_table t ~name ~schema rows);
+  notify_invalidate t name
+
+let remove t name =
+  if Hashtbl.mem t.tables name then begin
+    Hashtbl.remove t.tables name;
+    notify_invalidate t name
+  end
 
 let table t name =
   match Hashtbl.find_opt t.tables name with

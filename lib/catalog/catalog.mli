@@ -28,6 +28,20 @@ val dict : t -> Lq_storage.Dict.t
 val add : t -> name:string -> schema:Schema.t -> Value.t list -> unit
 (** @raise Invalid_argument if the name is taken. *)
 
+val replace : t -> name:string -> schema:Schema.t -> Value.t list -> unit
+(** Replaces (or first registers) a table's contents and fires the
+    invalidation hooks — the reload/mutation entry point. Cached results
+    derived from the old contents must be dropped; the query provider
+    subscribes via {!on_invalidate} to do so automatically. *)
+
+val remove : t -> string -> unit
+(** Unregisters a table (no-op when absent) and fires the hooks. *)
+
+val on_invalidate : t -> (string -> unit) -> unit
+(** Registers a hook called with the table name whenever {!replace} or
+    {!remove} mutates that table. Hooks run synchronously on the mutating
+    thread and must be cheap and exception-free. *)
+
 val table : t -> string -> table
 (** @raise Lq_expr.Eval.Unbound_source for unknown names. *)
 

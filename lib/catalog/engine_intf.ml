@@ -8,6 +8,10 @@ type prepared = {
     params:(string * Value.t) list ->
     unit ->
     Value.t list;
+      (** Must be safe to call from multiple Domains: the compiled-query
+          cache hands one prepared plan to every concurrent caller. Engines
+          whose plans close over mutable scratch state serialize executions
+          with a per-plan lock (compiled plan, nplan, hybrid). *)
   codegen_ms : float;
   source : string option;
 }

@@ -12,17 +12,27 @@ type t = {
 }
 
 let create ?(optimizer = Optimizer.default) ?(use_cache = true)
-    ?(recycle_results = false) cat =
-  {
-    cat;
-    cache = Query_cache.create ();
-    results = (if recycle_results then Some (Result_cache.create ()) else None);
-    optimizer;
-    use_cache;
-  }
+    ?(recycle_results = false) ?query_cache_entries ?admission
+    ?result_cache_entries ?result_cache_rows cat =
+  let results =
+    if recycle_results then
+      Some
+        (Result_cache.create ?max_entries:result_cache_entries
+           ?max_rows:result_cache_rows ())
+    else None
+  in
+  let cache = Query_cache.create ?max_entries:query_cache_entries ?admission () in
+  (* The catalog tells us which table changed; stale compiled plans and
+     recycled results are dropped table-by-table, untouched tables keep
+     their entries. *)
+  Catalog.on_invalidate cat (fun table ->
+      Query_cache.invalidate cache ~table;
+      Option.iter (fun rc -> Result_cache.invalidate rc ~table) results);
+  { cat; cache; results; optimizer; use_cache }
 
 let catalog t = t.cat
 let cache_stats t = Query_cache.stats t.cache
+let cache_counters t = Query_cache.counters t.cache
 let clear_cache t = Query_cache.clear t.cache
 let optimized t q = Optimizer.run ~options:t.optimizer q
 
@@ -40,17 +50,17 @@ let prepare_internal t ~(engine : Engine_intf.t) ?instr q =
   let prepared, outcome =
     if t.use_cache && instr = None then
       Query_cache.find_or_compile t.cache ~engine:engine.Engine_intf.name ~shape
-        ~compile
+        ~tables:(Ast.sources_of_query q) ~compile ()
     else (compile (), `Miss)
   in
-  (prepared, outcome, consts)
+  (prepared, outcome, shape, consts)
 
 let prepare_only t ~engine q =
-  let prepared, outcome, _ = prepare_internal t ~engine q in
+  let prepared, outcome, _, _ = prepare_internal t ~engine q in
   (prepared, outcome)
 
 let run t ~engine ?(params = []) ?profile q =
-  let prepared, _, consts = prepare_internal t ~engine q in
+  let prepared, _, shape, consts = prepare_internal t ~engine q in
   let all_params = params @ Query_cache.const_params consts in
   let execute () = prepared.Engine_intf.execute ?profile ~params:all_params () in
   match t.results with
@@ -58,25 +68,45 @@ let run t ~engine ?(params = []) ?profile q =
   | Some rc -> (
     (* Result recycling (§9): identical invocations return the
        materialized rows without executing. *)
-    let key =
-      Result_cache.key ~engine:engine.Engine_intf.name
-        ~shape:(Shape.key (optimized t q))
-        ~consts ~params
-    in
+    let key = Result_cache.key ~engine:engine.Engine_intf.name ~shape ~consts ~params in
     match Result_cache.find rc key with
     | Some rows -> rows
     | None ->
       let rows = execute () in
-      Result_cache.store rc key rows;
+      Result_cache.store rc key ~tables:(Ast.sources_of_query q) rows;
       rows)
 
 let result_cache_stats t = Option.map Result_cache.stats t.results
 
 let clear_result_cache t = Option.iter Result_cache.clear t.results
 
+let report t =
+  let buf = Buffer.create 256 in
+  let qstats = Query_cache.stats t.cache in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "query cache: %d entries, %d hit(s), %d miss(es), %d eviction(s), %d \
+        rejected, %.2f ms compiling\n"
+       qstats.Query_cache.entries qstats.Query_cache.hits qstats.Query_cache.misses
+       qstats.Query_cache.evictions qstats.Query_cache.rejected
+       qstats.Query_cache.compile_ms);
+  (match t.results with
+  | None -> ()
+  | Some rc ->
+    let rstats = Result_cache.stats rc in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "result cache: %d entries (%d rows), %d hit(s), %d miss(es), %d \
+          eviction(s), %d invalidated\n"
+         rstats.Result_cache.entries rstats.Result_cache.cached_rows
+         rstats.Result_cache.hits rstats.Result_cache.misses
+         rstats.Result_cache.evictions rstats.Result_cache.invalidations));
+  Buffer.add_string buf (Lq_metrics.Counters.to_string (Query_cache.counters t.cache));
+  Buffer.contents buf
+
 let run_instrumented t ~engine ?(params = []) hierarchy q =
   let instr = Lq_catalog.Instr.of_hierarchy hierarchy in
-  let prepared, _, consts = prepare_internal t ~engine ~instr q in
+  let prepared, _, _, consts = prepare_internal t ~engine ~instr q in
   let params = params @ Query_cache.const_params consts in
   prepared.Engine_intf.execute ~params ()
 

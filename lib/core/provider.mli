@@ -21,22 +21,46 @@ val create :
   ?optimizer:Optimizer.options ->
   ?use_cache:bool ->
   ?recycle_results:bool ->
+  ?query_cache_entries:int ->
+  ?admission:Query_cache.admission ->
+  ?result_cache_entries:int ->
+  ?result_cache_rows:int ->
   Lq_catalog.Catalog.t ->
   t
 (** [recycle_results] additionally memoizes materialized result rows per
     (engine, shape, constants, parameters) — the §9 "query result caching"
-    extension. Sound only for immutable catalogs. *)
+    extension. The provider subscribes to the catalog's invalidation
+    hooks, so {!Lq_catalog.Catalog.replace}/[remove] automatically drop
+    the recycled results of the mutated table.
+
+    [query_cache_entries] bounds the compiled-plan LRU (0 disables it,
+    negative unbounds it; default {!Query_cache.default_capacity}), and
+    [admission] selects its eviction policy. [result_cache_entries] /
+    [result_cache_rows] bound the result LRU by entry count and by total
+    cached rows.
+
+    A provider may be shared between Domains: both caches are
+    mutex-guarded, and plan compilation happens outside the lock. *)
 
 val catalog : t -> Lq_catalog.Catalog.t
 val cache_stats : t -> Query_cache.stats
 val clear_cache : t -> unit
 
+val cache_counters : t -> Lq_metrics.Counters.t
+(** The query cache's raw counters, including per-engine hit/miss and
+    compile-time breakdowns. *)
+
+val report : t -> string
+(** Human-readable cache observability block: both caches' headline
+    stats plus the per-engine counter listing. *)
+
 val result_cache_stats : t -> Result_cache.stats option
 (** [None] unless created with [~recycle_results:true]. *)
 
 val clear_result_cache : t -> unit
-(** Applications that mutate registered collections must clear recycled
-    results (no automatic invalidation). *)
+(** Drops all recycled results. Mutations that go through
+    {!Lq_catalog.Catalog.replace} invalidate automatically; this is the
+    big hammer for out-of-band changes. *)
 
 val run :
   t ->

@@ -1,24 +1,36 @@
 open Lq_value
+module Counters = Lq_metrics.Counters
 
 type stats = {
   hits : int;
   misses : int;
   entries : int;
   cached_rows : int;
+  evictions : int;
+  invalidations : int;
 }
 
-type entry = { rows : Value.t list; mutable stamp : int }
+type entry = {
+  rows : Value.t list;
+  tables : string list;  (** source tables; the invalidation fan-out *)
+}
 
 type t = {
-  table : (string, entry) Hashtbl.t;
-  max_entries : int;
-  mutable clock : int;
-  mutable hits : int;
-  mutable misses : int;
+  mu : Mutex.t;
+  lru : entry Lru.t;
+  counters : Counters.t;
 }
 
-let create ?(max_entries = 128) () =
-  { table = Hashtbl.create 64; max_entries; clock = 0; hits = 0; misses = 0 }
+let create ?(max_entries = 128) ?(max_rows = 262_144) () =
+  {
+    mu = Mutex.create ();
+    lru = Lru.create ~max_entries ~max_weight:max_rows ();
+    counters = Counters.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let key ~engine ~shape ~consts ~params =
   let buf = Buffer.create 128 in
@@ -40,44 +52,47 @@ let key ~engine ~shape ~consts ~params =
   Buffer.contents buf
 
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some entry ->
-    t.clock <- t.clock + 1;
-    entry.stamp <- t.clock;
-    t.hits <- t.hits + 1;
-    Some entry.rows
-  | None ->
-    t.misses <- t.misses + 1;
-    None
+  locked t (fun () ->
+      match Lru.find t.lru key with
+      | Some entry ->
+        Counters.incr t.counters "hits";
+        Some entry.rows
+      | None ->
+        Counters.incr t.counters "misses";
+        None)
 
-let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun k e ->
-      match !victim with
-      | Some (_, stamp) when stamp <= e.stamp -> ()
-      | _ -> victim := Some (k, e.stamp))
-    t.table;
-  match !victim with
-  | Some (k, _) -> Hashtbl.remove t.table k
-  | None -> ()
+let store t key ?(tables = []) rows =
+  locked t (fun () ->
+      if not (Lru.mem t.lru key) then
+        let weight = List.length rows in
+        match Lru.add t.lru ~key ~weight { rows; tables } with
+        | Some evicted ->
+          if evicted <> [] then
+            Counters.incr ~by:(List.length evicted) t.counters "evictions"
+        | None -> Counters.incr t.counters "rejected")
 
-let store t key rows =
-  if not (Hashtbl.mem t.table key) then begin
-    if Hashtbl.length t.table >= t.max_entries then evict_lru t;
-    t.clock <- t.clock + 1;
-    Hashtbl.add t.table key { rows; stamp = t.clock }
-  end
+let invalidate t ~table =
+  locked t (fun () ->
+      let dropped =
+        Lru.drop_where t.lru (fun _ entry ->
+            List.exists (String.equal table) entry.tables)
+      in
+      if dropped > 0 then Counters.incr ~by:dropped t.counters "invalidations")
 
 let stats t =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    entries = Hashtbl.length t.table;
-    cached_rows = Hashtbl.fold (fun _ e acc -> acc + List.length e.rows) t.table 0;
-  }
+  locked t (fun () ->
+      {
+        hits = Counters.count t.counters "hits";
+        misses = Counters.count t.counters "misses";
+        entries = Lru.length t.lru;
+        cached_rows = Lru.total_weight t.lru;
+        evictions = Counters.count t.counters "evictions";
+        invalidations = Counters.count t.counters "invalidations";
+      })
+
+let counters t = t.counters
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.hits <- 0;
-  t.misses <- 0
+  locked t (fun () ->
+      Lru.clear t.lru;
+      Counters.reset t.counters)

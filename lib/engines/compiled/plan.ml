@@ -25,6 +25,9 @@ type t = {
   root : node;
   eval_ctx_cell : Eval.ctx option ref;  (** set per execution, for sub-queries *)
   epoch : int ref;
+  mu : Mutex.t;
+      (** [eval_ctx_cell], [epoch] and the group finalizers'
+          [current_states] cell are plan-level; one execution at a time *)
 }
 
 (* Per-group accumulator machinery. A group's state is one [astate] per
@@ -641,14 +644,20 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
     }
   in
   let root = compile_query query in
-  { ctx; cat; root; eval_ctx_cell; epoch }
+  { ctx; cat; root; eval_ctx_cell; epoch; mu = Mutex.create () }
 
+(* The cache shares one plan with every Domain; executions of the same
+   plan serialize on its lock (distinct plans still run in parallel). *)
 let execute t ~params =
-  let rt = Cexpr.make_rt t.ctx ~params in
-  incr t.epoch;
-  t.eval_ctx_cell := Some (Catalog.eval_ctx t.cat ~params);
-  let acc = ref [] in
-  t.root.run rt (fun () -> acc := rt.Cexpr.frame.(t.root.slot) :: !acc);
-  List.rev !acc
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      let rt = Cexpr.make_rt t.ctx ~params in
+      incr t.epoch;
+      t.eval_ctx_cell := Some (Catalog.eval_ctx t.cat ~params);
+      let acc = ref [] in
+      t.root.run rt (fun () -> acc := rt.Cexpr.frame.(t.root.slot) :: !acc);
+      List.rev !acc)
 
 let loop_segments t = t.root.segments

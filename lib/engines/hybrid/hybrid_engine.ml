@@ -544,6 +544,16 @@ let make ?(buffered = false) ?(construction = Max) () : Engine_intf.t =
         Profile.add p "Return result (C/C#)" (t_end -. t_native));
       result
     in
+    (* The staging stores, driver cells and eval-ctx cell are shared by
+       every execution of this prepared plan; serialize whole executions
+       so cached plans can be shared across Domains. *)
+    let mu = Mutex.create () in
+    let execute ?profile ~params () =
+      Mutex.lock mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock mu)
+        (fun () -> execute ?profile ~params ())
+    in
     {
       Engine_intf.execute;
       codegen_ms;

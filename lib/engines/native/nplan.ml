@@ -24,6 +24,9 @@ type t = {
   emit : unit -> Value.t;  (** boxes the current root element *)
   fillers : (Eval.ctx -> unit) list;  (** per-execution sub-query cells *)
   segments : int;
+  mu : Mutex.t;
+      (** the plan's cursors, parameter cells and accumulators are baked
+          into the closures, so one execution at a time *)
 }
 
 type external_source = {
@@ -679,19 +682,35 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
   in
   let root = compile_query query in
   let emit = Nexpr.elem_to_value nctx root.elem in
-  { nctx; cat; root; emit; fillers = !fillers; segments = root.segments }
+  {
+    nctx;
+    cat;
+    root;
+    emit;
+    fillers = !fillers;
+    segments = root.segments;
+    mu = Mutex.create ();
+  }
 
+(* A compiled plan is a bundle of closures over shared cursors, parameter
+   cells and accumulator arrays — one execution at a time. The cache hands
+   the same plan to every Domain, so executions of the *same* plan
+   serialize here; distinct plans still run in parallel. *)
 let execute t ?profile ~params () =
-  Nexpr.bind_params t.nctx params;
-  let ectx = Catalog.eval_ctx t.cat ~params in
-  List.iter (fun fill -> fill ectx) t.fillers;
-  let run () =
-    let acc = ref [] in
-    t.root.run (fun () -> acc := t.emit () :: !acc);
-    List.rev !acc
-  in
-  match profile with
-  | None -> run ()
-  | Some p -> Lq_metrics.Profile.time p "Evaluate query (C)" run
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      Nexpr.bind_params t.nctx params;
+      let ectx = Catalog.eval_ctx t.cat ~params in
+      List.iter (fun fill -> fill ectx) t.fillers;
+      let run () =
+        let acc = ref [] in
+        t.root.run (fun () -> acc := t.emit () :: !acc);
+        List.rev !acc
+      in
+      match profile with
+      | None -> run ()
+      | Some p -> Lq_metrics.Profile.time p "Evaluate query (C)" run)
 
 let segments t = t.segments

@@ -1,0 +1,49 @@
+type t = {
+  mu : Mutex.t;
+  cells : (string, float ref) Hashtbl.t;
+}
+
+let create () = { mu = Mutex.create (); cells = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let bump t name by =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some cell -> cell := !cell +. by
+      | None -> Hashtbl.add t.cells name (ref by))
+
+let incr ?(by = 1) t name = bump t name (float_of_int by)
+let add_ms t name ms = bump t name ms
+
+let value t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some cell -> !cell
+      | None -> 0.0)
+
+let count t name = int_of_float (value t name)
+
+let to_alist t =
+  locked t (fun () -> Hashtbl.fold (fun k cell acc -> (k, !cell) :: acc) t.cells [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t = locked t (fun () -> Hashtbl.reset t.cells)
+
+let is_ms name =
+  let n = String.length name in
+  (n >= 3 && String.sub name (n - 3) 3 = "_ms")
+  || String.length name >= 3
+     &&
+     match String.index_opt name '/' with
+     | Some i -> i >= 3 && String.sub name (i - 3) 3 = "_ms"
+     | None -> false
+
+let to_string t =
+  to_alist t
+  |> List.map (fun (name, v) ->
+         if is_ms name then Printf.sprintf "%-28s %12.3f" name v
+         else Printf.sprintf "%-28s %12.0f" name v)
+  |> String.concat "\n"

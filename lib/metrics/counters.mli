@@ -1,0 +1,35 @@
+(** Named observability counters.
+
+    A flat, Domain-safe registry of named counters used by the caching
+    layer (hits, misses, evictions, per-engine compile time) and available
+    to any subsystem that wants cheap operational metrics. Counter names
+    are free-form; by convention a ["_ms"] suffix (optionally followed by
+    a ["/label"] qualifier, e.g. ["compile_ms/compiled-c"]) marks a
+    milliseconds accumulator and is rendered with a fractional part.
+
+    All operations take an internal mutex, so one registry may be bumped
+    concurrently from several Domains without losing updates. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Adds [by] (default 1) to a counter, creating it at zero first. *)
+
+val add_ms : t -> string -> float -> unit
+(** Accumulates a duration into a milliseconds counter. *)
+
+val count : t -> string -> int
+(** Current integral value; 0 for names never bumped. *)
+
+val value : t -> string -> float
+(** Current raw value; 0.0 for names never bumped. *)
+
+val to_alist : t -> (string * float) list
+(** Snapshot of all counters, sorted by name. *)
+
+val reset : t -> unit
+
+val to_string : t -> string
+(** One [name value] line per counter, sorted by name. *)

@@ -4,7 +4,9 @@ type t = {
 }
 
 let create () = { order = []; totals = Hashtbl.create 8 }
-let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* CLOCK_MONOTONIC (ns), so phase timings survive wall-clock adjustment. *)
+let now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
 
 let add t name ms =
   match Hashtbl.find_opt t.totals name with

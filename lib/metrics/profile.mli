@@ -9,7 +9,9 @@ type t
 
 val create : unit -> t
 val now_ms : unit -> float
-(** Monotonic-enough wall clock in milliseconds. *)
+(** Monotonic clock (CLOCK_MONOTONIC) in milliseconds. The origin is
+    arbitrary — only differences are meaningful — but successive samples
+    never decrease, even across wall-clock adjustments. *)
 
 val add : t -> string -> float -> unit
 (** Adds [ms] to a named phase. *)

@@ -130,12 +130,12 @@ let gen_pred var : Ast.expr QCheck2.Gen.t =
   | 2 -> return (a ||: b)
   | _ -> return (not_ a)
 
-let gen_query : Ast.query QCheck2.Gen.t =
+let gen_query_from (base : Ast.query QCheck2.Gen.t) : Ast.query QCheck2.Gen.t =
   let open QCheck2.Gen in
   let open Lq_expr.Dsl in
   let base =
-    let* pred = gen_pred "s" in
-    return (source "sales" |> where "s" pred)
+    let* pred = gen_pred "s" and* start = base in
+    return (start |> where "s" pred)
   in
   let with_projection q =
     oneof
@@ -196,6 +196,20 @@ let gen_query : Ast.query QCheck2.Gen.t =
   let* q = with_projection q in
   with_shape q
 
+let gen_query : Ast.query QCheck2.Gen.t =
+  gen_query_from (QCheck2.Gen.return (Lq_expr.Dsl.source "sales"))
+
+(* Queries whose base filter reads a runtime parameter, plus its binding:
+   exercises the cached-plan parameter-rebinding path end to end. *)
+let gen_query_with_params :
+    (Ast.query * (string * Value.t) list) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let open Lq_expr.Dsl in
+  let* lo = int_range 0 120 in
+  let base = return (source "sales" |> where "s0" (v "s0" $. "id" <: p "lo")) in
+  let* q = gen_query_from base in
+  return (q, [ ("lo", Value.Int lo) ])
+
 let query_print q = Lq_expr.Pretty.query_to_string q
 
 (* ------------------------------------------------------------------ *)
@@ -222,9 +236,13 @@ let rec value_close a b =
 let rows_close expected got =
   List.length expected = List.length got && List.for_all2 value_close expected got
 
-let engine_agrees_with_reference ?(params = []) cat (engine : Lq_catalog.Engine_intf.t) q
-    =
-  let prov = Lq_core.Provider.create cat in
+let engine_agrees_with_reference ?(params = []) ?provider cat
+    (engine : Lq_catalog.Engine_intf.t) q =
+  let prov =
+    match provider with
+    | Some prov -> prov
+    | None -> Lq_core.Provider.create cat
+  in
   let expected = Lq_core.Provider.reference prov ~params q in
   match Lq_core.Provider.run prov ~engine ~params q with
   | got -> if rows_close expected got then `Agree else `Disagree (expected, got)

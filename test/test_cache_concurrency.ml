@@ -1,0 +1,159 @@
+(* Concurrency stress tests: several Domains hammer one shared provider
+   with overlapping query shapes. The caches are mutex-guarded, so the
+   runs must (a) not crash or tear state, (b) return exactly the rows the
+   reference interpreter returns, and (c) keep exact counters — every
+   cached lookup is either a hit or a miss, so across the whole storm
+   [hits + misses = total executions]. *)
+
+open Lq_expr.Dsl
+module Provider = Lq_core.Provider
+module Query_cache = Lq_core.Query_cache
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let num_domains = 4
+let iterations = 25
+
+(* Engines that execute on the calling Domain (the parallel engine spawns
+   its own Domains and must not be nested inside ours). compiled-c and the
+   hybrids compile plans whose cursors and accumulators are baked into the
+   closures; sharing them across Domains is exactly what this suite
+   guards — their per-plan execution locks must make it safe. *)
+let engines =
+  [
+    Lq_core.Engines.linq_to_objects;
+    Lq_core.Engines.compiled_csharp;
+    Lq_core.Engines.compiled_c;
+    Lq_core.Engines.hybrid;
+    Lq_core.Engines.sqlserver_interpreted;
+  ]
+
+(* Overlapping shapes: the constants differ, the shapes collide, so
+   Domains constantly race on the same cache keys. *)
+let queries =
+  List.concat_map
+    (fun n ->
+      [
+        source "sales" |> where "s" (v "s" $. "qty" >: int n);
+        source "sales" |> where "s" (v "s" $. "qty" >: int n) |> select "s" (v "s" $. "id");
+        source "sales"
+        |> where "s" (v "s" $. "city" =: str "Paris")
+        |> where "s" (v "s" $. "id" <: int (n * 10));
+        source "sales"
+        |> group_by
+             ~key:("s", v "s" $. "city")
+             ~result:
+               ( "g",
+                 record
+                   [ ("city", v "g" $. "Key"); ("total", sum (v "g") "x" (v "x" $. "qty")) ]
+               )
+        |> order_by [ ("r", v "r" $. "city", asc) ]
+        |> take n;
+      ])
+    [ 5; 17; 29 ]
+
+let workload =
+  List.concat_map (fun engine -> List.map (fun q -> (engine, q)) queries) engines
+
+(* Warm sequentially first: forces the catalog's lazy boxed/flat stores
+   and interns every string constant, so the Domain storm only performs
+   concurrent reads on those shared structures (their contract); the
+   caches themselves are the structures under concurrent write test.
+   Combinations an engine refuses are dropped up front. *)
+let expected_results prov =
+  List.filter_map
+    (fun (engine, q) ->
+      match Provider.run prov ~engine q with
+      | rows -> Some ((engine, q), rows)
+      | exception Lq_catalog.Engine_intf.Unsupported _ -> None)
+    workload
+
+let storm ~prov ~expected =
+  let mismatches = Atomic.make 0 in
+  let executions = Atomic.make 0 in
+  let run_one seed =
+    let rng = Lq_exec.Prng.create seed in
+    let combos = Array.of_list expected in
+    for _ = 1 to iterations do
+      let ((engine, q), want) = combos.(Lq_exec.Prng.int rng (Array.length combos)) in
+      let got = Provider.run prov ~engine q in
+      Atomic.incr executions;
+      if not (Lq_testkit.rows_equal want got) then Atomic.incr mismatches
+    done
+  in
+  let domains =
+    List.init num_domains (fun d -> Domain.spawn (fun () -> run_one (1000 + d)))
+  in
+  List.iter Domain.join domains;
+  (Atomic.get executions, Atomic.get mismatches)
+
+let test_shared_provider_storm () =
+  let cat = Lq_testkit.sales_catalog ~n:300 () in
+  let prov = Provider.create cat in
+  let expected = expected_results prov in
+  let warm_runs = List.length expected in
+  let warm = Provider.cache_stats prov in
+  check_int "warm conservation" warm_runs (warm.Query_cache.hits + warm.Query_cache.misses);
+  let executions, mismatches = storm ~prov ~expected in
+  check_int "no torn results" 0 mismatches;
+  check_int "all iterations ran" (num_domains * iterations) executions;
+  let stats = Provider.cache_stats prov in
+  check_int "hits + misses = total executions" (warm_runs + executions)
+    (stats.Query_cache.hits + stats.Query_cache.misses);
+  (* with ample capacity every warm miss admitted exactly one plan, and
+     the storm replays warmed shapes only *)
+  check_int "one plan per (engine, shape)" warm.Query_cache.misses
+    stats.Query_cache.entries;
+  check_int "storm was all hits" (warm.Query_cache.hits + executions)
+    stats.Query_cache.hits
+
+let test_bounded_caches_under_storm () =
+  let cat = Lq_testkit.sales_catalog ~n:300 () in
+  (* tiny caches: the storm constantly evicts, recompiles and recycles *)
+  let prov =
+    Provider.create ~query_cache_entries:3 ~recycle_results:true
+      ~result_cache_entries:4 ~result_cache_rows:500 cat
+  in
+  let expected = expected_results prov in
+  let warm_runs = List.length expected in
+  let executions, mismatches = storm ~prov ~expected in
+  check_int "no torn results under eviction pressure" 0 mismatches;
+  let stats = Provider.cache_stats prov in
+  check_int "conservation holds under eviction" (warm_runs + executions)
+    (stats.Query_cache.hits + stats.Query_cache.misses);
+  check_bool "capacity bound held" true (stats.Query_cache.entries <= 3);
+  check_bool "evictions happened" true (stats.Query_cache.evictions > 0);
+  let rstats = Option.get (Provider.result_cache_stats prov) in
+  check_bool "result entries bounded" true (rstats.Lq_core.Result_cache.entries <= 4);
+  check_bool "result rows bounded" true (rstats.Lq_core.Result_cache.cached_rows <= 500)
+
+let test_concurrent_clear_is_safe () =
+  let cat = Lq_testkit.sales_catalog ~n:200 () in
+  let prov = Provider.create cat in
+  let expected = expected_results prov in
+  let stop = Atomic.make false in
+  let clearer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Provider.clear_cache prov;
+          Domain.cpu_relax ()
+        done)
+  in
+  let _, mismatches = storm ~prov ~expected in
+  Atomic.set stop true;
+  Domain.join clearer;
+  check_int "clears racing runs never corrupt results" 0 mismatches
+
+let () =
+  Alcotest.run "cache_concurrency"
+    [
+      ( "shared provider",
+        [
+          Alcotest.test_case "4-domain storm, exact counters" `Quick
+            test_shared_provider_storm;
+          Alcotest.test_case "bounded caches under storm" `Quick
+            test_bounded_caches_under_storm;
+          Alcotest.test_case "concurrent clear" `Quick test_concurrent_clear_is_safe;
+        ] );
+    ]

@@ -109,6 +109,62 @@ let test_codegen_cost_reported () =
   check_bool "baseline has none" false (has_source Lq_core.Engines.linq_to_objects);
   check_bool "volcano has none" false (has_source Lq_core.Engines.sqlserver_interpreted)
 
+(* --- differential cache consistency --- *)
+
+(* Caching must be semantically invisible: for a random query and random
+   parameters, every engine must return the same rows on a cold run, a
+   warm (plan- and result-cache hit) run, a run after clearing both
+   caches, and a run on a provider whose caches are disabled outright. *)
+let prop_cache_consistency =
+  Lq_testkit.qtest ~count:30 "cache consistency: cold = warm = cleared = disabled"
+    Lq_testkit.gen_query_with_params (fun (q, params) ->
+      let cat = Lq_testkit.sales_catalog () in
+      let cached = Provider.create ~recycle_results:true cat in
+      let uncached = Provider.create ~query_cache_entries:0 cat in
+      List.for_all
+        (fun engine ->
+          let runs =
+            [
+              ("cold", lazy (Lq_testkit.engine_agrees_with_reference ~params ~provider:cached cat engine q));
+              ("warm", lazy (Lq_testkit.engine_agrees_with_reference ~params ~provider:cached cat engine q));
+              ( "cleared",
+                lazy
+                  (Provider.clear_cache cached;
+                   Provider.clear_result_cache cached;
+                   Lq_testkit.engine_agrees_with_reference ~params ~provider:cached cat engine q) );
+              ("disabled", lazy (Lq_testkit.engine_agrees_with_reference ~params ~provider:uncached cat engine q));
+            ]
+          in
+          List.for_all
+            (fun (label, outcome) ->
+              match Lazy.force outcome with
+              | `Agree | `Unsupported -> true
+              | `Disagree _ ->
+                QCheck2.Test.fail_reportf "%s run disagrees on %s:@.%s" label
+                  engine.Engine_intf.name
+                  (Lq_testkit.query_print q))
+            runs)
+        [
+          Lq_core.Engines.linq_to_objects;
+          Lq_core.Engines.compiled_csharp;
+          Lq_core.Engines.compiled_c;
+          Lq_core.Engines.hybrid;
+          Lq_core.Engines.hybrid_buffered;
+          Lq_core.Engines.hybrid_min;
+          Lq_core.Engines.sqlserver_interpreted;
+          Lq_core.Engines.vectorwise;
+        ])
+
+let test_disabled_cache_counts_misses () =
+  let prov = Provider.create ~query_cache_entries:0 cat in
+  let engine = Lq_core.Engines.compiled_csharp in
+  ignore (Provider.run prov ~engine (q_with_const 1));
+  ignore (Provider.run prov ~engine (q_with_const 1));
+  let stats = Provider.cache_stats prov in
+  check_int "no hits" 0 stats.Lq_core.Query_cache.hits;
+  check_int "every run compiles" 2 stats.Lq_core.Query_cache.misses;
+  check_int "nothing retained" 0 stats.Lq_core.Query_cache.entries
+
 (* --- instrumented runs (Fig. 14 machinery) --- *)
 
 let test_instrumented_runs () =
@@ -144,6 +200,12 @@ let () =
           Alcotest.test_case "per engine" `Quick test_cache_per_engine;
           Alcotest.test_case "disabled" `Quick test_cache_disabled;
           Alcotest.test_case "clear" `Quick test_clear_cache;
+        ] );
+      ( "differential",
+        [
+          prop_cache_consistency;
+          Alcotest.test_case "disabled cache counts misses" `Quick
+            test_disabled_cache_counts_misses;
         ] );
       ("codegen", [ Alcotest.test_case "cost + listings" `Quick test_codegen_cost_reported ]);
       ("instrumented", [ Alcotest.test_case "cache-simulated runs" `Quick test_instrumented_runs ]);
