@@ -1,0 +1,108 @@
+(* Load-generator harness for the query service: sweeps open-loop
+   arrival rates (plus one closed-loop baseline) over the TPC-H service
+   mix and prints a latency/throughput/degradation table.
+
+   One provider is shared across the whole sweep, so later rates run
+   against warm compiled-plan and result caches — the report's final
+   cache block shows the amortization the §7 compiled-query cache is
+   for.
+
+   Usage:
+     bench/loadgen.exe                        default sweep
+     bench/loadgen.exe --sf 0.02 --domains 8 --queue 24 \
+       --engine compiled-c --requests 400 --deadline-ms 500 \
+       --rates 50,100,200,400 *)
+
+module Service = Lq_service.Service
+module Loadgen = Lq_service.Loadgen
+
+let sf = ref 0.01
+let domains = ref 4
+let queue = ref 32
+let engine_name = ref "compiled-c"
+let requests = ref 300
+let deadline_ms = ref 0.0
+let rates = ref [ 50.0; 150.0; 400.0 ]
+let clients = ref 8
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--sf" :: x :: rest ->
+      sf := float_of_string x;
+      go rest
+    | "--domains" :: x :: rest ->
+      domains := int_of_string x;
+      go rest
+    | "--queue" :: x :: rest ->
+      queue := int_of_string x;
+      go rest
+    | "--engine" :: x :: rest ->
+      engine_name := x;
+      go rest
+    | "--requests" :: x :: rest ->
+      requests := int_of_string x;
+      go rest
+    | "--deadline-ms" :: x :: rest ->
+      deadline_ms := float_of_string x;
+      go rest
+    | "--clients" :: x :: rest ->
+      clients := int_of_string x;
+      go rest
+    | "--rates" :: x :: rest ->
+      rates := List.map float_of_string (String.split_on_char ',' x);
+      go rest
+    | other :: _ ->
+      Printf.eprintf "unknown argument %S\n" other;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let () =
+  parse_args ();
+  let engine =
+    match Lq_core.Engines.by_name !engine_name with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown engine %S\n" !engine_name;
+      exit 2
+  in
+  let catalog = Lq_tpch.Dbgen.load ~sf:!sf () in
+  let provider = Lq_core.Provider.create ~recycle_results:true catalog in
+  let workload =
+    Lq_tpch.Workloads.service_mix
+    |> List.map (fun (label, q, params_of) -> Loadgen.item ~engine ~params_of label q)
+    |> Array.of_list
+  in
+  let deadline_ms = if !deadline_ms > 0.0 then Some !deadline_ms else None in
+  let runs =
+    Loadgen.Closed { clients = !clients; requests_per_client = max 1 (!requests / !clients) }
+    :: List.map (fun r -> Loadgen.Open { rate_per_s = r; total = !requests }) !rates
+  in
+  Printf.printf "TPC-H service mix: %d items, sf %.3f, engine %s, %d Domain(s), queue %d\n\n"
+    (Array.length workload) !sf engine.Lq_catalog.Engine_intf.name !domains !queue;
+  Printf.printf "%-26s %6s %6s %6s %6s %6s %9s %9s %9s %9s\n" "arrival" "sub" "done"
+    "rej" "t/o" "degr" "thru/s" "p50ms" "p95ms" "p99ms";
+  List.iter
+    (fun arrival ->
+      (* fresh service per point (clean counters), shared warm provider *)
+      let config = { Service.default_config with domains = !domains; queue_capacity = !queue } in
+      let svc = Service.create ~config provider in
+      let rep = Loadgen.run ?deadline_ms ~workload arrival svc in
+      Service.shutdown svc;
+      let name =
+        match arrival with
+        | Loadgen.Closed { clients; requests_per_client } ->
+          Printf.sprintf "closed %dx%d" clients requests_per_client
+        | Loadgen.Open { rate_per_s; total } ->
+          Printf.sprintf "open %.0f req/s (%d)" rate_per_s total
+      in
+      let q p = Lq_metrics.Histogram.quantile rep.Loadgen.latency p in
+      Printf.printf "%-26s %6d %6d %6d %6d %6d %9.1f %9.2f %9.2f %9.2f%s\n%!" name
+        rep.Loadgen.submitted rep.Loadgen.completed
+        (rep.Loadgen.rejected + rep.Loadgen.shed)
+        rep.Loadgen.timed_out rep.Loadgen.degraded rep.Loadgen.throughput_per_s (q 0.5)
+        (q 0.95) (q 0.99)
+        (if Loadgen.conserved rep then "" else "  [NOT CONSERVED]"))
+    runs;
+  Printf.printf "\n== shared provider after sweep ==\n%s" (Lq_core.Provider.report provider)

@@ -5,7 +5,9 @@
      tables  [--sf]       generate TPC-H data and show cardinalities
      run     [-e] [-q]    run a TPC-H query on an engine
      plan    [-e] [-q]    show the optimized tree and generated source
-     profile [-e] [-q]    run under the cache simulator *)
+     profile [-e] [-q]    run under the cache simulator
+     serve   [...]        run a load-generated workload against the
+                          multi-Domain query service *)
 
 open Cmdliner
 open Lq_value
@@ -20,11 +22,23 @@ let engine_arg =
     & opt string "compiled-c"
     & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"Execution strategy (see $(b,engines)).")
 
+(* Single source of truth for the query surface: the paper trio, the
+   correlated Q2 variant, and whatever Queries.extended grows to — the
+   help text and the error message both derive from it, so new queries
+   can't drift out of either. *)
+let query_catalog =
+  Lq_tpch.Queries.all
+  @ [ ("Q2corr", Lq_tpch.Queries.q2_correlated) ]
+  @ Lq_tpch.Queries.extended
+
+let query_names = String.concat ", " (List.map fst query_catalog)
+
 let query_arg =
   Arg.(
     value
     & opt string "Q1"
-    & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"TPC-H query: Q1, Q2, Q2corr, Q3, Q5, Q6, Q10, Q12 or Q14.")
+    & info [ "q"; "query" ] ~docv:"QUERY"
+        ~doc:(Printf.sprintf "TPC-H query: %s." query_names))
 
 let resolve_engine name =
   match Lq_core.Engines.by_name name with
@@ -34,18 +48,14 @@ let resolve_engine name =
     exit 2
 
 let resolve_query name =
-  match String.uppercase_ascii name with
-  | "Q1" -> Lq_tpch.Queries.q1
-  | "Q2" -> Lq_tpch.Queries.q2
-  | "Q2CORR" -> Lq_tpch.Queries.q2_correlated
-  | "Q3" -> Lq_tpch.Queries.q3
-  | other -> (
-    match List.assoc_opt other Lq_tpch.Queries.extended with
-    | Some q -> q
-    | None ->
-      Printf.eprintf "unknown query %S (Q1, Q2, Q2corr, Q3, Q5, Q6, Q10, Q12, Q14)\n"
-        name;
-      exit 2)
+  let target = String.uppercase_ascii name in
+  match
+    List.find_opt (fun (n, _) -> String.uppercase_ascii n = target) query_catalog
+  with
+  | Some (_, q) -> q
+  | None ->
+    Printf.eprintf "unknown query %S (%s)\n" name query_names;
+    exit 2
 
 let load sf =
   let catalog = Lq_tpch.Dbgen.load ~sf () in
@@ -138,7 +148,96 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
 
+let serve_cmd =
+  let doc =
+    "Serve a TPC-H workload through the multi-Domain query service and report \
+     latency, throughput, degradation and cache behaviour."
+  in
+  let domains_arg =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"Worker Domains.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "queue" ] ~docv:"DEPTH" ~doc:"Admission queue capacity (load shed beyond).")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "rate" ] ~docv:"REQ/S"
+          ~doc:"Open-loop Poisson arrival rate; 0 selects the closed loop.")
+  in
+  let clients_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop client Domains.")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int 400
+      & info [ "n"; "requests" ] ~docv:"N"
+          ~doc:"Total requests (split across clients in closed-loop mode).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline; 0 means none.")
+  in
+  let run sf engine_name domains queue rate clients requests deadline_ms =
+    let catalog = Lq_tpch.Dbgen.load ~sf () in
+    let provider = Lq_core.Provider.create ~recycle_results:true catalog in
+    let engine = resolve_engine engine_name in
+    let config =
+      { Lq_service.Service.default_config with domains; queue_capacity = queue }
+    in
+    let svc = Lq_service.Service.create ~config provider in
+    let workload =
+      Lq_tpch.Workloads.service_mix
+      |> List.map (fun (label, q, params_of) ->
+             Lq_service.Loadgen.item ~engine ~params_of label q)
+      |> Array.of_list
+    in
+    let arrival =
+      if rate > 0.0 then Lq_service.Loadgen.Open { rate_per_s = rate; total = requests }
+      else
+        Lq_service.Loadgen.Closed
+          {
+            clients;
+            requests_per_client = max 1 (requests / max 1 clients);
+          }
+    in
+    let deadline_ms = if deadline_ms > 0.0 then Some deadline_ms else None in
+    Printf.printf "serving %d-item TPC-H mix on %d Domain(s), queue %d, engine %s (%s)\n%!"
+      (Array.length workload) domains queue engine.Engine_intf.name
+      (match arrival with
+      | Lq_service.Loadgen.Open { rate_per_s; total } ->
+        Printf.sprintf "open loop: %.0f req/s, %d requests" rate_per_s total
+      | Lq_service.Loadgen.Closed { clients; requests_per_client } ->
+        Printf.sprintf "closed loop: %d clients x %d requests" clients
+          requests_per_client);
+    let report = Lq_service.Loadgen.run ?deadline_ms ~workload arrival svc in
+    Lq_service.Service.shutdown svc;
+    Printf.printf "\n== load report ==\n%s" (Lq_service.Loadgen.to_string report);
+    Printf.printf "\n== service (post-shutdown) ==\n%s" (Lq_service.Service.report svc);
+    if not (Lq_service.Loadgen.conserved report) then begin
+      Printf.eprintf "request accounting NOT conserved\n";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ sf_arg $ engine_arg $ domains_arg $ queue_arg $ rate_arg $ clients_arg
+      $ requests_arg $ deadline_arg)
+
 let () =
   let doc = "query compilation for managed runtimes (VLDB 2014 reproduction)" in
   let info = Cmd.info "lqcg" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ engines_cmd; tables_cmd; run_cmd; plan_cmd; profile_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ engines_cmd; tables_cmd; run_cmd; plan_cmd; profile_cmd; serve_cmd ]))

@@ -1,7 +1,7 @@
 #!/bin/sh
 # One-command verification: format check (when ocamlformat is available),
-# full build, full test suite. This is the tier-1 gate — run it before
-# every commit.
+# then the @tier1 alias — full build + full test suite, exactly the gate
+# CI runs. Run it before every commit.
 #
 #   sh devtools/verify.sh            # build + tests
 #   sh devtools/verify.sh --force    # also re-run tests that already passed
@@ -22,10 +22,7 @@ else
   echo "== dune fmt skipped (ocamlformat not installed) =="
 fi
 
-echo "== dune build @all =="
-dune build @all
-
-echo "== dune runtest =="
-dune runtest $FORCE
+echo "== dune build @tier1 (build + runtest) =="
+dune build @tier1 $FORCE
 
 echo "== verify OK =="

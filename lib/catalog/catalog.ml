@@ -10,6 +10,11 @@ type table = {
   flat : Lq_storage.Rowstore.t Lazy.t;
   columns : Lq_storage.Colstore.t Lazy.t;
   heap_addrs : int array Lazy.t;
+  force_mu : Mutex.t;
+      (** serializes first-forcing of the lazy stores: concurrent
+          [Lazy.force] from two Domains raises [Undefined], and a cold
+          table's first queries arrive concurrently under the service's
+          worker pool *)
   indexes : (string, Lq_exec.Int_table.Multi.t) Hashtbl.t;
 }
 
@@ -57,6 +62,7 @@ let make_table t ~name ~schema rows =
         lazy
           (Lq_cachesim.Heap_model.alloc_rows t.heap ~nrows:(List.length rows)
              ~nfields:(Schema.arity schema));
+      force_mu = Mutex.create ();
       indexes = Hashtbl.create 4;
     }
   in
@@ -87,14 +93,26 @@ let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.s
 let schema table = table.schema
 let name table = table.name
 let rows table = table.rows
-let boxed table = Lazy.force table.boxed
+(* Every force goes through the table mutex — including reads of
+   already-computed stores. [Lazy.is_val] cannot serve as a lock-free
+   fast path: it reports [true] while another Domain is mid-force (the
+   block carries [forcing_tag], not [lazy_tag]), so an unlocked force
+   behind it still races into [Undefined]. The lock is per-query, not
+   per-row, so the cost is noise. The [columns] thunk forces [flat]
+   internally; that inner plain [Lazy.force] already holds the mutex,
+   and every entry point is guarded here. *)
+let force_store table l =
+  Mutex.lock table.force_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock table.force_mu) (fun () -> Lazy.force l)
+
+let boxed table = force_store table table.boxed
 let row_count table = List.length table.rows
 let is_flat table = schema_is_flat table.schema
 
-let store table = Lazy.force table.flat
+let store table = force_store table table.flat
 
-let cols table = Lazy.force table.columns
-let heap_addrs table = Lazy.force table.heap_addrs
+let cols table = force_store table table.columns
+let heap_addrs table = force_store table table.heap_addrs
 
 let eval_ctx t ~params =
   Lq_expr.Eval.ctx ~catalog:(fun name -> (table t name).rows) ~params ()

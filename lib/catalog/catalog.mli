@@ -11,7 +11,14 @@
     - a {!Lq_storage.Colstore} (the vectorized stand-in's input),
     - modelled heap addresses for instrumented runs.
 
-    All tables of a catalog share one string dictionary. *)
+    All tables of a catalog share one string dictionary.
+
+    The derived stores materialize on first access, and that first
+    access is Domain-safe: a per-table mutex serializes the initial
+    forcing (concurrent [Lazy.force] from two Domains raises), so a cold
+    table may be hit by many service workers at once. Registration
+    ([add]/[replace]/[remove]) is not synchronized — populate the
+    catalog before sharing it. *)
 
 open Lq_value
 

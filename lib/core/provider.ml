@@ -38,9 +38,13 @@ let optimized t q = Optimizer.run ~options:t.optimizer q
 
 (* Canonicalize + optimize, then split the query into its shape and its
    constant vector; compiled plans always see parameters where the query
-   had constants, so a cached plan can be re-run with new values. *)
-let prepare_internal t ~(engine : Engine_intf.t) ?instr q =
+   had constants, so a cached plan can be re-run with new values.
+   [checkpoint] is called at each stage boundary with the stage just
+   finished; raising from it aborts the pipeline (the service layer's
+   cooperative deadline cancellation). *)
+let prepare_internal t ~(engine : Engine_intf.t) ?instr ?(checkpoint = fun _ -> ()) q =
   let q = optimized t q in
+  checkpoint "optimized";
   let shape = Shape.key q in
   let consts = Shape.consts q in
   let compile () =
@@ -53,14 +57,15 @@ let prepare_internal t ~(engine : Engine_intf.t) ?instr q =
         ~tables:(Ast.sources_of_query q) ~compile ()
     else (compile (), `Miss)
   in
+  checkpoint "prepared";
   (prepared, outcome, shape, consts)
 
 let prepare_only t ~engine q =
   let prepared, outcome, _, _ = prepare_internal t ~engine q in
   (prepared, outcome)
 
-let run t ~engine ?(params = []) ?profile q =
-  let prepared, _, shape, consts = prepare_internal t ~engine q in
+let run t ~engine ?(params = []) ?profile ?checkpoint q =
+  let prepared, _, shape, consts = prepare_internal t ~engine ?checkpoint q in
   let all_params = params @ Query_cache.const_params consts in
   let execute () = prepared.Engine_intf.execute ?profile ~params:all_params () in
   match t.results with

@@ -67,9 +67,17 @@ val run :
   engine:Lq_catalog.Engine_intf.t ->
   ?params:(string * Value.t) list ->
   ?profile:Lq_metrics.Profile.t ->
+  ?checkpoint:(string -> unit) ->
   Lq_expr.Ast.query ->
   Value.t list
 (** Full pipeline: canonicalize, optimize, hit or fill the cache, execute.
+
+    [checkpoint] (default: no-op) is invoked at each stage boundary with
+    the stage just completed — ["optimized"], then ["prepared"] — before
+    execution begins. Raising from it aborts the run; the service layer
+    uses this for cooperative deadline cancellation between pipeline
+    stages.
+
     @raise Lq_catalog.Engine_intf.Unsupported when the engine refuses the
     query. *)
 

@@ -1,0 +1,102 @@
+(* Geometric buckets: bucket [i] (1-based) covers
+   (lo * ratio^(i-1), lo * ratio^i]; index 0 is the underflow bucket and
+   index [buckets + 1] collects overflow. ratio = 2^(1/8) keeps the
+   relative quantile error under ~4.5% while spanning 1 µs – 100 s of
+   milliseconds in 224 buckets. *)
+
+let lo = 0.001
+let ratio = Float.pow 2.0 0.125
+let log_ratio = Float.log ratio
+let buckets = 224
+
+type t = {
+  mu : Mutex.t;
+  cells : int array; (* buckets + underflow + overflow *)
+  mutable n : int;
+  mutable total : float;
+  mutable lowest : float;
+  mutable highest : float;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    cells = Array.make (buckets + 2) 0;
+    n = 0;
+    total = 0.0;
+    lowest = infinity;
+    highest = neg_infinity;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let index v =
+  if v <= lo then 0
+  else
+    let i = 1 + int_of_float (Float.log (v /. lo) /. log_ratio) in
+    if i > buckets then buckets + 1 else i
+
+let observe t v =
+  locked t (fun () ->
+      t.cells.(index v) <- t.cells.(index v) + 1;
+      t.n <- t.n + 1;
+      t.total <- t.total +. v;
+      if v < t.lowest then t.lowest <- v;
+      if v > t.highest then t.highest <- v)
+
+let count t = locked t (fun () -> t.n)
+let sum t = locked t (fun () -> t.total)
+let min_value t = locked t (fun () -> if t.n = 0 then nan else t.lowest)
+let max_value t = locked t (fun () -> if t.n = 0 then nan else t.highest)
+let mean t = locked t (fun () -> if t.n = 0 then nan else t.total /. float_of_int t.n)
+
+(* Lower/upper bounds of a cell, clamped to the observed extremes so
+   interpolation never invents values outside the data. *)
+let bounds t i =
+  let lower = if i = 0 then 0.0 else lo *. Float.pow ratio (float_of_int (i - 1)) in
+  let upper = if i > buckets then t.highest else lo *. Float.pow ratio (float_of_int i) in
+  (Float.max lower t.lowest, Float.min (Float.max upper t.lowest) t.highest)
+
+let quantile t q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Histogram.quantile";
+  locked t (fun () ->
+      if t.n = 0 then nan
+      else if q <= 0.0 then t.lowest
+      else if q >= 1.0 then t.highest
+      else begin
+        let rank = q *. float_of_int t.n in
+        let cum = ref 0.0 and res = ref t.highest in
+        (try
+           for i = 0 to buckets + 1 do
+             let c = float_of_int t.cells.(i) in
+             if c > 0.0 then begin
+               if !cum +. c >= rank then begin
+                 let frac = (rank -. !cum) /. c in
+                 let lower, upper = bounds t i in
+                 res := lower +. (frac *. (upper -. lower));
+                 raise Exit
+               end;
+               cum := !cum +. c
+             end
+           done
+         with Exit -> ());
+        Float.min (Float.max !res t.lowest) t.highest
+      end)
+
+let percentiles t = [ (50.0, quantile t 0.5); (95.0, quantile t 0.95); (99.0, quantile t 0.99) ]
+
+let reset t =
+  locked t (fun () ->
+      Array.fill t.cells 0 (Array.length t.cells) 0;
+      t.n <- 0;
+      t.total <- 0.0;
+      t.lowest <- infinity;
+      t.highest <- neg_infinity)
+
+let summary t =
+  if count t = 0 then "no samples"
+  else
+    Printf.sprintf "n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f" (count t)
+      (mean t) (quantile t 0.5) (quantile t 0.95) (quantile t 0.99) (max_value t)

@@ -1,0 +1,41 @@
+(** Domain-safe log-bucketed latency histograms.
+
+    Fixed memory, mutex-guarded: samples land in geometrically spaced
+    buckets (ratio 2^(1/8), ~9% wide) spanning 1 µs – ~100 s when
+    recording milliseconds, so quantile estimates carry at most half a
+    bucket of relative error. Exact count / sum / min / max are kept on
+    the side. Built for the service layer's queue-wait and latency
+    distributions (p50/p95/p99), usable by any subsystem. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Records one sample. Non-positive samples land in the underflow
+    bucket and still count toward [count]/[sum]. *)
+
+val count : t -> int
+val sum : t -> float
+val min_value : t -> float
+(** Smallest sample observed; [nan] when empty. *)
+
+val max_value : t -> float
+(** Largest sample observed; [nan] when empty. *)
+
+val mean : t -> float
+(** Arithmetic mean; [nan] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] estimates the [q]-quantile ([0. <= q <= 1.]) by
+    rank-interpolating within the bucket holding that rank; [nan] when
+    empty. [quantile t 0.] and [quantile t 1.] are the exact observed
+    min and max. *)
+
+val percentiles : t -> (float * float) list
+(** [(50., p50); (95., p95); (99., p99)] — the service-report trio. *)
+
+val reset : t -> unit
+
+val summary : t -> string
+(** One line: count, mean, p50/p95/p99, max. *)

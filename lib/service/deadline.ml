@@ -1,0 +1,13 @@
+type t = float (* absolute Profile.now_ms instant *)
+
+exception Expired of string
+
+let now () = Lq_metrics.Profile.now_ms ()
+let after ~ms = now () +. ms
+let at instant = instant
+let remaining_ms t = t -. now ()
+let expired t = remaining_ms t <= 0.0
+
+let check ~stage = function
+  | None -> ()
+  | Some t -> if expired t then raise (Expired stage)

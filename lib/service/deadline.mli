@@ -1,0 +1,29 @@
+(** Request deadlines with cooperative cancellation.
+
+    A deadline is an absolute point on the monotonic clock
+    ({!Lq_metrics.Profile.now_ms}). Workers thread {!check} through the
+    provider pipeline as its stage checkpoint: the instant a stage
+    boundary is crossed past the deadline, the run aborts with
+    {!Expired} instead of burning Domain time on an answer nobody is
+    waiting for. *)
+
+type t
+
+exception Expired of string
+(** Carries the pipeline stage at which the deadline fired
+    (["queued"], ["optimized"], ["prepared"], …). *)
+
+val after : ms:float -> t
+(** A deadline [ms] milliseconds from now. *)
+
+val at : float -> t
+(** A deadline at an absolute {!Lq_metrics.Profile.now_ms} instant. *)
+
+val expired : t -> bool
+val remaining_ms : t -> float
+(** Negative once expired. *)
+
+val check : stage:string -> t option -> unit
+(** @raise Expired naming [stage] when the deadline has passed.
+    [None] never raises — requests without deadlines run to
+    completion. *)

@@ -1,0 +1,48 @@
+type 'a t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable cell : 'a option;
+}
+
+let create () = { mu = Mutex.create (); cond = Condition.create (); cell = None }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let fulfil t v =
+  locked t (fun () ->
+      match t.cell with
+      | Some _ -> false
+      | None ->
+        t.cell <- Some v;
+        Condition.broadcast t.cond;
+        true)
+
+let await t =
+  locked t (fun () ->
+      let rec wait () =
+        match t.cell with
+        | Some v -> v
+        | None ->
+          Condition.wait t.cond t.mu;
+          wait ()
+      in
+      wait ())
+
+let poll t = locked t (fun () -> t.cell)
+let is_resolved t = Option.is_some (poll t)
+
+let await_for ~timeout_ms t =
+  let deadline = Lq_metrics.Profile.now_ms () +. timeout_ms in
+  let rec spin () =
+    match poll t with
+    | Some _ as v -> v
+    | None ->
+      if Lq_metrics.Profile.now_ms () >= deadline then None
+      else begin
+        Unix.sleepf 0.0002;
+        spin ()
+      end
+  in
+  spin ()

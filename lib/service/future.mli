@@ -1,0 +1,28 @@
+(** Single-assignment result cells ("futures").
+
+    The service hands one back per admitted request: the worker Domain
+    fulfils it exactly once, callers either block on {!await} (sync
+    clients) or {!poll} it from their own loop (async clients). All
+    operations are Domain-safe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fulfil : 'a t -> 'a -> bool
+(** Resolves the future, waking every waiter. Returns [false] (and
+    changes nothing) when it was already resolved — fulfilment is
+    first-writer-wins. *)
+
+val await : 'a t -> 'a
+(** Blocks the calling Domain until the future is resolved. *)
+
+val await_for : timeout_ms:float -> 'a t -> 'a option
+(** Bounded wait; [None] on timeout. (The stdlib has no timed condition
+    wait, so this polls at sub-millisecond granularity — use [await]
+    when unbounded blocking is acceptable.) *)
+
+val poll : 'a t -> 'a option
+(** Non-blocking peek at the resolved value. *)
+
+val is_resolved : 'a t -> bool

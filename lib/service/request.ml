@@ -1,0 +1,61 @@
+open Lq_value
+
+type priority =
+  | Interactive
+  | Batch
+
+let priority_to_string = function
+  | Interactive -> "interactive"
+  | Batch -> "batch"
+
+type t = {
+  id : int;
+  label : string;
+  query : Lq_expr.Ast.query;
+  engine : Lq_catalog.Engine_intf.t;
+  params : (string * Value.t) list;
+  deadline : Deadline.t option;
+  priority : priority;
+  enqueued_ms : float;
+}
+
+type outcome =
+  | Completed of {
+      rows : Value.t list;
+      engine : string;
+      degraded : bool;
+    }
+  | Timed_out of { stage : string }
+  | Shed of { reason : string }
+  | Failed of {
+      engine : string;
+      error : string;
+    }
+
+type response = {
+  request_id : int;
+  label : string;
+  outcome : outcome;
+  queue_ms : float;
+  exec_ms : float;
+  total_ms : float;
+}
+
+let outcome_kind = function
+  | Completed _ -> "completed"
+  | Timed_out _ -> "timed-out"
+  | Shed _ -> "shed"
+  | Failed _ -> "failed"
+
+let response_to_string r =
+  let detail =
+    match r.outcome with
+    | Completed { rows; engine; degraded } ->
+      Printf.sprintf "%d row(s) via %s%s" (List.length rows) engine
+        (if degraded then " (degraded)" else "")
+    | Timed_out { stage } -> Printf.sprintf "deadline fired at %s" stage
+    | Shed { reason } -> Printf.sprintf "shed: %s" reason
+    | Failed { engine; error } -> Printf.sprintf "failed on %s: %s" engine error
+  in
+  Printf.sprintf "#%d %-12s %-9s queue %.2fms exec %.2fms total %.2fms  %s" r.request_id
+    r.label (outcome_kind r.outcome) r.queue_ms r.exec_ms r.total_ms detail

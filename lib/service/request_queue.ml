@@ -1,0 +1,69 @@
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  interactive : 'a Queue.t;
+  batch : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    interactive = Queue.create ();
+    batch = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let depth_unlocked t = Queue.length t.interactive + Queue.length t.batch
+let depth t = locked t (fun () -> depth_unlocked t)
+let is_closed t = locked t (fun () -> t.closed)
+
+let push t ~priority item =
+  locked t (fun () ->
+      if t.closed then `Closed
+      else
+        let d = depth_unlocked t in
+        if d >= t.capacity then `Overloaded d
+        else begin
+          (match (priority : Request.priority) with
+          | Interactive -> Queue.push item t.interactive
+          | Batch -> Queue.push item t.batch);
+          Condition.signal t.nonempty;
+          `Accepted (d + 1)
+        end)
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.interactive) then Some (Queue.pop t.interactive)
+        else if not (Queue.is_empty t.batch) then Some (Queue.pop t.batch)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mu;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let drain t =
+  locked t (fun () ->
+      let out = ref [] in
+      Queue.iter (fun x -> out := x :: !out) t.interactive;
+      Queue.iter (fun x -> out := x :: !out) t.batch;
+      Queue.clear t.interactive;
+      Queue.clear t.batch;
+      List.rev !out)

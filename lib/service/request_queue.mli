@@ -1,0 +1,43 @@
+(** Bounded two-priority request queue with admission control.
+
+    The admission edge of the service: a push either gets in or is
+    *told* it did not — when [capacity] requests are already waiting,
+    {!push} returns [`Overloaded] immediately instead of blocking the
+    client or growing without bound (load shedding). Interactive pushes
+    are drained strictly before batch ones; within a priority the order
+    is FIFO.
+
+    Pops block on a condition variable until work arrives or the queue
+    is closed; after {!close}, remaining items drain normally and then
+    {!pop} returns [None] — the worker-exit signal. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity <= 0] rejects every push (useful to force pure
+    shedding). *)
+
+val capacity : 'a t -> int
+
+val push :
+  'a t ->
+  priority:Request.priority ->
+  'a ->
+  [ `Accepted of int  (** depth after insertion *)
+  | `Overloaded of int  (** depth that caused the rejection *)
+  | `Closed ]
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available ([Some]) or the queue is closed
+    and empty ([None]). Safe to call from many Domains. *)
+
+val close : 'a t -> unit
+(** Stop admitting; wake all blocked poppers. Idempotent. *)
+
+val drain : 'a t -> 'a list
+(** Atomically empties the queue (both priorities, interactive first)
+    — the non-graceful-shutdown path uses it to shed still-queued
+    requests with explicit rejections. *)
+
+val depth : 'a t -> int
+val is_closed : 'a t -> bool

@@ -1,0 +1,197 @@
+module Provider = Lq_core.Provider
+module Engine_intf = Lq_catalog.Engine_intf
+
+type config = {
+  domains : int;
+  queue_capacity : int;
+  default_deadline_ms : float option;
+  fallback : Engine_intf.t option;
+}
+
+let default_config =
+  {
+    domains = 4;
+    queue_capacity = 64;
+    default_deadline_ms = None;
+    fallback = Some Lq_core.Engines.linq_to_objects;
+  }
+
+type job = Request.t * Request.response Future.t
+
+type t = {
+  provider : Provider.t;
+  config : config;
+  queue : job Request_queue.t;
+  metrics : Svc_metrics.t;
+  next_id : int Atomic.t;
+  mutable workers : unit Domain.t list;
+  stopped : bool Atomic.t;
+}
+
+type rejection =
+  | Overloaded of {
+      depth : int;
+      capacity : int;
+    }
+  | Shutting_down
+
+let rejection_to_string = function
+  | Overloaded { depth; capacity } ->
+    Printf.sprintf "overloaded (queue %d/%d)" depth capacity
+  | Shutting_down -> "shutting down"
+
+let now = Lq_metrics.Profile.now_ms
+
+let process t ((req, fut) : job) =
+  let picked = now () in
+  let resolve outcome =
+    let done_ms = now () in
+    let resp =
+      {
+        Request.request_id = req.Request.id;
+        label = req.Request.label;
+        outcome;
+        queue_ms = picked -. req.Request.enqueued_ms;
+        exec_ms = done_ms -. picked;
+        total_ms = done_ms -. req.Request.enqueued_ms;
+      }
+    in
+    Svc_metrics.note_outcome t.metrics resp;
+    ignore (Future.fulfil fut resp)
+  in
+  match Deadline.check ~stage:"queued" req.Request.deadline with
+  | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })
+  | () -> (
+    let checkpoint stage = Deadline.check ~stage req.Request.deadline in
+    let attempt (engine : Engine_intf.t) =
+      Provider.run t.provider ~engine ~params:req.Request.params ~checkpoint
+        req.Request.query
+    in
+    match attempt req.Request.engine with
+    | rows ->
+      resolve
+        (Request.Completed
+           { rows; engine = req.Request.engine.Engine_intf.name; degraded = false })
+    | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })
+    | exception first -> (
+      (* Degradation ladder: anything the preferred engine refuses or
+         trips over is retried on the interpreter baseline, recorded as
+         a degraded completion rather than surfaced as a failure. *)
+      match t.config.fallback with
+      | Some fb when fb.Engine_intf.name <> req.Request.engine.Engine_intf.name -> (
+        Svc_metrics.note_degraded t.metrics;
+        match attempt fb with
+        | rows ->
+          resolve (Request.Completed { rows; engine = fb.Engine_intf.name; degraded = true })
+        | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })
+        | exception second ->
+          resolve
+            (Request.Failed
+               { engine = fb.Engine_intf.name; error = Printexc.to_string second }))
+      | _ ->
+        resolve
+          (Request.Failed
+             {
+               engine = req.Request.engine.Engine_intf.name;
+               error = Printexc.to_string first;
+             })))
+
+let rec worker_loop t =
+  match Request_queue.pop t.queue with
+  | None -> ()
+  | Some job ->
+    (try process t job with _ -> ());
+    worker_loop t
+
+let create ?(config = default_config) provider =
+  let t =
+    {
+      provider;
+      config;
+      queue = Request_queue.create ~capacity:config.queue_capacity;
+      metrics = Svc_metrics.create ();
+      next_id = Atomic.make 0;
+      workers = [];
+      stopped = Atomic.make false;
+    }
+  in
+  t.workers <- List.init config.domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let provider t = t.provider
+let metrics t = t.metrics
+let queue_depth t = Request_queue.depth t.queue
+
+let submit t ?label ?(priority = Request.Batch) ?engine ?(params = []) ?deadline_ms query
+    =
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> Option.value t.config.fallback ~default:Lq_core.Engines.linq_to_objects
+  in
+  let deadline =
+    match deadline_ms with
+    | Some ms -> Some (Deadline.after ~ms)
+    | None -> Option.map (fun ms -> Deadline.after ~ms) t.config.default_deadline_ms
+  in
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let req =
+    {
+      Request.id;
+      label = Option.value label ~default:(Printf.sprintf "req-%d" id);
+      query;
+      engine;
+      params;
+      deadline;
+      priority;
+      enqueued_ms = now ();
+    }
+  in
+  Svc_metrics.note_submitted t.metrics;
+  let fut = Future.create () in
+  match Request_queue.push t.queue ~priority (req, fut) with
+  | `Accepted depth ->
+    Svc_metrics.observe_queue_depth t.metrics depth;
+    Ok fut
+  | `Overloaded depth ->
+    Svc_metrics.observe_queue_depth t.metrics depth;
+    Svc_metrics.note_rejected t.metrics `Overload;
+    Error (Overloaded { depth; capacity = Request_queue.capacity t.queue })
+  | `Closed ->
+    Svc_metrics.note_rejected t.metrics `Shutdown;
+    Error Shutting_down
+
+let run_sync t ?label ?priority ?engine ?params ?deadline_ms query =
+  match submit t ?label ?priority ?engine ?params ?deadline_ms query with
+  | Error _ as e -> e
+  | Ok fut -> Ok (Future.await fut)
+
+let shutdown ?(drain = true) t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Request_queue.close t.queue;
+    if not drain then
+      (* Shed whatever the workers haven't picked up: each pending
+         future resolves with a typed [Shed] outcome and is accounted
+         as a shutdown rejection — never a silent drop. *)
+      List.iter
+        (fun ((req, fut) : job) ->
+          let picked = now () in
+          let resp =
+            {
+              Request.request_id = req.Request.id;
+              label = req.Request.label;
+              outcome = Request.Shed { reason = "service shutdown" };
+              queue_ms = picked -. req.Request.enqueued_ms;
+              exec_ms = 0.0;
+              total_ms = picked -. req.Request.enqueued_ms;
+            }
+          in
+          Svc_metrics.note_outcome t.metrics resp;
+          ignore (Future.fulfil fut resp))
+        (Request_queue.drain t.queue);
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let report t =
+  Svc_metrics.report t.metrics ^ "\n" ^ Provider.report t.provider

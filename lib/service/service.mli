@@ -1,0 +1,93 @@
+(** The query service: a shared provider behind an admission-controlled
+    queue drained by a pool of worker Domains.
+
+    {v
+    submit ──▶ admission control ──▶ bounded priority queue
+                    │ (full: typed Overloaded, no silent drop)
+                    ▼
+            N worker Domains ──▶ Provider.run (deadline checkpoints)
+                    │                  │ engine Unsupported / error
+                    │                  ▼
+                    │           fallback engine (degraded = true)
+                    ▼
+            response Future  ◀── completed / timed-out / failed
+    v}
+
+    One service instance is meant to be shared: the underlying
+    {!Lq_core.Provider} caches (compiled plans, recycled results) are
+    Domain-safe, so concurrent requests for the same query shape
+    amortize code generation exactly as §7's compiled-query cache
+    intends. *)
+
+type config = {
+  domains : int;
+      (** worker pool size; [0] spawns no workers (requests queue but
+          never run — used by admission tests) *)
+  queue_capacity : int;  (** admission bound; beyond it, submissions are rejected *)
+  default_deadline_ms : float option;
+      (** applied to requests submitted without an explicit deadline *)
+  fallback : Lq_catalog.Engine_intf.t option;
+      (** degradation target when the preferred engine refuses or fails;
+          [None] disables the ladder *)
+}
+
+val default_config : config
+(** 4 Domains, 64-deep queue, no default deadline, fallback
+    [linq-to-objects] (the always-correct interpreter baseline). *)
+
+type t
+
+type rejection =
+  | Overloaded of {
+      depth : int;
+      capacity : int;
+    }  (** load shed at admission: the queue was full *)
+  | Shutting_down
+
+val rejection_to_string : rejection -> string
+
+val create : ?config:config -> Lq_core.Provider.t -> t
+(** Spawns the worker Domains immediately. The provider may be (and
+    usually is) shared with other users. *)
+
+val provider : t -> Lq_core.Provider.t
+val metrics : t -> Svc_metrics.t
+val queue_depth : t -> int
+
+val submit :
+  t ->
+  ?label:string ->
+  ?priority:Request.priority ->
+  ?engine:Lq_catalog.Engine_intf.t ->
+  ?params:(string * Lq_value.Value.t) list ->
+  ?deadline_ms:float ->
+  Lq_expr.Ast.query ->
+  (Request.response Future.t, rejection) result
+(** Non-blocking: admission happens inline, execution on a worker.
+    [engine] defaults to the config fallback (or [linq-to-objects]);
+    [deadline_ms] is relative to now and overrides
+    [default_deadline_ms]. Every call bumps [service/submitted]; an
+    [Error] bumps [service/rejected] — the future of an [Ok] always
+    resolves, so accounting stays conserved. *)
+
+val run_sync :
+  t ->
+  ?label:string ->
+  ?priority:Request.priority ->
+  ?engine:Lq_catalog.Engine_intf.t ->
+  ?params:(string * Lq_value.Value.t) list ->
+  ?deadline_ms:float ->
+  Lq_expr.Ast.query ->
+  (Request.response, rejection) result
+(** [submit] + [Future.await] — the synchronous client. *)
+
+val shutdown : ?drain:bool -> t -> unit
+(** Stops admission and joins the workers. With [drain] (default) the
+    queue empties normally first; without it, still-queued requests are
+    shed — their futures resolve with {!Request.Shed} and they count as
+    shutdown rejections. Idempotent. *)
+
+val report : t -> string
+(** Service metrics (counters, conservation equation, histograms)
+    followed by the provider's cache observability block, so a load run
+    shows hit rates alongside latency. *)

@@ -1,0 +1,82 @@
+module Counters = Lq_metrics.Counters
+module Histogram = Lq_metrics.Histogram
+
+type t = {
+  counters : Counters.t;
+  queue_wait : Histogram.t;
+  exec : Histogram.t;
+  total : Histogram.t;
+  depth_hist : Histogram.t;
+  depth_peak : int Atomic.t;
+}
+
+let create () =
+  {
+    counters = Counters.create ();
+    queue_wait = Histogram.create ();
+    exec = Histogram.create ();
+    total = Histogram.create ();
+    depth_hist = Histogram.create ();
+    depth_peak = Atomic.make 0;
+  }
+
+let counters t = t.counters
+let note_submitted t = Counters.incr t.counters "service/submitted"
+
+let note_rejected t cause =
+  Counters.incr t.counters "service/rejected";
+  Counters.incr t.counters
+    (match cause with
+    | `Overload -> "service/rejected_overload"
+    | `Shutdown -> "service/rejected_shutdown")
+
+let note_degraded t = Counters.incr t.counters "service/degraded"
+
+let note_outcome t (r : Request.response) =
+  (match r.Request.outcome with
+  | Request.Completed _ -> Counters.incr t.counters "service/completed"
+  | Request.Timed_out _ -> Counters.incr t.counters "service/timed_out"
+  | Request.Shed _ -> note_rejected t `Shutdown
+  | Request.Failed _ -> Counters.incr t.counters "service/failed");
+  Histogram.observe t.queue_wait r.Request.queue_ms;
+  Histogram.observe t.exec r.Request.exec_ms;
+  Histogram.observe t.total r.Request.total_ms
+
+let observe_queue_depth t d =
+  Histogram.observe t.depth_hist (float_of_int d);
+  let rec bump () =
+    let peak = Atomic.get t.depth_peak in
+    if d > peak && not (Atomic.compare_and_set t.depth_peak peak d) then bump ()
+  in
+  bump ()
+
+let submitted t = Counters.count t.counters "service/submitted"
+let completed t = Counters.count t.counters "service/completed"
+let rejected t = Counters.count t.counters "service/rejected"
+let timed_out t = Counters.count t.counters "service/timed_out"
+let degraded t = Counters.count t.counters "service/degraded"
+let failed t = Counters.count t.counters "service/failed"
+let queue_depth_peak t = Atomic.get t.depth_peak
+let total_latency t = t.total
+let exec_latency t = t.exec
+let queue_wait t = t.queue_wait
+
+let conserved t = submitted t = completed t + rejected t + timed_out t + failed t
+
+let report t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Counters.to_string t.counters);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf
+       "accounting: submitted %d = completed %d + rejected %d + timed-out %d + failed \
+        %d  [%s]\n"
+       (submitted t) (completed t) (rejected t) (timed_out t) (failed t)
+       (if conserved t then "conserved" else "NOT CONSERVED"));
+  Buffer.add_string buf
+    (Printf.sprintf "queue depth: peak %d, at admission %s\n" (queue_depth_peak t)
+       (Histogram.summary t.depth_hist));
+  Buffer.add_string buf (Printf.sprintf "queue wait ms: %s\n" (Histogram.summary t.queue_wait));
+  Buffer.add_string buf (Printf.sprintf "exec ms:       %s\n" (Histogram.summary t.exec));
+  Buffer.add_string buf (Printf.sprintf "total ms:      %s\n" (Histogram.summary t.total));
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** The service's observability: counters, gauges and latency
+    distributions.
+
+    One {!Lq_metrics.Counters} registry holds the ["service/"] family —
+    submitted / completed / rejected (split into overload vs shutdown
+    sheds) / timed-out / degraded / failed — next to a queue-depth gauge,
+    while three {!Lq_metrics.Histogram}s track queue-wait, execution and
+    total latency and a fourth tracks the queue depth seen at each
+    admission.
+
+    The invariant the whole layer is audited against:
+
+    {v submitted = completed + rejected + timed-out + failed v}
+
+    Every request the service ever admits or refuses lands in exactly one
+    right-hand bucket — no silent drops. {!conserved} checks it,
+    {!report} prints it. *)
+
+type t
+
+val create : unit -> t
+
+val counters : t -> Lq_metrics.Counters.t
+(** The raw registry (names are ["service/..."]), for tests and for
+    merging into wider dashboards. *)
+
+(* Recording — called by the service on state transitions. *)
+
+val note_submitted : t -> unit
+val note_rejected : t -> [ `Overload | `Shutdown ] -> unit
+val note_degraded : t -> unit
+
+val note_outcome : t -> Request.response -> unit
+(** Buckets the terminal outcome (completed / timed-out / failed; [Shed]
+    counts as a shutdown rejection) and feeds the latency histograms. *)
+
+val observe_queue_depth : t -> int -> unit
+
+(* Reading. *)
+
+val submitted : t -> int
+val completed : t -> int
+val rejected : t -> int
+val timed_out : t -> int
+val degraded : t -> int
+val failed : t -> int
+
+val queue_depth_peak : t -> int
+val total_latency : t -> Lq_metrics.Histogram.t
+val exec_latency : t -> Lq_metrics.Histogram.t
+val queue_wait : t -> Lq_metrics.Histogram.t
+
+val conserved : t -> bool
+(** [submitted = completed + rejected + timed_out + failed]. Only
+    meaningful once all outstanding futures have resolved (e.g. after
+    {!Service.shutdown}). *)
+
+val report : t -> string
+(** Multi-line block: the counter family, the conservation equation with
+    its verdict, queue-depth peak, and p50/p95/p99 for each latency
+    histogram. *)

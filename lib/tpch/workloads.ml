@@ -39,3 +39,32 @@ let params ~sel =
     ("cutoff", Value.Date (Dbgen.shipdate_cutoff sel));
     ("cutoff_o", Value.Date (Dbgen.orderdate_cutoff sel));
   ]
+
+(* --- Service-layer traffic mix ------------------------------------- *)
+
+let selectivity_cycle = [| 0.1; 0.25; 0.5; 0.75; 1.0 |]
+
+let cycling cycle make i = make cycle.(i mod Array.length cycle)
+
+let override key value params =
+  (key, value) :: List.remove_assoc key params
+
+let service_mix =
+  [
+    ("agg", aggregation, cycling selectivity_cycle (fun sel -> params ~sel));
+    ("sort", sorting, cycling selectivity_cycle (fun sel -> params ~sel));
+    ("join", join, cycling selectivity_cycle (fun sel -> params ~sel));
+    ( "q1",
+      Queries.q1,
+      cycling [| 60; 90; 120 |] (fun delta ->
+          override "q1_delta" (Value.Int delta) Queries.default_params) );
+    ( "q6",
+      Queries.q6,
+      cycling [| 0.05; 0.06; 0.07 |] (fun d ->
+          override "q6_discount" (Value.Float d) Queries.extended_params) );
+    ( "q14",
+      Queries.q14,
+      cycling [| (1995, 9); (1995, 3); (1994, 6) |] (fun (y, m) ->
+          override "q14_date" (Value.Date (Date.of_ymd y m 1)) Queries.extended_params)
+    );
+  ]

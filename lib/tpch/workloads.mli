@@ -27,3 +27,11 @@ val join : Lq_expr.Ast.query
 
 val params : sel:float -> (string * Value.t) list
 (** Parameter bindings realizing selectivity [sel] for any workload. *)
+
+val service_mix : (string * Lq_expr.Ast.query * (int -> (string * Value.t) list)) list
+(** Traffic mix for the query-service load generator: [(label, query,
+    params_of)] triples spanning aggregation, sorting, the Q3 join and
+    parameterized Q1/Q6/Q14. [params_of i] cycles a small set of
+    parameter vectors, so sustained traffic repeats each (shape,
+    parameters) combination — the compiled-plan (and, when enabled,
+    result) caches should show hits under this mix. *)

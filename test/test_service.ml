@@ -1,0 +1,345 @@
+(* The query service layer: futures, histograms, the bounded priority
+   queue, admission control / load shedding, deadline expiry, the
+   engine-degradation ladder, and a multi-Domain storm that audits the
+   conservation invariant
+
+     submitted = completed + rejected + timed-out (+ failed)
+
+   end to end — the service must never drop a request silently. *)
+
+open Lq_expr.Dsl
+module Provider = Lq_core.Provider
+module Future = Lq_service.Future
+module Deadline = Lq_service.Deadline
+module Request = Lq_service.Request
+module Request_queue = Lq_service.Request_queue
+module Svc_metrics = Lq_service.Svc_metrics
+module Service = Lq_service.Service
+module Loadgen = Lq_service.Loadgen
+module Histogram = Lq_metrics.Histogram
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* building blocks *)
+
+let test_future () =
+  let fut = Future.create () in
+  check_bool "unresolved" false (Future.is_resolved fut);
+  check_bool "poll empty" true (Future.poll fut = None);
+  check_bool "await_for times out" true (Future.await_for ~timeout_ms:5.0 fut = None);
+  check_bool "first fulfil wins" true (Future.fulfil fut 42);
+  check_bool "second fulfil loses" false (Future.fulfil fut 43);
+  check_int "await" 42 (Future.await fut);
+  check_int "poll" 42 (Option.get (Future.poll fut))
+
+let test_future_cross_domain () =
+  let fut = Future.create () in
+  let producer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.01;
+        ignore (Future.fulfil fut "ready"))
+  in
+  check_string "await blocks until fulfilment" "ready" (Future.await fut);
+  Domain.join producer
+
+let test_deadline () =
+  let d = Deadline.after ~ms:10_000.0 in
+  check_bool "fresh deadline alive" false (Deadline.expired d);
+  Deadline.check ~stage:"any" (Some d);
+  Deadline.check ~stage:"any" None;
+  let gone = Deadline.after ~ms:(-1.0) in
+  check_bool "past deadline expired" true (Deadline.expired gone);
+  check_bool "remaining negative" true (Deadline.remaining_ms gone < 0.0);
+  match Deadline.check ~stage:"prepared" (Some gone) with
+  | () -> Alcotest.fail "expired deadline did not raise"
+  | exception Deadline.Expired stage -> check_string "stage names boundary" "prepared" stage
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  check_bool "empty quantile is nan" true (Float.is_nan (Histogram.quantile h 0.5));
+  for i = 1 to 1000 do
+    Histogram.observe h (float_of_int i)
+  done;
+  check_int "count" 1000 (Histogram.count h);
+  check_bool "min exact" true (Histogram.min_value h = 1.0);
+  check_bool "max exact" true (Histogram.max_value h = 1000.0);
+  check_bool "q0 = min" true (Histogram.quantile h 0.0 = 1.0);
+  check_bool "q1 = max" true (Histogram.quantile h 1.0 = 1000.0);
+  let p50 = Histogram.quantile h 0.5 in
+  check_bool (Printf.sprintf "p50 within bucket error (%.1f)" p50) true
+    (p50 > 420.0 && p50 < 580.0);
+  let p99 = Histogram.quantile h 0.99 in
+  check_bool (Printf.sprintf "p99 within bucket error (%.1f)" p99) true
+    (p99 > 900.0 && p99 <= 1000.0);
+  check_bool "monotone" true (Histogram.quantile h 0.5 <= Histogram.quantile h 0.95)
+
+let test_queue_bounds_and_priority () =
+  let q = Request_queue.create ~capacity:3 in
+  check_int "capacity" 3 (Request_queue.capacity q);
+  check_bool "push 1" true (Request_queue.push q ~priority:Request.Batch "b1" = `Accepted 1);
+  check_bool "push 2" true (Request_queue.push q ~priority:Request.Batch "b2" = `Accepted 2);
+  check_bool "push 3" true
+    (Request_queue.push q ~priority:Request.Interactive "i1" = `Accepted 3);
+  check_bool "4th rejected" true
+    (Request_queue.push q ~priority:Request.Interactive "i2" = `Overloaded 3);
+  check_int "depth" 3 (Request_queue.depth q);
+  (* interactive drains before batch; FIFO within a class *)
+  check_bool "interactive first" true (Request_queue.pop q = Some "i1");
+  check_bool "then batch FIFO" true (Request_queue.pop q = Some "b1");
+  check_bool "rejection freed a slot" true
+    (Request_queue.push q ~priority:Request.Batch "b3" = `Accepted 2);
+  check_bool "b2 next" true (Request_queue.pop q = Some "b2");
+  Request_queue.close q;
+  check_bool "push after close" true
+    (Request_queue.push q ~priority:Request.Batch "late" = `Closed);
+  check_bool "drains after close" true (Request_queue.pop q = Some "b3");
+  check_bool "empty + closed = None" true (Request_queue.pop q = None)
+
+let test_queue_drain () =
+  let q = Request_queue.create ~capacity:8 in
+  ignore (Request_queue.push q ~priority:Request.Batch "b1");
+  ignore (Request_queue.push q ~priority:Request.Interactive "i1");
+  ignore (Request_queue.push q ~priority:Request.Batch "b2");
+  Alcotest.(check (list string))
+    "drain: interactive first, then batch FIFO" [ "i1"; "b1"; "b2" ]
+    (Request_queue.drain q);
+  check_int "drained empty" 0 (Request_queue.depth q)
+
+(* ------------------------------------------------------------------ *)
+(* the service *)
+
+let q_all = source "sales"
+let q_paris = source "sales" |> where "s" (v "s" $. "city" =: str "Paris")
+
+let q_qty n = source "sales" |> where "s" (v "s" $. "qty" >: int n)
+
+let make_service ?(domains = 1) ?(queue = 16) ?default_deadline_ms
+    ?(fallback = Service.default_config.Service.fallback) ?(n = 120) () =
+  let cat = Lq_testkit.sales_catalog ~n () in
+  let prov = Provider.create cat in
+  let config = { Service.domains; queue_capacity = queue; default_deadline_ms; fallback } in
+  (prov, Service.create ~config prov)
+
+let test_admission_rejects_when_full () =
+  (* no workers: nothing drains, so the queue bound is the whole story *)
+  let _, svc = make_service ~domains:0 ~queue:2 () in
+  let ok1 = Service.submit svc q_all in
+  let ok2 = Service.submit svc q_paris in
+  check_bool "1st admitted" true (Result.is_ok ok1);
+  check_bool "2nd admitted" true (Result.is_ok ok2);
+  (match Service.submit svc (q_qty 10) with
+  | Ok _ -> Alcotest.fail "3rd submission must shed"
+  | Error (Service.Overloaded { depth; capacity }) ->
+    check_int "rejection reports depth" 2 depth;
+    check_int "rejection reports capacity" 2 capacity
+  | Error Service.Shutting_down -> Alcotest.fail "not shutting down yet");
+  let m = Service.metrics svc in
+  check_int "submitted" 3 (Svc_metrics.submitted m);
+  check_int "rejected" 1 (Svc_metrics.rejected m);
+  check_int "queue depth peak" 2 (Svc_metrics.queue_depth_peak m);
+  (* non-draining shutdown sheds the two queued requests — typed, counted *)
+  Service.shutdown ~drain:false svc;
+  let shed1 = Future.await (Result.get_ok ok1) in
+  (match shed1.Request.outcome with
+  | Request.Shed _ -> ()
+  | other -> Alcotest.failf "expected Shed, got %s" (Request.outcome_kind other));
+  check_bool "shed future resolved too" true (Future.is_resolved (Result.get_ok ok2));
+  check_int "sheds count as rejections" 3 (Svc_metrics.rejected m);
+  check_bool "conserved after shutdown" true (Svc_metrics.conserved m);
+  match Service.submit svc q_all with
+  | Error Service.Shutting_down -> ()
+  | _ -> Alcotest.fail "post-shutdown submit must be refused"
+
+let test_deadline_expiry () =
+  let _, svc = make_service ~domains:1 () in
+  (match Service.run_sync svc ~deadline_ms:(-1.0) q_all with
+  | Ok { Request.outcome = Request.Timed_out { stage }; _ } ->
+    check_string "expired before pickup" "queued" stage
+  | Ok r -> Alcotest.failf "expected Timed_out, got %s" (Request.outcome_kind r.Request.outcome)
+  | Error _ -> Alcotest.fail "admission should succeed");
+  (* a comfortable deadline completes *)
+  (match Service.run_sync svc ~deadline_ms:60_000.0 q_paris with
+  | Ok { Request.outcome = Request.Completed _; _ } -> ()
+  | _ -> Alcotest.fail "generous deadline should complete");
+  let m = Service.metrics svc in
+  check_int "timed_out" 1 (Svc_metrics.timed_out m);
+  check_int "completed" 1 (Svc_metrics.completed m);
+  Service.shutdown svc;
+  check_bool "conserved" true (Svc_metrics.conserved m)
+
+let test_default_deadline_applies () =
+  let _, svc = make_service ~domains:1 ~default_deadline_ms:(-1.0) () in
+  (match Service.run_sync svc q_all with
+  | Ok { Request.outcome = Request.Timed_out _; _ } -> ()
+  | _ -> Alcotest.fail "config default deadline should apply");
+  Service.shutdown svc
+
+let always_unsupported =
+  {
+    Lq_catalog.Engine_intf.name = "always-unsupported";
+    describe = "test engine that refuses everything";
+    prepare =
+      (fun ?instr _ _ ->
+        ignore instr;
+        raise (Lq_catalog.Engine_intf.Unsupported "refused by construction"));
+  }
+
+let test_engine_fallback_accounting () =
+  let prov, svc = make_service ~domains:1 () in
+  (match Service.run_sync svc ~engine:always_unsupported q_paris with
+  | Ok { Request.outcome = Request.Completed { rows; engine; degraded }; _ } ->
+    check_bool "marked degraded" true degraded;
+    check_string "fallback engine answered" "linq-to-objects" engine;
+    Lq_testkit.check_rows "fallback rows match the oracle" (Provider.reference prov q_paris)
+      rows
+  | Ok r -> Alcotest.failf "expected completion, got %s" (Request.outcome_kind r.Request.outcome)
+  | Error _ -> Alcotest.fail "admission should succeed");
+  (* a healthy engine must not be counted degraded *)
+  (match Service.run_sync svc ~engine:Lq_core.Engines.compiled_csharp q_paris with
+  | Ok { Request.outcome = Request.Completed { degraded; _ }; _ } ->
+    check_bool "native completion not degraded" false degraded
+  | _ -> Alcotest.fail "compiled-c# run should complete");
+  let m = Service.metrics svc in
+  check_int "degraded counted once" 1 (Svc_metrics.degraded m);
+  check_int "completed twice" 2 (Svc_metrics.completed m);
+  check_int "no failures: the ladder absorbed the refusal" 0 (Svc_metrics.failed m);
+  Service.shutdown svc;
+  check_bool "conserved" true (Svc_metrics.conserved m)
+
+let test_fallback_disabled_fails_typed () =
+  let _, svc = make_service ~domains:1 ~fallback:None () in
+  (match Service.run_sync svc ~engine:always_unsupported q_all with
+  | Ok { Request.outcome = Request.Failed { engine; _ }; _ } ->
+    check_string "failure names the engine" "always-unsupported" engine
+  | Ok r -> Alcotest.failf "expected Failed, got %s" (Request.outcome_kind r.Request.outcome)
+  | Error _ -> Alcotest.fail "admission should succeed");
+  let m = Service.metrics svc in
+  check_int "failed" 1 (Svc_metrics.failed m);
+  Service.shutdown svc;
+  check_bool "failed is part of the audit" true (Svc_metrics.conserved m)
+
+(* ------------------------------------------------------------------ *)
+(* multi-Domain smoke: the probe_conc storm pattern, audited through
+   the service counters instead of raw results only *)
+
+let test_multi_domain_storm_conservation () =
+  let cat = Lq_testkit.sales_catalog ~n:300 () in
+  let prov = Provider.create cat in
+  let config =
+    { Service.default_config with domains = 4; queue_capacity = 8 }
+  in
+  let svc = Service.create ~config prov in
+  let engines =
+    [| Lq_core.Engines.linq_to_objects; Lq_core.Engines.compiled_csharp |]
+  in
+  let oracle = Hashtbl.create 16 in
+  let queries = Array.of_list (List.map q_qty [ 5; 15; 25; 35 ]) in
+  Array.iter (fun q -> Hashtbl.add oracle q (Provider.reference prov q)) queries;
+  let submitters = 3 and per_submitter = 60 in
+  let mismatches = Atomic.make 0 in
+  let domains =
+    List.init submitters (fun s ->
+        Domain.spawn (fun () ->
+            let rng = Lq_exec.Prng.create (77 + s) in
+            let pending = ref [] in
+            for i = 1 to per_submitter do
+              let q = queries.(Lq_exec.Prng.int rng (Array.length queries)) in
+              let engine = engines.(Lq_exec.Prng.int rng (Array.length engines)) in
+              (* every 6th request carries an already-expired deadline *)
+              let deadline_ms = if i mod 6 = 0 then Some (-1.0) else None in
+              match Service.submit svc ~engine ?deadline_ms q with
+              | Ok fut -> pending := (q, fut) :: !pending
+              | Error (Service.Overloaded _) -> () (* typed shed, counted *)
+              | Error Service.Shutting_down -> Alcotest.fail "premature shutdown"
+            done;
+            List.iter
+              (fun (q, fut) ->
+                match (Future.await fut).Request.outcome with
+                | Request.Completed { rows; _ } ->
+                  if not (Lq_testkit.rows_equal (Hashtbl.find oracle q) rows) then
+                    Atomic.incr mismatches
+                | Request.Timed_out _ -> ()
+                | Request.Shed _ -> Atomic.incr mismatches
+                | Request.Failed { engine; error } ->
+                  Printf.eprintf "FAILED %s: %s\n%!" engine error;
+                  Atomic.incr mismatches)
+              !pending))
+  in
+  List.iter Domain.join domains;
+  Service.shutdown svc;
+  let m = Service.metrics svc in
+  check_int "no torn or failed results" 0 (Atomic.get mismatches);
+  check_int "every submission seen" (submitters * per_submitter) (Svc_metrics.submitted m);
+  check_int "conservation: submitted = completed + rejected + timed-out"
+    (Svc_metrics.submitted m)
+    (Svc_metrics.completed m + Svc_metrics.rejected m + Svc_metrics.timed_out m);
+  check_int "no failures" 0 (Svc_metrics.failed m);
+  check_bool "deadlines fired" true (Svc_metrics.timed_out m > 0);
+  check_bool "queue never exceeded its bound" true (Svc_metrics.queue_depth_peak m <= 8);
+  let stats = Provider.cache_stats prov in
+  check_bool "repeated shapes hit the plan cache" true (stats.Lq_core.Query_cache.hits > 0)
+
+let test_loadgen_closed_loop () =
+  let cat = Lq_testkit.sales_catalog ~n:200 () in
+  let prov = Provider.create cat in
+  let config = { Service.default_config with domains = 2; queue_capacity = 16 } in
+  let svc = Service.create ~config prov in
+  let workload =
+    [|
+      Loadgen.item "all" q_all;
+      Loadgen.item "paris" q_paris
+        ~params_of:(fun _ -> []);
+      Loadgen.item "qty" (source "sales" |> where "s" (v "s" $. "qty" >: p "floor"))
+        ~params_of:(fun i -> [ ("floor", Lq_value.Value.Int (5 + (5 * (i mod 3)))) ]);
+    |]
+  in
+  let report =
+    Loadgen.run ~workload (Loadgen.Closed { clients = 3; requests_per_client = 8 }) svc
+  in
+  Service.shutdown svc;
+  check_int "all submitted" 24 report.Loadgen.submitted;
+  check_int "all completed" 24 report.Loadgen.completed;
+  check_bool "client-side accounting conserved" true (Loadgen.conserved report);
+  check_bool "service-side accounting conserved" true
+    (Svc_metrics.conserved (Service.metrics svc));
+  check_int "latency histogram saw every resolution" 24
+    (Histogram.count report.Loadgen.latency);
+  check_bool "throughput positive" true (report.Loadgen.throughput_per_s > 0.0);
+  let stats = Provider.cache_stats prov in
+  check_bool "parameterized repeats hit the cache" true
+    (stats.Lq_core.Query_cache.hits > 0)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "building blocks",
+        [
+          Alcotest.test_case "future" `Quick test_future;
+          Alcotest.test_case "future across domains" `Quick test_future_cross_domain;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "queue bounds and priority" `Quick
+            test_queue_bounds_and_priority;
+          Alcotest.test_case "queue drain" `Quick test_queue_drain;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "admission control sheds typed" `Quick
+            test_admission_rejects_when_full;
+          Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "default deadline" `Quick test_default_deadline_applies;
+          Alcotest.test_case "engine fallback accounting" `Quick
+            test_engine_fallback_accounting;
+          Alcotest.test_case "fallback disabled fails typed" `Quick
+            test_fallback_disabled_fails_typed;
+        ] );
+      ( "storm",
+        [
+          Alcotest.test_case "multi-domain conservation" `Quick
+            test_multi_domain_storm_conservation;
+          Alcotest.test_case "loadgen closed loop" `Quick test_loadgen_closed_loop;
+        ] );
+    ]
