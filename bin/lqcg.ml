@@ -5,6 +5,7 @@
      tables  [--sf]       generate TPC-H data and show cardinalities
      run     [-e] [-q]    run a TPC-H query on an engine
      plan    [-e] [-q]    show the optimized tree and generated source
+     explain [-e] [-q]    show the lowered physical plan + capability verdict
      profile [-e] [-q]    run under the cache simulator
      serve   [...]        run a load-generated workload against the
                           multi-Domain query service *)
@@ -130,6 +131,21 @@ let plan_cmd =
   in
   Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
 
+let explain_cmd =
+  let doc = "Show the lowered physical plan and the engine's capability verdict." in
+  let run sf engine_name query_name =
+    let _, provider = load sf in
+    let engine = resolve_engine engine_name in
+    let query = resolve_query query_name in
+    let rendered, verdict = Lq_core.Provider.explain provider ~engine query in
+    Printf.printf "=== physical plan (shared lowering) ===\n%s\n" rendered;
+    match verdict with
+    | Ok () -> Printf.printf "engine %s: supported\n" engine.Engine_intf.name
+    | Error reason ->
+      Printf.printf "engine %s: unsupported — %s\n" engine.Engine_intf.name reason
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
+
 let profile_cmd =
   let doc = "Run a query under the trace-driven cache simulator." in
   let run sf engine_name query_name =
@@ -240,4 +256,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ engines_cmd; tables_cmd; run_cmd; plan_cmd; profile_cmd; serve_cmd ]))
+          [ engines_cmd; tables_cmd; run_cmd; plan_cmd; explain_cmd; profile_cmd; serve_cmd ]))

@@ -25,4 +25,31 @@ fi
 echo "== dune build @tier1 (build + runtest) =="
 dune build @tier1 $FORCE
 
+# EXPLAIN must be total: every query x engine either renders the lowered
+# plan with a "supported" verdict or reports a typed capability miss —
+# a non-zero exit (a crash) fails verification.
+echo "== explain smoke (all queries x all engines) =="
+LQCG="_build/default/bin/lqcg.exe"
+for q in Q1 Q2 Q2corr Q3 Q5 Q6 Q10 Q12 Q14; do
+  for e in linq-to-objects compiled-csharp compiled-c \
+    'hybrid-csharp-c[max]' 'hybrid-csharp-c[max,buffer]' \
+    'hybrid-csharp-c[min]' 'hybrid-csharp-c[min,buffer]' \
+    sqlserver-interpreted sqlserver-native vectorwise compiled-c-parallel; do
+    if ! out=$("$LQCG" explain -e "$e" -q "$q" --sf 0.001 2>&1); then
+      echo "explain crashed for $q on $e:" >&2
+      echo "$out" >&2
+      exit 1
+    fi
+    case "$out" in
+      *"engine $e: supported"* | *"engine $e: unsupported"*) ;;
+      *)
+        echo "explain gave no verdict for $q on $e:" >&2
+        echo "$out" >&2
+        exit 1
+        ;;
+    esac
+  done
+done
+echo "   ok: 9 queries x 11 engines, every verdict typed"
+
 echo "== verify OK =="

@@ -16,9 +16,31 @@ type prepared = {
   source : string option;
 }
 
+type caps = {
+  needs_flat_sources : bool;
+  supports_correlated : bool;
+  supports_subqueries : bool;
+  supports_group_no_selector : bool;
+  supports_nested_paths : bool;
+  supports_interning : bool;
+  max_sources : int option;
+}
+
+let caps_any =
+  {
+    needs_flat_sources = false;
+    supports_correlated = true;
+    supports_subqueries = true;
+    supports_group_no_selector = true;
+    supports_nested_paths = true;
+    supports_interning = true;
+    max_sources = None;
+  }
+
 type t = {
   name : string;
   describe : string;
+  caps : caps;
   prepare : ?instr:Instr.t -> Catalog.t -> Lq_expr.Ast.query -> prepared;
 }
 

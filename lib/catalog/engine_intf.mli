@@ -27,9 +27,35 @@ type prepared = {
           emits one *)
 }
 
+type caps = {
+  needs_flat_sources : bool;
+      (** sources must be flat arrays of scalar-typed structs (§5) *)
+  supports_correlated : bool;
+      (** can evaluate correlated sub-queries (only the interpreted
+          baselines can; Hekaton-style native rejects them, §7.5) *)
+  supports_subqueries : bool;  (** can evaluate (uncorrelated) sub-plans *)
+  supports_group_no_selector : bool;
+      (** can materialize group values themselves (key + element list) *)
+  supports_nested_paths : bool;
+      (** tolerates member chains deeper than one field *)
+  supports_interning : bool;
+      (** tolerates string-producing calls ([Lower]/[Upper]) that would
+          require cross-Domain interning *)
+  max_sources : int option;  (** bound on distinct scans, when limited *)
+}
+(** What an engine's plan builder can compile, declared up front so the
+    provider and the service can route around an engine *before* paying
+    code generation (the capability check of the shared plan layer). The
+    declaration is conservative: a capability miss is a guaranteed
+    [Unsupported]; passing the check does not promise success. *)
+
+val caps_any : caps
+(** The fully permissive capability set (the interpreted baseline). *)
+
 type t = {
   name : string;
   describe : string;
+  caps : caps;
   prepare : ?instr:Instr.t -> Catalog.t -> Lq_expr.Ast.query -> prepared;
 }
 

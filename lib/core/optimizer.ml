@@ -1,4 +1,6 @@
-module Ast = Lq_expr.Ast
+(* The rewrite passes themselves moved to [Lq_plan.Rewrite] so the shared
+   lowering layer and every backend see the same canonical input; this
+   module keeps the provider-facing options record and entry point. *)
 
 type options = {
   fold : bool;
@@ -8,177 +10,12 @@ type options = {
 
 let default = { fold = true; pushdown = true; reorder = true }
 let none = { fold = false; pushdown = false; reorder = false }
-
-let rec conjuncts (e : Ast.expr) =
-  match e with
-  | Ast.Binop (Ast.And, a, b) -> conjuncts a @ conjuncts b
-  | e -> [ e ]
-
-let rec conjoin = function
-  | [] -> Ast.Const (Lq_value.Value.Bool true)
-  | [ e ] -> e
-  | e :: rest -> Ast.Binop (Ast.And, e, conjoin rest)
-
-let rec simplify_expr (e : Ast.expr) : Ast.expr =
-  match e with
-  | Ast.Member (recv, name) -> (
-    match simplify_expr recv with
-    | Ast.Record_of fields as recv' -> (
-      match List.assoc_opt name fields with
-      | Some field -> field  (* already simplified *)
-      | None -> Ast.Member (recv', name))
-    | recv' -> Ast.Member (recv', name))
-  | Ast.Unop (Ast.Not, e) -> (
-    match simplify_expr e with
-    | Ast.Unop (Ast.Not, inner) -> inner
-    | Ast.Const (Lq_value.Value.Bool b) -> Ast.Const (Lq_value.Value.Bool (not b))
-    | e' -> Ast.Unop (Ast.Not, e'))
-  | Ast.Unop (op, e) -> Ast.Unop (op, simplify_expr e)
-  | Ast.Binop (Ast.And, a, b) -> (
-    match (simplify_expr a, simplify_expr b) with
-    | Ast.Const (Lq_value.Value.Bool true), e
-    | e, Ast.Const (Lq_value.Value.Bool true) ->
-      e
-    | a', b' -> Ast.Binop (Ast.And, a', b'))
-  | Ast.Binop (op, a, b) -> Ast.Binop (op, simplify_expr a, simplify_expr b)
-  | Ast.If (c, t, e) -> Ast.If (simplify_expr c, simplify_expr t, simplify_expr e)
-  | Ast.Call (f, args) -> Ast.Call (f, List.map simplify_expr args)
-  | Ast.Agg (k, src, sel) ->
-    Ast.Agg
-      ( k,
-        simplify_expr src,
-        Option.map (fun (l : Ast.lambda) -> { l with Ast.body = simplify_expr l.Ast.body }) sel )
-  | Ast.Record_of fields ->
-    Ast.Record_of (List.map (fun (n, e) -> (n, simplify_expr e)) fields)
-  | Ast.Const _ | Ast.Param _ | Ast.Var _ | Ast.Subquery _ -> e
-
-let predicate_cost (e : Ast.expr) =
-  let rec go (e : Ast.expr) =
-    match e with
-    | Ast.Const _ | Ast.Param _ | Ast.Var _ -> 0.1
-    | Ast.Member (e, _) -> 0.5 +. go e
-    | Ast.Unop (_, e) -> 0.2 +. go e
-    | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b) ->
-      1.0 +. go a +. go b
-    | Ast.Binop (_, a, b) -> 0.5 +. go a +. go b
-    | Ast.If (c, t, e) -> go c +. Float.max (go t) (go e)
-    | Ast.Call ((Ast.Like | Ast.Contains), args) ->
-      20.0 +. List.fold_left (fun acc a -> acc +. go a) 0.0 args
-    | Ast.Call ((Ast.Starts_with | Ast.Ends_with | Ast.Lower | Ast.Upper), args) ->
-      8.0 +. List.fold_left (fun acc a -> acc +. go a) 0.0 args
-    | Ast.Call (_, args) -> 2.0 +. List.fold_left (fun acc a -> acc +. go a) 0.0 args
-    | Ast.Agg (_, src, _) -> 100.0 +. go src
-    | Ast.Subquery _ -> 1000.0
-    | Ast.Record_of fields ->
-      List.fold_left (fun acc (_, e) -> acc +. go e) 1.0 fields
-  in
-  go e
-
-(* --- Selection push-down ---------------------------------------- *)
-
-(* One push-down step on a [Where]; [None] when nothing applies. *)
-let push_where (src : Ast.query) (pred : Ast.lambda) : Ast.query option =
-  let p =
-    match pred.Ast.params with
-    | [ p ] -> p
-    | _ -> "_"
-  in
-  match src with
-  | Ast.Select (inner, sel) when List.length sel.Ast.params = 1 ->
-    (* σ(π(q)) = π(σ'(q)) with the projection inlined into the predicate. *)
-    let sp = List.hd sel.Ast.params in
-    let fresh = "__pd_" ^ sp in
-    let sel_body = Ast.subst [ (sp, Ast.Var fresh) ] sel.Ast.body in
-    let pred' = simplify_expr (Ast.subst [ (p, sel_body) ] pred.Ast.body) in
-    Some (Ast.Select (Ast.Where (inner, Ast.lam [ fresh ] pred'), sel))
-  | Ast.Join j when List.length j.result.Ast.params = 2 ->
-    (* Inline the join's result selector, classify each conjunct by the
-       side(s) it references, push one-sided conjuncts below the join. *)
-    let lv, rv =
-      match j.result.Ast.params with
-      | [ a; b ] -> (a, b)
-      | _ -> assert false
-    in
-    let fl = "__pd_l" and fr = "__pd_r" in
-    let body =
-      Ast.subst [ (lv, Ast.Var fl); (rv, Ast.Var fr) ] j.result.Ast.body
-    in
-    (* Classify each conjunct of the original predicate by inlining a copy
-       of the result selector into it; one-sided conjuncts move below the
-       join (in inlined form), the rest stay above (in original form). *)
-    let classify c =
-      let inlined = simplify_expr (Ast.subst [ (p, body) ] c) in
-      let fv = Ast.free_vars inlined in
-      match (List.mem fl fv, List.mem fr fv) with
-      | true, false -> `Left inlined
-      | false, true -> `Right inlined
-      | _ -> `Both c
-    in
-    let parts = List.map classify (conjuncts pred.Ast.body) in
-    let lefts = List.filter_map (function `Left e -> Some e | _ -> None) parts in
-    let rights = List.filter_map (function `Right e -> Some e | _ -> None) parts in
-    if lefts = [] && rights = [] then None
-    else begin
-      let both = List.filter_map (function `Both e -> Some e | _ -> None) parts in
-      let left =
-        if lefts = [] then j.left
-        else Ast.Where (j.left, Ast.lam [ fl ] (conjoin lefts))
-      in
-      let right =
-        if rights = [] then j.right
-        else Ast.Where (j.right, Ast.lam [ fr ] (conjoin rights))
-      in
-      let joined = Ast.Join { j with left; right } in
-      if both = [] then Some joined
-      else Some (Ast.Where (joined, Ast.lam [ p ] (conjoin both)))
-    end
-  | Ast.Order_by (inner, keys) -> Some (Ast.Order_by (Ast.Where (inner, pred), keys))
-  | Ast.Distinct inner -> Some (Ast.Distinct (Ast.Where (inner, pred)))
-  | _ -> None
-
-let rec pushdown (q : Ast.query) : Ast.query =
-  let q = Ast.map_query_children pushdown q in
-  match q with
-  | Ast.Where (src, pred) -> (
-    match push_where src pred with
-    | Some q' ->
-      (* A successful push may enable further pushes below. *)
-      pushdown q'
-    | None -> q)
-  | q -> q
-
-(* --- Predicate reordering ---------------------------------------- *)
-
-let rec reorder (q : Ast.query) : Ast.query =
-  let q = Ast.map_query_children reorder q in
-  match q with
-  | Ast.Where (src, pred) -> (
-    match pred.Ast.params with
-    | [ p ] ->
-      (* Collect the conjuncts of adjacent Where chains, then rebuild the
-         chain cheapest-first (innermost = evaluated first). *)
-      let rec peel acc (q : Ast.query) =
-        match q with
-        | Ast.Where (inner, l) when List.length l.Ast.params = 1 ->
-          let lp = List.hd l.Ast.params in
-          let body = Ast.subst [ (lp, Ast.Var p) ] l.Ast.body in
-          peel (acc @ conjuncts body) inner
-        | _ -> (acc, q)
-      in
-      let cs, base = peel (conjuncts pred.Ast.body) src in
-      let sorted =
-        List.stable_sort
-          (fun a b -> Float.compare (predicate_cost a) (predicate_cost b))
-          cs
-      in
-      List.fold_left
-        (fun q c -> Ast.Where (q, Ast.lam [ p ] c))
-        base sorted
-    | _ -> q)
-  | q -> q
+let predicate_cost = Lq_plan.Rewrite.predicate_cost
+let conjuncts = Lq_plan.Rewrite.conjuncts
+let simplify_expr = Lq_plan.Rewrite.simplify_expr
 
 let run ?(options = default) q =
   let q = if options.fold then Lq_expr.Fold.query q else q in
-  let q = if options.pushdown then pushdown q else q in
-  let q = if options.reorder then reorder q else q in
+  let q = if options.pushdown then Lq_plan.Rewrite.pushdown q else q in
+  let q = if options.reorder then Lq_plan.Rewrite.reorder q else q in
   q

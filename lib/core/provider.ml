@@ -36,21 +36,25 @@ let cache_counters t = Query_cache.counters t.cache
 let clear_cache t = Query_cache.clear t.cache
 let optimized t q = Optimizer.run ~options:t.optimizer q
 
-(* Canonicalize + optimize, then split the query into its shape and its
-   constant vector; compiled plans always see parameters where the query
-   had constants, so a cached plan can be re-run with new values.
-   [checkpoint] is called at each stage boundary with the stage just
-   finished; raising from it aborts the pipeline (the service layer's
-   cooperative deadline cancellation). *)
+(* Canonicalize + optimize, lower to the shared physical plan, then key
+   the cache on the plan's shape; compiled plans always see parameters
+   where the query had constants, so a cached plan can be re-run with new
+   values. The engine's declared capabilities are checked against the plan
+   *before* any code generation is paid. [checkpoint] is called at each
+   stage boundary with the stage just finished; raising from it aborts the
+   pipeline (the service layer's cooperative deadline cancellation). *)
 let prepare_internal t ~(engine : Engine_intf.t) ?instr ?(checkpoint = fun _ -> ()) q =
   let q = optimized t q in
   checkpoint "optimized";
-  let shape = Shape.key q in
   let consts = Shape.consts q in
-  let compile () =
-    let parameterized, _bindings = Shape.parameterize q in
-    engine.Engine_intf.prepare ?instr t.cat parameterized
-  in
+  let parameterized, _bindings = Shape.parameterize q in
+  let plan = Lq_plan.Lower.lower t.cat parameterized in
+  (match Lq_plan.Plan.check engine.Engine_intf.caps plan with
+  | Ok () -> ()
+  | Error msg -> raise (Engine_intf.Unsupported msg));
+  checkpoint "planned";
+  let shape = Lq_plan.Plan.shape_key plan in
+  let compile () = engine.Engine_intf.prepare ?instr t.cat parameterized in
   let prepared, outcome =
     if t.use_cache && instr = None then
       Query_cache.find_or_compile t.cache ~engine:engine.Engine_intf.name ~shape
@@ -59,6 +63,19 @@ let prepare_internal t ~(engine : Engine_intf.t) ?instr ?(checkpoint = fun _ -> 
   in
   checkpoint "prepared";
   (prepared, outcome, shape, consts)
+
+(* Plan inspection: the lowered plan and the engine's capability verdict,
+   with no code generation. [explain] lowers the *unparameterized* query so
+   the rendering shows real constants; the verdict is constant-blind. *)
+let plan_check t ~(engine : Engine_intf.t) q =
+  let q = optimized t q in
+  let parameterized, _ = Shape.parameterize q in
+  Lq_plan.Plan.check engine.Engine_intf.caps (Lq_plan.Lower.lower t.cat parameterized)
+
+let explain t ~(engine : Engine_intf.t) q =
+  let q = optimized t q in
+  let plan = Lq_plan.Lower.lower t.cat q in
+  (Lq_plan.Plan.explain plan, Lq_plan.Plan.check engine.Engine_intf.caps plan)
 
 let prepare_only t ~engine q =
   let prepared, outcome, _, _ = prepare_internal t ~engine q in

@@ -98,6 +98,25 @@ val prepare_only :
   Lq_catalog.Engine_intf.prepared * [ `Hit | `Miss ]
 (** Preparation without execution, reporting cache behaviour. *)
 
+val plan_check :
+  t ->
+  engine:Lq_catalog.Engine_intf.t ->
+  Lq_expr.Ast.query ->
+  (unit, string) result
+(** The engine's capability verdict on the lowered plan, with no code
+    generation: [Error reason] means preparation is guaranteed to raise
+    {!Lq_catalog.Engine_intf.Unsupported}. The service layer uses this to
+    route around an engine before paying codegen. *)
+
+val explain :
+  t ->
+  engine:Lq_catalog.Engine_intf.t ->
+  Lq_expr.Ast.query ->
+  string * (unit, string) result
+(** The rendered physical plan (after canonicalization, rewrites and
+    shared lowering) plus the engine's capability verdict — the [lqcg
+    explain] backend. *)
+
 val reference : t -> ?params:(string * Value.t) list -> Lq_expr.Ast.query -> Value.t list
 (** The reference interpreter's answer (the differential-testing oracle). *)
 

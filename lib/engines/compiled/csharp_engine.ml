@@ -5,6 +5,9 @@ let make ~name ~describe options : Engine_intf.t =
   {
     Engine_intf.name;
     describe;
+    (* The generated C# cannot re-enter the interpreter mid-loop, so
+       correlated sub-queries are refused at plan time (§7.5). *)
+    caps = { Engine_intf.caps_any with supports_correlated = false };
     prepare =
       (fun ?instr cat query ->
         let start = Profile.now_ms () in

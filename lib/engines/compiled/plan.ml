@@ -5,6 +5,7 @@ module Scalar = Lq_expr.Scalar
 module Catalog = Lq_catalog.Catalog
 module Engine_intf = Lq_catalog.Engine_intf
 module Ptbl = Lq_enum.Ptbl
+module P = Lq_plan.Plan
 
 exception Enough
 (** Raised by a [Take] against its own upstream once satisfied; caught by
@@ -42,7 +43,6 @@ type astate = {
 let new_astate () = { acc_i = 0; acc_f = 0.0; acc_v = Value.Null; acc_n = 0 }
 
 type accum = {
-  spec : Ast.agg * Ast.expr * Ast.lambda option;  (** for deduplication *)
   update : Cexpr.rt -> astate -> unit;  (** element is bound in the frame *)
   finalize : astate -> Value.t;
   result_ty : Vtype.t option;
@@ -110,7 +110,7 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
   in
   (* Build an accumulator for one [Agg] over the group's elements; the
      element is bound at [elem_binding] while updates run. *)
-  let make_accum ~elem_binding (kind, src_ok, sel) : accum =
+  let make_accum ~elem_binding (kind, sel) : accum =
     let compiled_sel =
       match sel with
       | None ->
@@ -125,11 +125,9 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
         | _ -> Engine_intf.unsupported "aggregate selector arity")
     in
     let csel, sel_ty = compiled_sel in
-    let spec = (kind, src_ok, sel) in
     match (kind : Ast.agg) with
     | Ast.Count ->
       {
-        spec;
         update = (fun _rt st -> st.acc_n <- st.acc_n + 1);
         finalize = (fun st -> Value.Int st.acc_n);
         result_ty = Some Vtype.Int;
@@ -138,21 +136,18 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
       match sel_ty with
       | Some Vtype.Int ->
         {
-          spec;
           update = (fun rt st -> st.acc_i <- st.acc_i + Value.to_int (csel rt));
           finalize = (fun st -> Value.Int st.acc_i);
           result_ty = Some Vtype.Int;
         }
       | Some Vtype.Float ->
         {
-          spec;
           update = (fun rt st -> st.acc_f <- st.acc_f +. Value.to_float (csel rt));
           finalize = (fun st -> Value.Float st.acc_f);
           result_ty = Some Vtype.Float;
         }
       | _ ->
         {
-          spec;
           update =
             (fun rt st ->
               let v = csel rt in
@@ -164,7 +159,6 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
         })
     | Ast.Avg ->
       {
-        spec;
         update =
           (fun rt st ->
             st.acc_f <- st.acc_f +. Value.to_float (csel rt);
@@ -177,7 +171,6 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
       }
     | Ast.Min ->
       {
-        spec;
         update =
           (fun rt st ->
             let v = csel rt in
@@ -188,7 +181,6 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
       }
     | Ast.Max ->
       {
-        spec;
         update =
           (fun rt st ->
             let v = csel rt in
@@ -199,10 +191,10 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
       }
   in
   let value_tbl () = Ptbl.create ~eq:Value.equal ~hash:Value.hash 256 in
-  let rec compile_query (q : Ast.query) : node =
-    match q with
-    | Ast.Source name ->
-      let table = Catalog.table cat name in
+  let rec compile_plan (p : P.t) : node =
+    match p.P.op with
+    | P.Scan s ->
+      let table = Catalog.table cat s.P.table in
       let rows = Catalog.boxed table in
       let slot = Cexpr.alloc_slot ctx in
       let ty = Some (Schema.to_vtype (Catalog.schema table)) in
@@ -229,15 +221,19 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
             done
       in
       { slot; ty; segments = 1; run }
-    | Ast.Where (src, pred) ->
-      let node = compile_query src in
-      let cpred = compile_pred ~env:(bind1 pred node) pred.Ast.body in
-      {
-        node with
-        run = (fun rt sink -> node.run rt (fun () -> if cpred rt then sink ()));
-      }
-    | Ast.Select (src, sel) ->
-      let node = compile_query src in
+    | P.Filter (input, preds) ->
+      (* The lowering delivers conjuncts cheapest-first; wrapping in list
+         order places the cheapest test innermost, i.e. evaluated first. *)
+      List.fold_left
+        (fun node (pr : P.pred) ->
+          let cpred = compile_pred ~env:(bind1 pr.P.lambda node) pr.P.lambda.Ast.body in
+          {
+            node with
+            run = (fun rt sink -> node.run rt (fun () -> if cpred rt then sink ()));
+          })
+        (compile_plan input) preds
+    | P.Project (input, sel) ->
+      let node = compile_plan input in
       let csel, out_ty = compile_expr ~env:(bind1 sel node) sel.Ast.body in
       let out = Cexpr.alloc_slot ctx in
       {
@@ -250,9 +246,9 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
                 rt.Cexpr.frame.(out) <- note_alloc (csel rt);
                 sink ()));
       }
-    | Ast.Join { left; right; left_key; right_key; result } ->
-      let lnode = compile_query left in
-      let rnode = compile_query right in
+    | P.Join { left; right; left_key; right_key; result; strategy } ->
+      let lnode = compile_plan left in
+      let rnode = compile_plan right in
       let clkey, _ = compile_expr ~env:(bind1 left_key lnode) left_key.Ast.body in
       let crkey, _ = compile_expr ~env:(bind1 right_key rnode) right_key.Ast.body in
       let renv =
@@ -266,7 +262,7 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
       in
       let cresult, out_ty = compile_expr ~env:renv result.Ast.body in
       let out = Cexpr.alloc_slot ctx in
-      if options.Options.hash_join then
+      if strategy = `Hash then
         {
           slot = out;
           ty = out_ty;
@@ -319,13 +315,11 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
                       end)
                     rows));
         }
-    | Ast.Group_by { group_source; key; group_result } ->
-      compile_group_by group_source key group_result
-    | Ast.Order_by (src, keys) -> compile_order_by src keys
-    | Ast.Take (Ast.Order_by (src, keys), n) when options.Options.fuse_topk ->
-      compile_topk src keys n
-    | Ast.Take (src, n) ->
-      let node = compile_query src in
+    | P.Aggregate a -> compile_aggregate a
+    | P.Sort (input, keys) -> compile_order_by input keys
+    | P.Top_k { input; keys; limit } -> compile_topk input keys limit
+    | P.Limit (input, n) ->
+      let node = compile_plan input in
       let cn, _ = compile_expr ~env:[] n in
       {
         node with
@@ -342,8 +336,8 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
               with Enough -> ()
             end);
       }
-    | Ast.Skip (src, n) ->
-      let node = compile_query src in
+    | P.Offset (input, n) ->
+      let node = compile_plan input in
       let cn, _ = compile_expr ~env:[] n in
       {
         node with
@@ -355,8 +349,8 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
                 incr seen;
                 if !seen > limit then sink ()));
       }
-    | Ast.Distinct src ->
-      let node = compile_query src in
+    | P.Distinct input ->
+      let node = compile_plan input in
       {
         node with
         run =
@@ -369,8 +363,9 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
                   sink ()
                 end));
       }
-  and compile_group_by group_source key group_result : node =
-    let node = compile_query group_source in
+  and compile_aggregate (a : P.aggregate) : node =
+    let node = compile_plan a.P.input in
+    let key = a.P.key in
     let ckey, key_ty = compile_expr ~env:(bind1 key node) key.Ast.body in
     let group_ty items_ty =
       match (key_ty, items_ty) with
@@ -380,7 +375,7 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
              [ (Ast.group_key_field, kt); (Ast.group_items_field, Vtype.List it) ])
       | _ -> None
     in
-    match group_result with
+    match a.P.group_result with
     | None ->
       (* Emit the group values themselves; items must be kept. *)
       let out = Cexpr.alloc_slot ctx in
@@ -417,39 +412,30 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
         | _ -> Engine_intf.unsupported "group result selector arity"
       in
       (* The fused-aggregation contract: [Agg] nodes whose source is the
-         group variable become accumulators updated while grouping; the
+         group variable finalize accumulators from the plan's registry
+         (built, deduplicated and slot-mapped by the shared lowering); the
          rest of the body reads the group record bound at [g_slot]. *)
       let g_slot = Cexpr.alloc_slot ctx in
       let elem_binding = { Cexpr.var = "__elem"; slot = node.slot; vty = node.ty } in
-      let accums : (int * accum) list ref = ref [] in
-      let current_states = ref [||] in
-      let keep_items = ref false in
-      let register_accum kind src sel =
-        let a = make_accum ~elem_binding (kind, src, sel) in
-        let existing =
-          if options.Options.dedup_aggregates then
-            List.find_opt (fun (_, a') -> a'.spec = a.spec) !accums |> Option.map fst
-          else None
-        in
-        match existing with
-        | Some idx -> (idx, List.assoc idx !accums)
-        | None ->
-          let idx = List.length !accums in
-          accums := !accums @ [ (idx, a) ];
-          (idx, a)
+      let reg = P.Registry.of_aggregate a in
+      let accum_arr =
+        Array.init (P.Registry.length reg) (fun i ->
+            let s = P.Registry.spec reg i in
+            make_accum ~elem_binding (s.P.agg, s.P.sel))
       in
+      let current_states = ref [||] in
+      let keep_items = a.P.keep_items in
       let on_agg kind src sel =
         match src with
         | Ast.Var v when String.equal v gparam ->
-          if options.Options.fuse_aggregates then begin
-            let idx, a = register_accum kind src sel in
-            ( (fun _rt -> a.finalize !current_states.(idx)),
-              a.result_ty )
+          if a.P.fused then begin
+            let idx = P.Registry.next reg kind sel in
+            let acc = accum_arr.(idx) in
+            ((fun _rt -> acc.finalize !current_states.(idx)), acc.result_ty)
           end
           else begin
             (* Unfused: re-walk the group's item list per aggregate, like
-               LINQ-to-objects does. *)
-            keep_items := true;
+               LINQ-to-objects does (the lowering kept the items). *)
             let csel =
               match sel with
               | None -> None
@@ -494,17 +480,7 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
           ~on_agg ~on_subquery
           result.Ast.body
       in
-      (* Items are also needed if the body mentions g.Items directly. *)
-      if
-        List.exists
-          (fun path ->
-            match path with
-            | f :: _ -> String.equal f Ast.group_items_field
-            | [] -> true)
-          (Lq_expr.Paths.of_expr ~var:gparam result.Ast.body)
-      then keep_items := true;
-      let naccs = List.length !accums in
-      let accum_arr = Array.of_list (List.map snd !accums) in
+      let naccs = Array.length accum_arr in
       let out = Cexpr.alloc_slot ctx in
       {
         slot = out;
@@ -534,20 +510,20 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
                    (* The element stays bound at node.slot while the
                       accumulators read their selectors. *)
                    Array.iteri (fun i st -> accum_arr.(i).update rt st) states;
-                   if !keep_items then items := v :: !items)
+                   if keep_items then items := v :: !items)
              with Enough -> ());
             List.iter
               (fun (k, (states, items)) ->
                 current_states := states;
                 rt.Cexpr.frame.(g_slot) <-
                   Eval.group_value ~key:k
-                    ~items:(if !keep_items then List.rev !items else []);
+                    ~items:(if keep_items then List.rev !items else []);
                 rt.Cexpr.frame.(out) <- note_alloc (cbody rt);
                 sink ())
               (List.rev !order));
       }
-  and compile_order_by src keys : node =
-    let node = compile_query src in
+  and compile_order_by (input : P.t) keys : node =
+    let node = compile_plan input in
     let ckeys =
       List.map
         (fun (k : Ast.sort_key) ->
@@ -598,8 +574,8 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
               sink ())
             idx);
     }
-  and compile_topk src keys n : node =
-    let node = compile_query src in
+  and compile_topk (input : P.t) keys n : node =
+    let node = compile_plan input in
     let ckeys =
       List.map
         (fun (k : Ast.sort_key) ->
@@ -643,7 +619,7 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
             (Lq_exec.Topk.to_sorted_list heap));
     }
   in
-  let root = compile_query query in
+  let root = compile_plan (Lq_plan.Lower.lower ~options cat query) in
   { ctx; cat; root; eval_ctx_cell; epoch; mu = Mutex.create () }
 
 (* The cache shares one plan with every Domain; executions of the same

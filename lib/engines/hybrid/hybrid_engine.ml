@@ -4,6 +4,7 @@ module Catalog = Lq_catalog.Catalog
 module Engine_intf = Lq_catalog.Engine_intf
 module Cexpr = Lq_compiled.Cexpr
 module Nplan = Lq_native.Nplan
+module Split = Lq_plan.Staging
 module Layout = Lq_storage.Layout
 module Rowstore = Lq_storage.Rowstore
 module Profile = Lq_metrics.Profile
@@ -78,7 +79,10 @@ let make ?(buffered = false) ?(construction = Max) () : Engine_intf.t =
   let prepare ?instr cat (query : Ast.query) =
     let trace = Option.map (fun (i : Lq_catalog.Instr.t) -> i.Lq_catalog.Instr.trace) instr in
     let start_ms = Profile.now_ms () in
-    let stripped, specs = Split.strip_filters query in
+    (* Stage boundaries come from the shared lowering: every known scan of
+       the plan is a staged input; the conjuncts sitting on it (already
+       cost-ordered) run managed-side. *)
+    let stripped, specs = Split.strip_plan (Lq_plan.Lower.lower cat query) in
     if specs = [] then unsupported "hybrid backend needs at least one source";
     let cctx = Cexpr.ctx () in
     (* Managed-side sub-queries/whole aggregates: uncorrelated ones are
@@ -583,6 +587,16 @@ let make ?(buffered = false) ?(construction = Max) () : Engine_intf.t =
   {
     Engine_intf.name;
     describe = "combined C#/C: managed filtering + staging, native heavy lifting";
+    (* The offloaded remainder runs on the native backend, which sets the
+       capability floor for query *structure* — but staging flattens
+       sources (nested member paths become copied leaf columns), so flat
+       inputs are not required. *)
+    caps =
+      {
+        Engine_intf.caps_any with
+        supports_correlated = false;
+        supports_group_no_selector = false;
+      };
     prepare;
   }
 

@@ -116,21 +116,28 @@ let engine : Engine_intf.t =
     name = "linq-to-objects";
     describe =
       "baseline: enumerator pipeline over boxed objects, interpreted lambdas";
+    caps = Engine_intf.caps_any;
     prepare =
       (fun ?instr cat query ->
-        (* Nothing is compiled; the enumerable is built per execution. *)
+        (* Nothing is compiled. As the trivial backend of the shared
+           lowering, the plan is round-tripped back to an expression tree
+           the enumerator pipeline interprets — the plan's conjunct
+           ordering survives as a chain of [Where]s. *)
+        let t0 = Lq_metrics.Profile.now_ms () in
+        let lowered = Lq_plan.Plan.to_ast (Lq_plan.Lower.lower cat query) in
+        let codegen_ms = Lq_metrics.Profile.now_ms () -. t0 in
         {
           Engine_intf.execute =
             (fun ?profile ~params () ->
               let run () =
                 let ctx = Catalog.eval_ctx cat ~params in
                 let collected = Option.map (fun _ -> ref []) instr in
-                E.to_list (pipeline ?instr ?collected ~top:query ctx cat query)
+                E.to_list (pipeline ?instr ?collected ~top:lowered ctx cat lowered)
               in
               match profile with
               | None -> run ()
               | Some p -> Lq_metrics.Profile.time p "Iterate pipeline (managed)" run);
-          codegen_ms = 0.0;
+          codegen_ms;
           source = None;
         });
   }

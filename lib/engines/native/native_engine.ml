@@ -6,6 +6,16 @@ let make ~name ~describe : Engine_intf.t =
   {
     Engine_intf.name;
     describe;
+    (* Hekaton-style native compilation: flat row stores only, no
+       correlated sub-queries (§7.5), and groups must reduce to fused
+       accumulators — whole group values cannot be materialized. *)
+    caps =
+      {
+        Engine_intf.caps_any with
+        needs_flat_sources = true;
+        supports_correlated = false;
+        supports_group_no_selector = false;
+      };
     prepare =
       (fun ?instr cat query ->
         let trace = Option.map (fun (i : Lq_catalog.Instr.t) -> i.Lq_catalog.Instr.trace) instr in

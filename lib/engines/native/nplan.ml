@@ -6,6 +6,7 @@ module Layout = Lq_storage.Layout
 module Rowstore = Lq_storage.Rowstore
 module Catalog = Lq_catalog.Catalog
 module Engine_intf = Lq_catalog.Engine_intf
+module P = Lq_plan.Plan
 
 let unsupported = Engine_intf.unsupported
 
@@ -116,8 +117,8 @@ let rec rewrite_gkey gvar (e : Ast.expr) : Ast.expr =
   | Ast.Record_of fields ->
     Ast.Record_of (List.map (fun (n, e) -> (n, rewrite_gkey gvar e)) fields)
 
-let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
-    (query : Ast.query) : t =
+let compile ?(options = Lq_plan.Options.default) ?trace
+    ?(override = fun _ -> None) cat (query : Ast.query) : t =
   let nctx = Nexpr.ctx ?trace ~dict:(Catalog.dict cat) () in
   let fillers = ref [] in
   let tenv = Catalog.tenv cat ~params:[] in
@@ -198,52 +199,45 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
     | Ast.Var name when List.mem_assoc name env -> List.assoc name env
     | e -> Nexpr.Scalar (compile_expr ~env e)
   in
-  (* Index-scan rewriting (§9 "indexes"): a [Where] directly over a source
-     whose predicate contains a conjunct [src.col = closed-expr] on an
-     indexed column probes the hash index instead of scanning; the
-     remaining conjuncts stay as a filter. Only applies to catalog sources
-     (not externally staged ones) and preserves row order (index payloads
-     are ascending row numbers). *)
-  let rec conjuncts (e : Ast.expr) =
-    match e with
-    | Ast.Binop (Ast.And, a, b) -> conjuncts a @ conjuncts b
-    | e -> [ e ]
-  in
-  let conjoin = function
-    | [] -> Ast.Const (Value.Bool true)
-    | [ e ] -> e
-    | e :: rest -> List.fold_left (fun acc c -> Ast.Binop (Ast.And, acc, c)) e rest
-  in
-  let index_probe name (pred : Ast.lambda) =
-    match (override name, pred.Ast.params) with
-    | Some _, _ | None, ([] | _ :: _ :: _) -> None
-    | None, [ pvar ] -> (
+  (* Index-scan rewriting (§9 "indexes"): a filter conjunct
+     [src.col = closed-expr] directly over a source on an indexed column
+     probes the hash index instead of scanning; the remaining conjuncts
+     stay as filters. Only applies to catalog sources (not externally
+     staged ones) and preserves row order (index payloads are ascending
+     row numbers). *)
+  let index_probe name (preds : P.pred list) =
+    if override name <> None then None
+    else
       match Catalog.table cat name with
       | exception _ -> None
       | table ->
         let closed e = Ast.free_vars e = [] in
+        let indexed_eq (pr : P.pred) =
+          match (pr.P.lambda.Ast.params, pr.P.lambda.Ast.body) with
+          | [ pvar ], Ast.Binop (Ast.Eq, Ast.Member (Ast.Var v, col), key)
+            when String.equal v pvar && closed key && Catalog.index table col <> None
+            ->
+            Some (col, key)
+          | [ pvar ], Ast.Binop (Ast.Eq, key, Ast.Member (Ast.Var v, col))
+            when String.equal v pvar && closed key && Catalog.index table col <> None
+            ->
+            Some (col, key)
+          | _ -> None
+        in
         let rec split seen = function
           | [] -> None
-          | c :: rest -> (
-            match c with
-            | Ast.Binop (Ast.Eq, Ast.Member (Ast.Var v, col), key)
-              when String.equal v pvar && closed key && Catalog.index table col <> None
-              ->
-              Some (col, key, List.rev_append seen rest)
-            | Ast.Binop (Ast.Eq, key, Ast.Member (Ast.Var v, col))
-              when String.equal v pvar && closed key && Catalog.index table col <> None
-              ->
-              Some (col, key, List.rev_append seen rest)
-            | c -> split (c :: seen) rest)
+          | pr :: rest -> (
+            match indexed_eq pr with
+            | Some (col, key) -> Some (table, col, key, List.rev_append seen rest)
+            | None -> split (pr :: seen) rest)
         in
-        Option.map
-          (fun (col, key, residual) -> (table, col, key, residual, pvar))
-          (split [] (conjuncts pred.Ast.body)))
+        split [] preds
   in
-  let rec compile_query (q : Ast.query) : nnode =
-    match q with
-    | Ast.Where (Ast.Source name, pred) when index_probe name pred <> None ->
-      let table, col, key, residual, pvar = Option.get (index_probe name pred) in
+  let rec compile_plan (p : P.t) : nnode =
+    match p.P.op with
+    | P.Filter ({ P.op = P.Scan s; _ }, preds)
+      when index_probe s.P.table preds <> None ->
+      let table, col, key, residual = Option.get (index_probe s.P.table preds) in
       let store = Catalog.store table in
       let idx = Option.get (Catalog.index table col) in
       (* Integer image of the probe key; string/date parameters land in
@@ -257,14 +251,9 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
                 cell := row;
                 sink ()))
       in
-      if residual = [] then node
-      else
-        let cpred =
-          Nexpr.as_bool (compile_expr ~env:[ (pvar, node.elem) ] (conjoin residual))
-        in
-        { node with run = (fun sink -> node.run (fun () -> if cpred () then sink ())) }
-    | Ast.Source name -> (
-      match override name with
+      apply_filters node residual
+    | P.Scan s -> (
+      match override s.P.table with
       | Some { ext_store; ext_drive } ->
         row_node ext_store (fun cursor sink ->
             let cell = cursor.Nexpr.cell in
@@ -272,27 +261,24 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
                 cell := row;
                 sink ()))
       | None ->
-        let store = Catalog.store (Catalog.table cat name) in
+        let store = Catalog.store (Catalog.table cat s.P.table) in
         row_node store (fun cursor sink ->
             let cell = cursor.Nexpr.cell in
             for i = 0 to Rowstore.length store - 1 do
               cell := i;
               sink ()
             done))
-    | Ast.Where (src, pred) ->
-      let node = compile_query src in
-      let cpred =
-        Nexpr.as_bool (compile_expr ~env:(bind1 pred node.elem) pred.Ast.body)
-      in
-      { node with run = (fun sink -> node.run (fun () -> if cpred () then sink ())) }
-    | Ast.Select (src, sel) ->
-      let node = compile_query src in
+    | P.Filter (input, preds) -> apply_filters (compile_plan input) preds
+    | P.Project (input, sel) ->
+      let node = compile_plan input in
       let env = bind1 sel node.elem in
       let elem = elem_of_body ~env sel.Ast.body in
       { node with elem }
-    | Ast.Join { left; right; left_key; right_key; result } ->
-      let lnode = compile_query left in
-      let rnode = compile_query right in
+    | P.Join { left; right; left_key; right_key; result; strategy = _ } ->
+      (* The native backend always hash-joins; the plan's nested-loop hint
+         (an ablation option for the managed backend) is ignored. *)
+      let lnode = compile_plan left in
+      let rnode = compile_plan right in
       (* Build side: spill the right input, key it in a flat hash table. *)
       let rkey_parts =
         compile_key_parts ~env:(bind1 right_key rnode.elem) right_key.Ast.body
@@ -347,14 +333,13 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
                       rcell := row;
                       sink ())));
       }
-    | Ast.Group_by { group_source; key; group_result } ->
-      compile_group group_source key group_result
-    | Ast.Order_by (src, keys) -> compile_sort src keys None
-    | Ast.Take (Ast.Order_by (src, keys), n) when fuse_topk ->
-      let limit = Nexpr.as_int (compile_expr ~env:[] n) in
-      compile_sort src keys (Some limit)
-    | Ast.Take (src, n) ->
-      let node = compile_query src in
+    | P.Aggregate a -> compile_group a
+    | P.Sort (input, keys) -> compile_sort input keys None
+    | P.Top_k { input; keys; limit } ->
+      let limit = Nexpr.as_int (compile_expr ~env:[] limit) in
+      compile_sort input keys (Some limit)
+    | P.Limit (input, n) ->
+      let node = compile_plan input in
       let limit = Nexpr.as_int (compile_expr ~env:[] n) in
       {
         node with
@@ -371,8 +356,8 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
               with Enough -> ()
             end);
       }
-    | Ast.Skip (src, n) ->
-      let node = compile_query src in
+    | P.Offset (input, n) ->
+      let node = compile_plan input in
       let limit = Nexpr.as_int (compile_expr ~env:[] n) in
       {
         node with
@@ -384,8 +369,8 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
                 incr seen;
                 if !seen > lim then sink ()));
       }
-    | Ast.Distinct src ->
-      let node = compile_query src in
+    | P.Distinct input ->
+      let node = compile_plan input in
       let fields = Nexpr.elem_fields nctx node.elem in
       let closures =
         Array.of_list (List.concat_map (fun (_, t) -> Nexpr.key_parts t) fields)
@@ -405,10 +390,21 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
                 let (_ : int) = Ht.lookup_or_insert tbl scratch in
                 if Ht.count tbl > before then sink ()));
       }
-  and compile_group group_source key group_result : nnode =
-    let node = compile_query group_source in
+  and apply_filters node (preds : P.pred list) : nnode =
+    (* Conjuncts arrive cheapest-first; wrapping in list order runs the
+       cheapest test first. *)
+    List.fold_left
+      (fun node (pr : P.pred) ->
+        let cpred =
+          Nexpr.as_bool (compile_expr ~env:(bind1 pr.P.lambda node.elem) pr.P.lambda.Ast.body)
+        in
+        { node with run = (fun sink -> node.run (fun () -> if cpred () then sink ())) })
+      node preds
+  and compile_group (a : P.aggregate) : nnode =
+    let node = compile_plan a.P.input in
+    let key = a.P.key in
     let result =
-      match group_result with
+      match a.P.group_result with
       | Some r -> r
       | None ->
         unsupported
@@ -460,10 +456,8 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
         let _, t, off = List.hd key_specs in
         Nexpr.Scalar (key_reader off t)
     in
-    (* Fused accumulators, deduplicated structurally. *)
-    let updates : (slot:int -> fresh:bool -> unit) list ref = ref [] in
-    let specs : (Ast.agg * Ast.expr * Ast.lambda option) list ref = ref [] in
-    let readers : Nexpr.t list ref = ref [] in
+    (* Fused accumulators: the plan's registry fixes the deduplicated
+       accumulator set and the per-occurrence slots. *)
     let dict = Nexpr.dict nctx in
     let make_acc kind (sel : Ast.lambda option) : (slot:int -> fresh:bool -> unit) * Nexpr.t =
       let selected () =
@@ -534,27 +528,18 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
             Nexpr.I ((fun () -> !best.(!cur_slot)), ty) )
         | Nexpr.B _ -> unsupported "Min/Max over bool (native)")
     in
+    if not a.P.fused then
+      unsupported "unfused aggregation (the native backend always fuses)";
+    let reg = P.Registry.of_aggregate a in
+    let accs =
+      Array.init (P.Registry.length reg) (fun i ->
+          let s = P.Registry.spec reg i in
+          make_acc s.P.agg s.P.sel)
+    in
     let on_agg kind src sel =
       match src with
-      | Ast.Var v when String.equal v gvar -> (
-        let spec = (kind, src, sel) in
-        let rec find i specs readers =
-          match (specs, readers) with
-          | [], [] -> None
-          | s :: _, r :: _ when s = spec ->
-            ignore i;
-            Some r
-          | _ :: ss, _ :: rs -> find (i + 1) ss rs
-          | _ -> assert false
-        in
-        match find 0 !specs !readers with
-        | Some r -> r
-        | None ->
-          let update, reader = make_acc kind sel in
-          specs := !specs @ [ spec ];
-          readers := !readers @ [ reader ];
-          updates := !updates @ [ update ];
-          reader)
+      | Ast.Var v when String.equal v gvar ->
+        snd accs.(P.Registry.next reg kind sel)
       | Ast.Subquery _ -> on_agg_outside kind src sel
       | _ -> unsupported "aggregate source (native)"
     in
@@ -570,7 +555,7 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
       | e -> Nexpr.Scalar (compile_result e)
     in
     let scratch = Array.make nparts 0 in
-    let update_arr = Array.of_list !updates in
+    let update_arr = Array.map fst accs in
     {
       elem;
       segments = node.segments + 1;
@@ -597,8 +582,8 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
             sink ()
           done);
     }
-  and compile_sort src keys limit : nnode =
-    let node = compile_query src in
+  and compile_sort (input : P.t) keys limit : nnode =
+    let node = compile_plan input in
     let store, write, cursor, elem = spill nctx node.elem in
     (* Per-key extraction columns, typed; strings decode once at spill. *)
     let extractors =
@@ -680,7 +665,7 @@ let compile ?(fuse_topk = true) ?trace ?(override = fun _ -> None) cat
             emit (Array.of_list (Lq_exec.Topk.to_sorted_list heap)));
     }
   in
-  let root = compile_query query in
+  let root = compile_plan (Lq_plan.Lower.lower ~options cat query) in
   let emit = Nexpr.elem_to_value nctx root.elem in
   {
     nctx;

@@ -35,7 +35,7 @@ type external_source = {
 }
 
 val compile :
-  ?fuse_topk:bool ->
+  ?options:Lq_plan.Options.t ->
   ?trace:(int -> unit) ->
   ?override:(string -> external_source option) ->
   Lq_catalog.Catalog.t ->

@@ -6,26 +6,26 @@ module Catalog = Lq_catalog.Catalog
 module Engine_intf = Lq_catalog.Engine_intf
 module Nplan = Lq_native.Nplan
 module Rowstore = Lq_storage.Rowstore
+module P = Lq_plan.Plan
 
 let unsupported = Engine_intf.unsupported
 
 (* ------------------------------------------------------------------ *)
-(* Query analysis: split into (pipeline over one source [+ grouping],
+(* Plan analysis: split into (pipeline over one source [+ grouping],
    sequential remainder). *)
 
 type partition_point =
-  | Pipeline of Ast.query  (** Where/Select chain over one Source *)
-  | Grouped of Ast.query * Ast.lambda * Ast.lambda
-      (** pipeline, key, result selector *)
+  | Pipeline of P.t  (** Filter/Project chain over one Scan *)
+  | Grouped of P.aggregate  (** aggregation whose input is such a chain *)
 
 (* The remainder is the query with the partition point replaced by this
    pseudo-source; it runs sequentially over the merged rows. *)
 let merged_source = "__merged"
 
-let rec is_pipeline (q : Ast.query) =
-  match q with
-  | Ast.Source _ -> true
-  | Ast.Where (src, _) | Ast.Select (src, _) -> is_pipeline src
+let rec is_pipeline (p : P.t) =
+  match p.P.op with
+  | P.Scan s -> s.P.known
+  | P.Filter (i, _) | P.Project (i, _) -> is_pipeline i
   | _ -> false
 
 let rec forbid_constructs (e : Ast.expr) =
@@ -62,21 +62,43 @@ let check_query q =
   in
   go q
 
-(* Finds the partition point and rewrites the query around it. *)
-let split (q : Ast.query) : partition_point * Ast.query =
+(* Finds the partition point in the lowered plan and rebuilds the
+   remainder of the query around it (as an expression tree the sequential
+   evaluator interprets over the merged rows). *)
+let split (plan : P.t) : partition_point * Ast.query =
   let found = ref None in
-  let rec go (q : Ast.query) : Ast.query =
-    match q with
-    | Ast.Group_by { group_source; key; group_result = Some result }
-      when !found = None && is_pipeline group_source ->
-      found := Some (Grouped (group_source, key, result));
+  let rec go (p : P.t) : Ast.query =
+    match p.P.op with
+    | P.Aggregate ({ P.group_result = Some _; _ } as a)
+      when !found = None && is_pipeline a.P.input ->
+      found := Some (Grouped a);
       Ast.Source merged_source
-    | _ when !found = None && is_pipeline q ->
-      found := Some (Pipeline q);
+    | _ when !found = None && is_pipeline p ->
+      found := Some (Pipeline p);
       Ast.Source merged_source
-    | _ -> Ast.map_query_children go q
+    | P.Scan s -> Ast.Source s.P.table
+    | P.Filter (i, preds) ->
+      List.fold_left (fun q (pr : P.pred) -> Ast.Where (q, pr.P.lambda)) (go i) preds
+    | P.Project (i, sel) -> Ast.Select (go i, sel)
+    | P.Join j ->
+      Ast.Join
+        {
+          Ast.left = go j.P.left;
+          right = go j.P.right;
+          left_key = j.P.left_key;
+          right_key = j.P.right_key;
+          result = j.P.result;
+        }
+    | P.Aggregate a ->
+      Ast.Group_by
+        { Ast.group_source = go a.P.input; key = a.P.key; group_result = a.P.group_result }
+    | P.Sort (i, ks) -> Ast.Order_by (go i, ks)
+    | P.Top_k { input; keys; limit } -> Ast.Take (Ast.Order_by (go input, keys), limit)
+    | P.Limit (i, n) -> Ast.Take (go i, n)
+    | P.Offset (i, n) -> Ast.Skip (go i, n)
+    | P.Distinct i -> Ast.Distinct (go i)
   in
-  let remainder = go q in
+  let remainder = go plan in
   match !found with
   | Some point -> (point, remainder)
   | None -> unsupported "no parallelizable pipeline found"
@@ -92,10 +114,13 @@ type partial =
 
 let partial_name i = Printf.sprintf "__a%d" i
 
-(* Collects the distinct aggregates of the result body and produces
-   (a) the partial selector fields and (b) a rewriting of the body where
-   each [Agg] reads the merged accumulators. *)
-let decompose gvar (body : Ast.expr) =
+(* Maps the plan's deduplicated accumulator registry to mergeable
+   partials ([Avg] splits into a sum and a count) and produces (a) the
+   partial selector fields and (b) a rewriting of the result body where
+   each [Agg] occurrence reads the merged accumulators through its
+   registry slot. *)
+let decompose (a : P.aggregate) gvar (body : Ast.expr) =
+  let reg = P.Registry.of_aggregate a in
   let partials : partial list ref = ref [] in
   let slot_of p =
     match List.find_index (fun q -> q = p) !partials with
@@ -107,18 +132,19 @@ let decompose gvar (body : Ast.expr) =
   let rec rewrite (e : Ast.expr) : Ast.expr =
     match e with
     | Ast.Agg (kind, Ast.Var v, sel) when String.equal v gvar -> (
+      let s = P.Registry.spec reg (P.Registry.next reg kind sel) in
       let read p = Ast.Member (Ast.Var "__acc", partial_name (slot_of p)) in
-      match kind with
-      | Ast.Sum -> read (P_sum sel)
+      match s.P.agg with
+      | Ast.Sum -> read (P_sum s.P.sel)
       | Ast.Count -> read P_count
-      | Ast.Min -> read (P_min sel)
-      | Ast.Max -> read (P_max sel)
+      | Ast.Min -> read (P_min s.P.sel)
+      | Ast.Max -> read (P_max s.P.sel)
       | Ast.Avg ->
         (* avg = Σx / n over the merged partials; the multiplication by
            1.0 forces float division even for integer selectors *)
         Ast.Binop
           ( Ast.Div,
-            Ast.Binop (Ast.Mul, read (P_sum sel), Ast.Const (Value.Float 1.0)),
+            Ast.Binop (Ast.Mul, read (P_sum s.P.sel), Ast.Const (Value.Float 1.0)),
             read P_count ))
     | Ast.Agg _ -> unsupported "aggregate source (parallel backend)"
     | Ast.Const _ | Ast.Param _ | Ast.Var _ -> e
@@ -175,19 +201,23 @@ let make ?name ~domains () : Engine_intf.t =
     check_query query;
     if List.length (Ast.sources_of_query query) <> 1 then
       unsupported "multiple sources (parallel backend)";
-    let point, remainder = split query in
+    let point, remainder = split (Lq_plan.Lower.lower cat query) in
     (* The per-domain query: the pipeline, grouped with partial
        accumulators when the partition point is an aggregation. *)
     let pipeline, merge_kind =
       match point with
-      | Pipeline p -> (p, `Concat)
-      | Grouped (p, key, result) ->
+      | Pipeline p -> (P.to_ast p, `Concat)
+      | Grouped a ->
+        let key = a.P.key in
+        let result =
+          match a.P.group_result with Some r -> r | None -> assert false
+        in
         let gvar =
           match result.Ast.params with
           | [ g ] -> g
           | _ -> unsupported "group result arity (parallel)"
         in
-        let partials, merged_body = decompose gvar result.Ast.body in
+        let partials, merged_body = decompose a gvar result.Ast.body in
         let partial_fields = List.mapi partial_agg partials in
         (* Composite keys are flattened into one partial column per part;
            the merge phase reassembles the key record. *)
@@ -206,7 +236,8 @@ let make ?name ~domains () : Engine_intf.t =
         let partial_selector =
           Ast.lam [ "__g" ] (Ast.Record_of (key_fields @ partial_fields))
         in
-        ( Ast.Group_by { group_source = p; key; group_result = Some partial_selector },
+        ( Ast.Group_by
+            { group_source = P.to_ast a.P.input; key; group_result = Some partial_selector },
           `Merge_groups (partials, merged_body, gvar, rebuild_key) )
     in
     let source_name = source_of_pipeline pipeline in
@@ -326,6 +357,18 @@ let make ?name ~domains () : Engine_intf.t =
       | Some n -> n
       | None -> Printf.sprintf "compiled-c-parallel[%d]" domains);
     describe = "extension: domain-parallel native scans with partial-aggregate merge";
+    (* Partitioned scans only parallelize single-source pipelines whose
+       aggregates merge; strings crossing Domains would need interning. *)
+    caps =
+      {
+        Engine_intf.caps_any with
+        needs_flat_sources = true;
+        supports_correlated = false;
+        supports_subqueries = false;
+        supports_group_no_selector = false;
+        supports_interning = false;
+        max_sources = Some 1;
+      };
     prepare;
   }
 

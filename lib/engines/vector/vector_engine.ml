@@ -6,6 +6,7 @@ module Engine_intf = Lq_catalog.Engine_intf
 module Colstore = Lq_storage.Colstore
 module Layout = Lq_storage.Layout
 module Dict = Lq_storage.Dict
+module P = Lq_plan.Plan
 
 let unsupported = Engine_intf.unsupported
 let vector_size = 1024
@@ -285,30 +286,25 @@ let rewrite_gkey gvar body =
 
 let scalar_field = "__val"
 
-let rec run vc cat (q : Ast.query) : dataset =
-  match q with
-  | Ast.Source name ->
-    { rel = rel_of_colstore (Catalog.cols (Catalog.table cat name)); sel = None }
-  | Ast.Where (src, pred) -> (
-    let ds = run vc cat src in
-    let n = ds_len ds in
-    match pred.Ast.params with
-    | [ p ] ->
-      let mask = bool_arr (veval vc ~env:[ (p, ds) ] ~n pred.Ast.body) in
-      let hits = ref 0 in
-      Array.iter (fun b -> if b <> 0 then incr hits) mask;
-      let out = Array.make !hits 0 in
-      let j = ref 0 in
-      for i = 0 to n - 1 do
-        if mask.(i) <> 0 then begin
-          out.(!j) <- (match ds.sel with Some s -> s.(i) | None -> i);
-          incr j
-        end
-      done;
-      { rel = ds.rel; sel = Some out }
-    | _ -> unsupported "vectorized filter arity")
-  | Ast.Select (src, sel) -> (
-    let ds = run vc cat src in
+let rec run vc cat (p : P.t) : dataset =
+  match p.P.op with
+  | P.Scan s ->
+    let rel = rel_of_colstore (Catalog.cols (Catalog.table cat s.P.table)) in
+    let rel =
+      match s.P.fields with
+      | None -> rel
+      | Some fs ->
+        (* Implicit projection from the shared demand analysis: expose only
+           the columns downstream operators read. *)
+        { rel with cols = List.filter (fun (name, _) -> List.mem name fs) rel.cols }
+    in
+    { rel; sel = None }
+  | P.Filter (input, preds) ->
+    (* Conjuncts arrive cost-ordered from the plan; each narrows the
+       selection vector before the next (more expensive) one runs. *)
+    List.fold_left (apply_pred vc) (run vc cat input) preds
+  | P.Project (input, sel) -> (
+    let ds = run vc cat input in
     let n = ds_len ds in
     match sel.Ast.params with
     | [ p ] ->
@@ -322,7 +318,9 @@ let rec run vc cat (q : Ast.query) : dataset =
           sel = None }
       | e -> { rel = { n; cols = [ (scalar_field, veval vc ~env ~n e) ] }; sel = None })
     | _ -> unsupported "vectorized select arity")
-  | Ast.Join { left; right; left_key; right_key; result } ->
+  | P.Join { P.left; right; left_key; right_key; result; strategy = _ } ->
+    (* The only vectorized join is the positional hash join below, so the
+       plan's strategy hint is moot. *)
     let lds = run vc cat left and rds = run vc cat right in
     let ln = ds_len lds and rn = ds_len rds in
     let key_cols ds (l : Ast.lambda) n =
@@ -376,16 +374,16 @@ let rec run vc cat (q : Ast.query) : dataset =
           sel = None }
       | e -> { rel = { n; cols = [ (scalar_field, veval vc ~env ~n e) ] }; sel = None })
     | _ -> unsupported "vectorized join result arity")
-  | Ast.Group_by { group_source; key; group_result } -> (
-    let ds = run vc cat group_source in
+  | P.Aggregate a -> (
+    let ds = run vc cat a.P.input in
     let n = ds_len ds in
     let result =
-      match group_result with
+      match a.P.group_result with
       | Some r -> r
       | None -> unsupported "vectorized GroupBy without result selector"
     in
     let kparam =
-      match key.Ast.params with
+      match a.P.key.Ast.params with
       | [ p ] -> p
       | _ -> unsupported "vectorized group key arity"
     in
@@ -396,7 +394,7 @@ let rec run vc cat (q : Ast.query) : dataset =
     in
     let env = [ (kparam, ds) ] in
     let key_fields =
-      match key.Ast.body with
+      match a.P.key.Ast.body with
       | Ast.Record_of fields ->
         List.map (fun (fname, e) -> (fname, veval vc ~env ~n e)) fields
       | e -> [ (scalar_field, veval vc ~env ~n e) ]
@@ -422,28 +420,26 @@ let rec run vc cat (q : Ast.query) : dataset =
     for i = 0 to n - 1 do
       counts.(slots.(i)) <- counts.(slots.(i)) + 1
     done;
-    (* Vectorized aggregate primitives over the slot vector. *)
-    let acc_cache : ((Ast.agg * Ast.lambda option) * col) list ref = ref [] in
-    let on_agg kind src (sel : Ast.lambda option) =
-      match src with
-      | Ast.Var v when String.equal v gvar -> (
-        match List.assoc_opt (kind, sel) !acc_cache with
-        | Some c -> Some c
-        | None ->
-          let selected =
-            match sel with
-            | None -> (
-              (* Only Count may omit the selector over row elements. *)
-              match kind with
-              | Ast.Count -> CI (Array.make 0 0, Vtype.Int)
-              | _ -> unsupported "vectorized aggregate without selector")
-            | Some (l : Ast.lambda) -> (
-              match l.Ast.params with
-              | [ p ] -> veval vc ~env:[ (p, ds) ] ~n l.Ast.body
-              | _ -> unsupported "vectorized aggregate selector arity")
-          in
-          let c =
-            match (kind, selected) with
+    (* Vectorized aggregate primitives over the slot vector: one column
+       per deduplicated accumulator of the plan's registry, computed
+       eagerly in registry order. *)
+    if not a.P.fused then
+      unsupported "vectorized unfused aggregation (the plan must fuse)";
+    let reg = P.Registry.of_aggregate a in
+    let compute_acc kind (sel : Ast.lambda option) : col =
+      let selected =
+        match sel with
+        | None -> (
+          (* Only Count may omit the selector over row elements. *)
+          match kind with
+          | Ast.Count -> CI (Array.make 0 0, Vtype.Int)
+          | _ -> unsupported "vectorized aggregate without selector")
+        | Some (l : Ast.lambda) -> (
+          match l.Ast.params with
+          | [ p ] -> veval vc ~env:[ (p, ds) ] ~n l.Ast.body
+          | _ -> unsupported "vectorized aggregate selector arity")
+      in
+      match (kind, selected) with
             | Ast.Count, _ -> CI (Array.copy counts, Vtype.Int)
             | Ast.Sum, CI (a, Vtype.Int) ->
               let acc = Array.make ngroups 0 in
@@ -512,9 +508,16 @@ let rec run vc cat (q : Ast.query) : dataset =
               done;
               CF acc
             | Ast.Sum, _ -> unsupported "vectorized Sum over non-numeric"
-          in
-          acc_cache := ((kind, sel), c) :: !acc_cache;
-          Some c)
+    in
+    let accs =
+      Array.init (P.Registry.length reg) (fun i ->
+          let s = P.Registry.spec reg i in
+          compute_acc s.P.agg s.P.sel)
+    in
+    let on_agg kind src (sel : Ast.lambda option) =
+      match src with
+      | Ast.Var v when String.equal v gvar ->
+        Some accs.(P.Registry.next reg kind sel)
       | _ -> None
     in
     let gkey_ds = { rel = gkey_rel; sel = None } in
@@ -537,9 +540,73 @@ let rec run vc cat (q : Ast.query) : dataset =
         sel = None;
       }
     | e -> { rel = { n = ngroups; cols = [ (scalar_field, eval_field e) ] }; sel = None })
-  | Ast.Order_by (src, keys) ->
-    let ds = run vc cat src in
+  | P.Sort (input, keys) -> sort_ds vc cat input keys
+  | P.Top_k { input; keys; limit } ->
+    (* No bounded-heap primitive here: sort the selection vector, then
+       truncate it — the fusion still spares the boxed intermediate. *)
+    take vc (sort_ds vc cat input keys) limit
+  | P.Limit (input, k) -> take vc (run vc cat input) k
+  | P.Offset (input, k) ->
+    let ds = run vc cat input in
     let n = ds_len ds in
+    let k = Value.to_int (Eval.expr vc.eval_ctx ~env:[] k) in
+    let k = max 0 (min k n) in
+    let sel =
+      Array.init (n - k) (fun i ->
+          match ds.sel with Some s -> s.(i + k) | None -> i + k)
+    in
+    { rel = ds.rel; sel = Some sel }
+  | P.Distinct input ->
+    let ds = run vc cat input in
+    let n = ds_len ds in
+    let parts =
+      List.concat_map (fun (_, c) -> key_images (gather c ds.sel)) ds.rel.cols
+    in
+    let slots, ngroups, _ = slots_of_keys parts n in
+    let seen = Array.make ngroups false in
+    let keep = ref [] in
+    for i = 0 to n - 1 do
+      if not seen.(slots.(i)) then begin
+        seen.(slots.(i)) <- true;
+        keep := i :: !keep
+      end
+    done;
+    let sel =
+      Array.of_list
+        (List.rev_map
+           (fun i -> match ds.sel with Some s -> s.(i) | None -> i)
+           !keep)
+    in
+    { rel = ds.rel; sel = Some sel }
+
+and apply_pred vc ds (pred : P.pred) =
+  let n = ds_len ds in
+  match pred.P.lambda.Ast.params with
+  | [ p ] ->
+    let mask = bool_arr (veval vc ~env:[ (p, ds) ] ~n pred.P.lambda.Ast.body) in
+    let hits = ref 0 in
+    Array.iter (fun b -> if b <> 0 then incr hits) mask;
+    let out = Array.make !hits 0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if mask.(i) <> 0 then begin
+        out.(!j) <- (match ds.sel with Some s -> s.(i) | None -> i);
+        incr j
+      end
+    done;
+    { rel = ds.rel; sel = Some out }
+  | _ -> unsupported "vectorized filter arity"
+
+and take vc ds k =
+  let n = ds_len ds in
+  let k = Value.to_int (Eval.expr vc.eval_ctx ~env:[] k) in
+  let k = max 0 (min k n) in
+  let sel = Array.init k (fun i -> match ds.sel with Some s -> s.(i) | None -> i) in
+  { rel = ds.rel; sel = Some sel }
+
+and sort_ds vc cat input keys =
+  let ds = run vc cat input in
+  let n = ds_len ds in
     let cmps =
       List.map
         (fun (k : Ast.sort_key) ->
@@ -569,45 +636,6 @@ let rec run vc cat (q : Ast.query) : dataset =
     Lq_exec.Quicksort.indices_by ~cmp idx;
     let base = Array.map (fun i -> match ds.sel with Some s -> s.(i) | None -> i) idx in
     { rel = ds.rel; sel = Some base }
-  | Ast.Take (src, k) ->
-    let ds = run vc cat src in
-    let n = ds_len ds in
-    let k = Value.to_int (Eval.expr vc.eval_ctx ~env:[] k) in
-    let k = max 0 (min k n) in
-    let sel = Array.init k (fun i -> match ds.sel with Some s -> s.(i) | None -> i) in
-    { rel = ds.rel; sel = Some sel }
-  | Ast.Skip (src, k) ->
-    let ds = run vc cat src in
-    let n = ds_len ds in
-    let k = Value.to_int (Eval.expr vc.eval_ctx ~env:[] k) in
-    let k = max 0 (min k n) in
-    let sel =
-      Array.init (n - k) (fun i ->
-          match ds.sel with Some s -> s.(i + k) | None -> i + k)
-    in
-    { rel = ds.rel; sel = Some sel }
-  | Ast.Distinct src ->
-    let ds = run vc cat src in
-    let n = ds_len ds in
-    let parts =
-      List.concat_map (fun (_, c) -> key_images (gather c ds.sel)) ds.rel.cols
-    in
-    let slots, ngroups, _ = slots_of_keys parts n in
-    let seen = Array.make ngroups false in
-    let keep = ref [] in
-    for i = 0 to n - 1 do
-      if not seen.(slots.(i)) then begin
-        seen.(slots.(i)) <- true;
-        keep := i :: !keep
-      end
-    done;
-    let sel =
-      Array.of_list
-        (List.rev_map
-           (fun i -> match ds.sel with Some s -> s.(i) | None -> i)
-           !keep)
-    in
-    { rel = ds.rel; sel = Some sel }
 
 (* ---------- Boxing the final dataset ---------- *)
 
@@ -636,6 +664,17 @@ let engine : Engine_intf.t =
   {
     name = "vectorwise";
     describe = "vectorized columnar stand-in: selection vectors + primitive loops";
+    (* Columnar primitives work on one decoded column at a time: member
+       chains deeper than a column and whole-group materialization have no
+       vectorized form. *)
+    caps =
+      {
+        Engine_intf.caps_any with
+        needs_flat_sources = true;
+        supports_correlated = false;
+        supports_nested_paths = false;
+        supports_group_no_selector = false;
+      };
     prepare =
       (fun ?instr cat query ->
         ignore instr;
@@ -646,6 +685,9 @@ let engine : Engine_intf.t =
                  ignore (Catalog.cols (Catalog.table cat s) : Colstore.t))
              (Ast.sources_of_query query)
          with Catalog.Not_flat t -> unsupported "relation %S is not flat" t);
+        let t0 = Lq_metrics.Profile.now_ms () in
+        let plan = Lq_plan.Lower.lower cat query in
+        let codegen_ms = Lq_metrics.Profile.now_ms () -. t0 in
         {
           Engine_intf.execute =
             (fun ?profile ~params () ->
@@ -657,12 +699,12 @@ let engine : Engine_intf.t =
                     eval_ctx = Catalog.eval_ctx cat ~params;
                   }
                 in
-                box_dataset vc (run vc cat query)
+                box_dataset vc (run vc cat plan)
               in
               match profile with
               | None -> go ()
               | Some p -> Lq_metrics.Profile.time p "Vectorized primitives" go);
-          codegen_ms = 0.0;
+          codegen_ms;
           source = None;
         });
   }

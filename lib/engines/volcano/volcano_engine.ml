@@ -5,6 +5,7 @@ module Scalar = Lq_expr.Scalar
 module Catalog = Lq_catalog.Catalog
 module Engine_intf = Lq_catalog.Engine_intf
 module Rowstore = Lq_storage.Rowstore
+module P = Lq_plan.Plan
 
 (* The classic iterator interface: explicit state, one boxed tuple per
    [next], interpretation everywhere. *)
@@ -21,12 +22,12 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-let rec build ctx cat (q : Ast.query) : operator =
+let rec build ctx cat (p : P.t) : operator =
   let apply1 l v = Eval.apply ctx ~env:[] l [ v ] in
-  match q with
-  | Ast.Source name ->
+  match p.P.op with
+  | P.Scan s ->
     (* Scans decode relational rows into boxed tuples, one per next. *)
-    let store = Catalog.store (Catalog.table cat name) in
+    let store = Catalog.store (Catalog.table cat s.P.table) in
     let pos = ref 0 in
     {
       op_open = (fun () -> pos := 0);
@@ -40,8 +41,12 @@ let rec build ctx cat (q : Ast.query) : operator =
           end);
       close = ignore;
     }
-  | Ast.Where (src, pred) ->
+  | P.Filter (src, preds) ->
     let input = build ctx cat src in
+    (* Conjuncts are cost-ordered in the plan; test cheapest first. *)
+    let passes v =
+      List.for_all (fun (pr : P.pred) -> Value.to_bool (apply1 pr.P.lambda v)) preds
+    in
     {
       input with
       next =
@@ -49,15 +54,14 @@ let rec build ctx cat (q : Ast.query) : operator =
           let rec loop () =
             match input.next () with
             | None -> None
-            | Some v ->
-              if Value.to_bool (apply1 pred v) then Some v else loop ()
+            | Some v -> if passes v then Some v else loop ()
           in
           loop ());
     }
-  | Ast.Select (src, sel) ->
+  | P.Project (src, sel) ->
     let input = build ctx cat src in
     { input with next = (fun () -> Option.map (apply1 sel) (input.next ())) }
-  | Ast.Join { left; right; left_key; right_key; result } ->
+  | P.Join { P.left; right; left_key; right_key; result; strategy = _ } ->
     let louter = build ctx cat left in
     let rinner = build ctx cat right in
     let table = Vtbl.create 1024 in
@@ -105,7 +109,11 @@ let rec build ctx cat (q : Ast.query) : operator =
           loop ());
       close = louter.close;
     }
-  | Ast.Group_by { group_source; key; group_result } ->
+  | P.Aggregate a ->
+    (* Interpretation ignores the plan's fused registry: the evaluator
+       re-walks the materialized item lists per aggregate, which is the
+       per-tuple overhead this engine exists to exhibit. *)
+    let { P.input = group_source; key; group_result; _ } = a in
     let input = build ctx cat group_source in
     let results = ref [] in
     let materialize () =
@@ -148,8 +156,57 @@ let rec build ctx cat (q : Ast.query) : operator =
             Some r);
       close = ignore;
     }
-  | Ast.Order_by (src, keys) ->
+  | P.Sort (src, keys) -> build_sort ctx cat src keys
+  | P.Top_k { input; keys; limit } ->
+    (* No bounded heap in the iterator model: full sort, then limit. *)
+    take_op ctx (build_sort ctx cat input keys) limit
+  | P.Limit (src, n) -> take_op ctx (build ctx cat src) n
+  | P.Offset (src, n) ->
     let input = build ctx cat src in
+    let skipped = ref false in
+    {
+      input with
+      op_open =
+        (fun () ->
+          skipped := false;
+          input.op_open ());
+      next =
+        (fun () ->
+          if not !skipped then begin
+            skipped := true;
+            let k = Value.to_int (Eval.expr ctx ~env:[] n) in
+            let rec drop i = if i > 0 && Option.is_some (input.next ()) then drop (i - 1) in
+            drop k
+          end;
+          input.next ());
+    }
+  | P.Distinct src ->
+    let input = build ctx cat src in
+    let seen = Vtbl.create 256 in
+    {
+      input with
+      op_open =
+        (fun () ->
+          Vtbl.reset seen;
+          input.op_open ());
+      next =
+        (fun () ->
+          let rec loop () =
+            match input.next () with
+            | None -> None
+            | Some v ->
+              if Vtbl.mem seen v then loop ()
+              else begin
+                Vtbl.add seen v ();
+                Some v
+              end
+          in
+          loop ());
+    }
+
+and build_sort ctx cat src keys : operator =
+  let apply1 l v = Eval.apply ctx ~env:[] l [ v ] in
+  let input = build ctx cat src in
     let sorted = ref [] in
     {
       op_open =
@@ -195,9 +252,8 @@ let rec build ctx cat (q : Ast.query) : operator =
             Some r);
       close = ignore;
     }
-  | Ast.Take (src, n) ->
-    let input = build ctx cat src in
-    let remaining = ref 0 in
+and take_op ctx (input : operator) n : operator =
+  let remaining = ref 0 in
     {
       op_open =
         (fun () ->
@@ -214,57 +270,17 @@ let rec build ctx cat (q : Ast.query) : operator =
               some);
       close = input.close;
     }
-  | Ast.Skip (src, n) ->
-    let input = build ctx cat src in
-    let skipped = ref false in
-    {
-      input with
-      op_open =
-        (fun () ->
-          skipped := false;
-          input.op_open ());
-      next =
-        (fun () ->
-          if not !skipped then begin
-            skipped := true;
-            let k = Value.to_int (Eval.expr ctx ~env:[] n) in
-            let rec drop i = if i > 0 && Option.is_some (input.next ()) then drop (i - 1) in
-            drop k
-          end;
-          input.next ());
-    }
-  | Ast.Distinct src ->
-    let input = build ctx cat src in
-    let seen = Vtbl.create 256 in
-    {
-      input with
-      op_open =
-        (fun () ->
-          Vtbl.reset seen;
-          input.op_open ());
-      next =
-        (fun () ->
-          let rec loop () =
-            match input.next () with
-            | None -> None
-            | Some v ->
-              if Vtbl.mem seen v then loop ()
-              else begin
-                Vtbl.add seen v ();
-                Some v
-              end
-          in
-          loop ());
-    }
 
 let engine : Engine_intf.t =
   {
     name = "sqlserver-interpreted";
     describe = "Volcano stand-in: interpreted open/next/close over the row store";
+    caps = { Engine_intf.caps_any with needs_flat_sources = true };
     prepare =
       (fun ?instr cat query ->
         ignore instr;
-        (* Interpreted engines have no code-generation step. *)
+        (* Interpreted engines generate no code: lowering to the shared
+           plan is the whole of their preparation. *)
         (try
            List.iter
              (fun s ->
@@ -273,12 +289,15 @@ let engine : Engine_intf.t =
              (Ast.sources_of_query query)
          with Catalog.Not_flat t ->
            Engine_intf.unsupported "relation %S is not flat" t);
+        let t0 = Lq_metrics.Profile.now_ms () in
+        let plan = Lq_plan.Lower.lower cat query in
+        let codegen_ms = Lq_metrics.Profile.now_ms () -. t0 in
         {
           Engine_intf.execute =
             (fun ?profile ~params () ->
               let run () =
                 let ctx = Catalog.eval_ctx cat ~params in
-                let root = build ctx cat query in
+                let root = build ctx cat plan in
                 root.op_open ();
                 let acc = ref [] in
                 let rec loop () =
@@ -295,7 +314,7 @@ let engine : Engine_intf.t =
               match profile with
               | None -> run ()
               | Some p -> Lq_metrics.Profile.time p "Interpret plan (Volcano)" run);
-          codegen_ms = 0.0;
+          codegen_ms;
           source = None;
         });
   }

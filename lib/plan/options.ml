@@ -1,0 +1,35 @@
+(** Plan-level codegen options, shared by every backend.
+
+    Each flag corresponds to an optimization the paper discusses; switching
+    one off reproduces the corresponding §2.3 inefficiency for the ablation
+    microbenchmarks ([bench micro]). The flags take effect during lowering
+    (see {!Lower}), so a toggle means the same thing in every engine that
+    consumes the shared plan. *)
+
+type t = {
+  fuse_aggregates : bool;
+      (** compute all of a group's aggregates in one pass over its elements
+          (off: one pass per aggregate, like LINQ-to-objects) *)
+  dedup_aggregates : bool;
+      (** share structurally identical aggregates (off: recompute) *)
+  fuse_topk : bool;
+      (** merge [OrderBy]+[Take n] into a bounded heap (§2.3 "independent
+          operators") *)
+  hash_join : bool;
+      (** hash equi-joins (off: nested loops, as in Steno / Murray et al.) *)
+}
+
+let default =
+  { fuse_aggregates = true; dedup_aggregates = true; fuse_topk = true; hash_join = true }
+
+let naive =
+  {
+    fuse_aggregates = false;
+    dedup_aggregates = false;
+    fuse_topk = false;
+    hash_join = true;
+  }
+
+let to_string t =
+  Printf.sprintf "fuse_agg=%b dedup_agg=%b topk=%b hash_join=%b" t.fuse_aggregates
+    t.dedup_aggregates t.fuse_topk t.hash_join

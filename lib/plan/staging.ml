@@ -6,6 +6,41 @@ type staged_spec = {
   preds : Ast.lambda list;
 }
 
+(* Plan-driven splitting: every known scan in the lowered plan is a stage
+   boundary — its occurrence name (assigned by [Lower]) identifies the
+   staged input, and the [Filter] conjuncts sitting directly on it are the
+   managed-side predicates. The remainder of the plan round-trips to an
+   AST (with sources renamed to their occurrences) for the native side. *)
+let strip_plan (p : Plan.t) : Ast.query * staged_spec list =
+  let specs = ref [] in
+  let stage (s : Plan.scan) preds =
+    specs := { occ = s.Plan.occ; source = s.Plan.table; preds } :: !specs;
+    Plan.Scan { s with Plan.table = s.Plan.occ }
+  in
+  let rec go (p : Plan.t) : Plan.t =
+    match p.Plan.op with
+    | Plan.Scan s when s.Plan.known -> { p with Plan.op = stage s [] }
+    | Plan.Filter ({ Plan.op = Plan.Scan s; _ }, preds) when s.Plan.known ->
+      { p with Plan.op = stage s (List.map (fun pr -> pr.Plan.lambda) preds) }
+    | Plan.Scan _ -> p
+    | Plan.Filter (i, preds) -> { p with Plan.op = Plan.Filter (go i, preds) }
+    | Plan.Project (i, sel) -> { p with Plan.op = Plan.Project (go i, sel) }
+    | Plan.Join j ->
+      let left = go j.Plan.left in
+      let right = go j.Plan.right in
+      { p with Plan.op = Plan.Join { j with Plan.left = left; right } }
+    | Plan.Aggregate a ->
+      { p with Plan.op = Plan.Aggregate { a with Plan.input = go a.Plan.input } }
+    | Plan.Sort (i, keys) -> { p with Plan.op = Plan.Sort (go i, keys) }
+    | Plan.Top_k { input; keys; limit } ->
+      { p with Plan.op = Plan.Top_k { input = go input; keys; limit } }
+    | Plan.Limit (i, n) -> { p with Plan.op = Plan.Limit (go i, n) }
+    | Plan.Offset (i, n) -> { p with Plan.op = Plan.Offset (go i, n) }
+    | Plan.Distinct i -> { p with Plan.op = Plan.Distinct (go i) }
+  in
+  let stripped = go p in
+  (Plan.to_ast stripped, List.rev !specs)
+
 let strip_filters (q : Ast.query) =
   let specs = ref [] in
   let counter = ref 0 in

@@ -22,10 +22,18 @@ type staged_spec = {
   preds : Ast.lambda list;  (** managed filters, in application order *)
 }
 
+val strip_plan : Plan.t -> Ast.query * staged_spec list
+(** Derives the managed/native split from a lowered plan: every known scan
+    is a stage boundary identified by the occurrence name {!Lower} put on
+    it, and the filter conjuncts sitting directly on the scan become the
+    managed-side predicates. Returns the offloaded remainder (sources
+    renamed to occurrences) and the staged-input specs in scan order. *)
+
 val strip_filters : Ast.query -> Ast.query * staged_spec list
-(** Removes [Where] chains sitting directly on sources and renames each
-    source occurrence; sub-queries inside predicates are left untouched
-    (they are evaluated managed-side). *)
+(** AST-level equivalent of {!strip_plan}: removes [Where] chains sitting
+    directly on sources and renames each source occurrence; sub-queries
+    inside predicates are left untouched (they are evaluated
+    managed-side). *)
 
 val used_paths : Ast.query -> occ:string -> string list list
 (** Member paths of occurrence [occ]'s elements that the (already

@@ -67,16 +67,10 @@ let process t ((req, fut) : job) =
       Provider.run t.provider ~engine ~params:req.Request.params ~checkpoint
         req.Request.query
     in
-    match attempt req.Request.engine with
-    | rows ->
-      resolve
-        (Request.Completed
-           { rows; engine = req.Request.engine.Engine_intf.name; degraded = false })
-    | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })
-    | exception first -> (
-      (* Degradation ladder: anything the preferred engine refuses or
-         trips over is retried on the interpreter baseline, recorded as
-         a degraded completion rather than surfaced as a failure. *)
+    (* Degradation ladder: anything the preferred engine refuses or
+       trips over is retried on the interpreter baseline, recorded as
+       a degraded completion rather than surfaced as a failure. *)
+    let fall_back ~error =
       match t.config.fallback with
       | Some fb when fb.Engine_intf.name <> req.Request.engine.Engine_intf.name -> (
         Svc_metrics.note_degraded t.metrics;
@@ -90,11 +84,30 @@ let process t ((req, fut) : job) =
                { engine = fb.Engine_intf.name; error = Printexc.to_string second }))
       | _ ->
         resolve
-          (Request.Failed
-             {
-               engine = req.Request.engine.Engine_intf.name;
-               error = Printexc.to_string first;
-             })))
+          (Request.Failed { engine = req.Request.engine.Engine_intf.name; error })
+    in
+    (* The plan-level capability check routes around an engine that is
+       guaranteed to refuse the query *before* any code generation is
+       paid; analysis hiccups fall through to the normal attempt. *)
+    let verdict =
+      match
+        Provider.plan_check t.provider ~engine:req.Request.engine req.Request.query
+      with
+      | v -> v
+      | exception _ -> Ok ()
+    in
+    match verdict with
+    | Error reason ->
+      Svc_metrics.note_unsupported t.metrics;
+      fall_back ~error:reason
+    | Ok () -> (
+      match attempt req.Request.engine with
+      | rows ->
+        resolve
+          (Request.Completed
+             { rows; engine = req.Request.engine.Engine_intf.name; degraded = false })
+      | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })
+      | exception first -> fall_back ~error:(Printexc.to_string first)))
 
 let rec worker_loop t =
   match Request_queue.pop t.queue with

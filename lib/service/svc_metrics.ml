@@ -31,6 +31,7 @@ let note_rejected t cause =
     | `Shutdown -> "service/rejected_shutdown")
 
 let note_degraded t = Counters.incr t.counters "service/degraded"
+let note_unsupported t = Counters.incr t.counters "service/unsupported"
 
 let note_outcome t (r : Request.response) =
   (match r.Request.outcome with
@@ -55,6 +56,7 @@ let completed t = Counters.count t.counters "service/completed"
 let rejected t = Counters.count t.counters "service/rejected"
 let timed_out t = Counters.count t.counters "service/timed_out"
 let degraded t = Counters.count t.counters "service/degraded"
+let unsupported t = Counters.count t.counters "service/unsupported"
 let failed t = Counters.count t.counters "service/failed"
 let queue_depth_peak t = Atomic.get t.depth_peak
 let total_latency t = t.total

@@ -30,6 +30,11 @@ val note_submitted : t -> unit
 val note_rejected : t -> [ `Overload | `Shutdown ] -> unit
 val note_degraded : t -> unit
 
+val note_unsupported : t -> unit
+(** The preferred engine's capability check refused the plan before any
+    code generation was paid (distinct from [degraded], which also counts
+    prepare/execute-time failures absorbed by the ladder). *)
+
 val note_outcome : t -> Request.response -> unit
 (** Buckets the terminal outcome (completed / timed-out / failed; [Shed]
     counts as a shutdown rejection) and feeds the latency histograms. *)
@@ -43,6 +48,7 @@ val completed : t -> int
 val rejected : t -> int
 val timed_out : t -> int
 val degraded : t -> int
+val unsupported : t -> int
 val failed : t -> int
 
 val queue_depth_peak : t -> int

@@ -4,7 +4,7 @@
 
 open Lq_value
 open Lq_expr.Dsl
-module Split = Lq_hybrid.Split
+module Split = Lq_plan.Staging
 module H = Lq_hybrid.Hybrid_engine
 module Engine_intf = Lq_catalog.Engine_intf
 

@@ -181,6 +181,9 @@ let always_unsupported =
   {
     Lq_catalog.Engine_intf.name = "always-unsupported";
     describe = "test engine that refuses everything";
+    (* Caps are permissive on purpose: the refusal must reach the ladder
+       as a prepare-time exception, not a capability miss. *)
+    caps = Lq_catalog.Engine_intf.caps_any;
     prepare =
       (fun ?instr _ _ ->
         ignore instr;
@@ -206,6 +209,43 @@ let test_engine_fallback_accounting () =
   check_int "degraded counted once" 1 (Svc_metrics.degraded m);
   check_int "completed twice" 2 (Svc_metrics.completed m);
   check_int "no failures: the ladder absorbed the refusal" 0 (Svc_metrics.failed m);
+  Service.shutdown svc;
+  check_bool "conserved" true (Svc_metrics.conserved m)
+
+(* An engine whose *capabilities* refuse everything, and whose prepare
+   proves codegen is never reached: the plan-level check must route the
+   request to the fallback before preparation is paid. *)
+let capability_walled =
+  {
+    Lq_catalog.Engine_intf.name = "capability-walled";
+    describe = "test engine every plan exceeds";
+    caps = { Lq_catalog.Engine_intf.caps_any with max_sources = Some 0 };
+    prepare = (fun ?instr _ _ ->
+        ignore instr;
+        failwith "codegen was paid despite the capability verdict");
+  }
+
+let test_capability_routing_skips_codegen () =
+  let prov, svc = make_service ~domains:1 () in
+  (match Service.run_sync svc ~engine:capability_walled q_paris with
+  | Ok { Request.outcome = Request.Completed { rows; engine; degraded }; _ } ->
+    check_bool "marked degraded" true degraded;
+    check_string "fallback engine answered" "linq-to-objects" engine;
+    Lq_testkit.check_rows "rows match the oracle" (Provider.reference prov q_paris) rows
+  | Ok r ->
+    Alcotest.failf "expected completion, got %s" (Request.outcome_kind r.Request.outcome)
+  | Error _ -> Alcotest.fail "admission should succeed");
+  let m = Service.metrics svc in
+  check_int "capability miss counted" 1 (Svc_metrics.unsupported m);
+  check_int "also a degradation" 1 (Svc_metrics.degraded m);
+  check_int "no failures" 0 (Svc_metrics.failed m);
+  (* The exception-based refusal path does NOT count as a capability
+     miss: the two ladders stay distinguishable in the metrics. *)
+  (match Service.run_sync svc ~engine:always_unsupported q_paris with
+  | Ok { Request.outcome = Request.Completed { degraded = true; _ }; _ } -> ()
+  | _ -> Alcotest.fail "prepare-time refusal should degrade");
+  check_int "unsupported counter unchanged" 1 (Svc_metrics.unsupported m);
+  check_int "degraded counts both" 2 (Svc_metrics.degraded m);
   Service.shutdown svc;
   check_bool "conserved" true (Svc_metrics.conserved m)
 
@@ -333,6 +373,8 @@ let () =
           Alcotest.test_case "default deadline" `Quick test_default_deadline_applies;
           Alcotest.test_case "engine fallback accounting" `Quick
             test_engine_fallback_accounting;
+          Alcotest.test_case "capability routing skips codegen" `Quick
+            test_capability_routing_skips_codegen;
           Alcotest.test_case "fallback disabled fails typed" `Quick
             test_fallback_disabled_fails_typed;
         ] );
