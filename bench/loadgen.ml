@@ -11,7 +11,9 @@
      bench/loadgen.exe                        default sweep
      bench/loadgen.exe --sf 0.02 --domains 8 --queue 24 \
        --engine compiled-c --requests 400 --deadline-ms 500 \
-       --rates 50,100,200,400 *)
+       --rates 50,100,200,400
+     bench/loadgen.exe --fault-spec 'seed=7;provider/execute=0.05:transient'
+   The LQ_FAULT_SPEC environment variable arms injection the same way. *)
 
 module Service = Lq_service.Service
 module Loadgen = Lq_service.Loadgen
@@ -24,12 +26,16 @@ let requests = ref 300
 let deadline_ms = ref 0.0
 let rates = ref [ 50.0; 150.0; 400.0 ]
 let clients = ref 8
+let fault_spec = ref None
 
 let parse_args () =
   let rec go = function
     | [] -> ()
     | "--sf" :: x :: rest ->
       sf := float_of_string x;
+      go rest
+    | "--fault-spec" :: x :: rest ->
+      fault_spec := Some x;
       go rest
     | "--domains" :: x :: rest ->
       domains := int_of_string x;
@@ -60,6 +66,20 @@ let parse_args () =
 
 let () =
   parse_args ();
+  (match
+     match !fault_spec with
+     | Some _ as s -> s
+     | None -> Sys.getenv_opt "LQ_FAULT_SPEC"
+   with
+  | None -> ()
+  | Some s -> (
+    match Lq_fault.Inject.parse_spec s with
+    | Ok spec ->
+      Lq_fault.Inject.enable spec;
+      Printf.printf "fault injection armed: %s\n" (Lq_fault.Inject.spec_to_string spec)
+    | Error msg ->
+      Printf.eprintf "bad fault spec: %s\n" msg;
+      exit 2));
   let engine =
     match Lq_core.Engines.by_name !engine_name with
     | Some e -> e
@@ -81,8 +101,8 @@ let () =
   in
   Printf.printf "TPC-H service mix: %d items, sf %.3f, engine %s, %d Domain(s), queue %d\n\n"
     (Array.length workload) !sf engine.Lq_catalog.Engine_intf.name !domains !queue;
-  Printf.printf "%-26s %6s %6s %6s %6s %6s %9s %9s %9s %9s\n" "arrival" "sub" "done"
-    "rej" "t/o" "degr" "thru/s" "p50ms" "p95ms" "p99ms";
+  Printf.printf "%-26s %6s %6s %6s %6s %6s %6s %6s %9s %9s %9s %9s\n" "arrival" "sub"
+    "done" "rej" "t/o" "degr" "retry" "brk" "thru/s" "p50ms" "p95ms" "p99ms";
   List.iter
     (fun arrival ->
       (* fresh service per point (clean counters), shared warm provider *)
@@ -90,6 +110,7 @@ let () =
       let svc = Service.create ~config provider in
       let rep = Loadgen.run ?deadline_ms ~workload arrival svc in
       Service.shutdown svc;
+      let m = Service.metrics svc in
       let name =
         match arrival with
         | Loadgen.Closed { clients; requests_per_client } ->
@@ -98,11 +119,15 @@ let () =
           Printf.sprintf "open %.0f req/s (%d)" rate_per_s total
       in
       let q p = Lq_metrics.Histogram.quantile rep.Loadgen.latency p in
-      Printf.printf "%-26s %6d %6d %6d %6d %6d %9.1f %9.2f %9.2f %9.2f%s\n%!" name
-        rep.Loadgen.submitted rep.Loadgen.completed
+      Printf.printf "%-26s %6d %6d %6d %6d %6d %6d %6d %9.1f %9.2f %9.2f %9.2f%s\n%!"
+        name rep.Loadgen.submitted rep.Loadgen.completed
         (rep.Loadgen.rejected + rep.Loadgen.shed)
-        rep.Loadgen.timed_out rep.Loadgen.degraded rep.Loadgen.throughput_per_s (q 0.5)
-        (q 0.95) (q 0.99)
+        rep.Loadgen.timed_out rep.Loadgen.degraded
+        (Lq_service.Svc_metrics.retried m)
+        (Lq_service.Svc_metrics.breaker_opened m)
+        rep.Loadgen.throughput_per_s (q 0.5) (q 0.95) (q 0.99)
         (if Loadgen.conserved rep then "" else "  [NOT CONSERVED]"))
     runs;
+  if Lq_fault.Inject.enabled () then
+    Printf.printf "\n== fault injection ==\n%s" (Lq_fault.Inject.report ());
   Printf.printf "\n== shared provider after sweep ==\n%s" (Lq_core.Provider.report provider)

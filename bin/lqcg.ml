@@ -204,12 +204,69 @@ let serve_cmd =
       & opt float 0.0
       & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline; 0 means none.")
   in
-  let run sf engine_name domains queue rate clients requests deadline_ms =
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Arm a default seeded fault-injection spec (codegen + execute + staging \
+             faults) to exercise retries, fallback and the circuit breakers.")
+  in
+  let fault_spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "Explicit fault-injection spec, e.g. \
+             'seed=42;provider/execute=0.05:transient'. Overrides $(b,--chaos) and the \
+             LQ_FAULT_SPEC environment variable.")
+  in
+  let max_rows_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-rows" ] ~docv:"N"
+          ~doc:"Per-request row budget (staged + materialized); 0 means unlimited.")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-bytes" ] ~docv:"N"
+          ~doc:"Per-request staged-byte budget; 0 means unlimited.")
+  in
+  let default_chaos_spec =
+    "seed=42;provider/prepare=0.05:codegen;provider/execute=0.05:transient;hybrid/staging=0.05:transient"
+  in
+  let run sf engine_name domains queue rate clients requests deadline_ms chaos fault_spec
+      max_rows max_bytes =
+    (match
+       match (fault_spec, chaos, Sys.getenv_opt "LQ_FAULT_SPEC") with
+       | Some s, _, _ -> Some s
+       | None, true, _ -> Some default_chaos_spec
+       | None, false, env -> env
+     with
+    | None -> ()
+    | Some s -> (
+      match Lq_fault.Inject.parse_spec s with
+      | Ok spec ->
+        Lq_fault.Inject.enable spec;
+        Printf.printf "fault injection armed: %s\n%!" (Lq_fault.Inject.spec_to_string spec)
+      | Error msg ->
+        Printf.eprintf "bad fault spec: %s\n" msg;
+        exit 2));
     let catalog = Lq_tpch.Dbgen.load ~sf () in
     let provider = Lq_core.Provider.create ~recycle_results:true catalog in
     let engine = resolve_engine engine_name in
+    let budget =
+      {
+        Lq_fault.Governor.max_rows = (if max_rows > 0 then Some max_rows else None);
+        max_bytes = (if max_bytes > 0 then Some max_bytes else None);
+      }
+    in
     let config =
-      { Lq_service.Service.default_config with domains; queue_capacity = queue }
+      { Lq_service.Service.default_config with domains; queue_capacity = queue; budget }
     in
     let svc = Lq_service.Service.create ~config provider in
     let workload =
@@ -240,6 +297,8 @@ let serve_cmd =
     Lq_service.Service.shutdown svc;
     Printf.printf "\n== load report ==\n%s" (Lq_service.Loadgen.to_string report);
     Printf.printf "\n== service (post-shutdown) ==\n%s" (Lq_service.Service.report svc);
+    if Lq_fault.Inject.enabled () then
+      Printf.printf "\n== fault injection ==\n%s" (Lq_fault.Inject.report ());
     if not (Lq_service.Loadgen.conserved report) then begin
       Printf.eprintf "request accounting NOT conserved\n";
       exit 1
@@ -248,7 +307,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ sf_arg $ engine_arg $ domains_arg $ queue_arg $ rate_arg $ clients_arg
-      $ requests_arg $ deadline_arg)
+      $ requests_arg $ deadline_arg $ chaos_arg $ fault_spec_arg $ max_rows_arg
+      $ max_bytes_arg)
 
 let () =
   let doc = "query compilation for managed runtimes (VLDB 2014 reproduction)" in

@@ -52,4 +52,39 @@ for q in Q1 Q2 Q2corr Q3 Q5 Q6 Q10 Q12 Q14; do
 done
 echo "   ok: 9 queries x 11 engines, every verdict typed"
 
+# Chaos smoke: a seeded fault-injection run through the service must
+# terminate (no hung futures), keep request accounting exactly
+# conserved, and surface every injected failure as a typed outcome.
+echo "== chaos smoke (seeded fault injection through the service) =="
+if ! out=$(LQ_FAULT_SPEC='seed=42;provider/prepare=0.05:codegen;provider/execute=0.08:internal;hybrid/staging=0.05:transient' \
+    "$LQCG" serve --sf 0.001 --domains 4 -n 200 --clients 4 2>&1); then
+  echo "chaos serve run failed:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+case "$out" in
+  *"NOT CONSERVED"*)
+    echo "chaos run lost requests (accounting not conserved):" >&2
+    echo "$out" >&2
+    exit 1
+    ;;
+esac
+case "$out" in
+  *"[conserved]"*) ;;
+  *)
+    echo "chaos run printed no conservation verdict:" >&2
+    echo "$out" >&2
+    exit 1
+    ;;
+esac
+case "$out" in
+  *"fault injection armed"*) ;;
+  *)
+    echo "chaos run did not arm the fault spec:" >&2
+    echo "$out" >&2
+    exit 1
+    ;;
+esac
+echo "   ok: chaos run terminated, accounting conserved, injection armed"
+
 echo "== verify OK =="

@@ -45,3 +45,21 @@ type t = {
 }
 
 let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+let codegen_failed fmt =
+  Format.kasprintf
+    (fun s -> raise (Lq_fault.Fault (Lq_fault.make ~stage:"prepare" Lq_fault.Codegen_error s)))
+    fmt
+
+let execution_failed fmt =
+  Format.kasprintf
+    (fun s -> raise (Lq_fault.Fault (Lq_fault.make ~stage:"execute" Lq_fault.Internal s)))
+    fmt
+
+(* Engine refusals are part of the fault taxonomy: anything that ends up
+   stringifying exceptions (the service, chaos reports) sees a typed
+   [Unsupported] fault instead of a raw exception name. *)
+let () =
+  Lq_fault.register_classifier (function
+    | Unsupported msg -> Some (Lq_fault.make ~stage:"prepare" Lq_fault.Unsupported msg)
+    | _ -> None)

@@ -61,3 +61,16 @@ type t = {
 
 val unsupported : ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Raises {!Unsupported} with a formatted message. *)
+
+val codegen_failed : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raises a typed {!Lq_fault.Codegen_error} fault: plan building hit a
+    condition that is a bug or an unforeseen shape, not a declared
+    capability miss. *)
+
+val execution_failed : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raises a typed {!Lq_fault.Internal} fault from a prepared plan's
+    execution path. *)
+
+(** Loading this module also registers an {!Lq_fault} classifier mapping
+    {!Unsupported} to the [Unsupported] fault kind, so every layer above
+    sees engine refusals typed. *)

@@ -44,17 +44,44 @@ let optimized t q = Optimizer.run ~options:t.optimizer q
    stage boundary with the stage just finished; raising from it aborts the
    pipeline (the service layer's cooperative deadline cancellation). *)
 let prepare_internal t ~(engine : Engine_intf.t) ?instr ?(checkpoint = fun _ -> ()) q =
-  let q = optimized t q in
+  Lq_fault.Inject.hit "provider/optimize";
+  let q =
+    try optimized t q with
+    | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
+    | exn ->
+      raise
+        (Lq_fault.Fault
+           (Lq_fault.classify ~stage:"optimize" ~default:Lq_fault.Codegen_error exn))
+  in
   checkpoint "optimized";
   let consts = Shape.consts q in
   let parameterized, _bindings = Shape.parameterize q in
-  let plan = Lq_plan.Lower.lower t.cat parameterized in
+  Lq_fault.Inject.hit "provider/lower";
+  let plan =
+    try Lq_plan.Lower.lower t.cat parameterized with
+    | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
+    | exn ->
+      raise
+        (Lq_fault.Fault
+           (Lq_fault.classify ~stage:"lower" ~default:Lq_fault.Codegen_error exn))
+  in
   (match Lq_plan.Plan.check engine.Engine_intf.caps plan with
   | Ok () -> ()
   | Error msg -> raise (Engine_intf.Unsupported msg));
   checkpoint "planned";
   let shape = Lq_plan.Plan.shape_key plan in
-  let compile () = engine.Engine_intf.prepare ?instr t.cat parameterized in
+  (* Anything unclassified escaping an engine's plan builder is a
+     code-generation failure — structurally distinct from an execution
+     failure, and the breaker/retry policy above treats them differently. *)
+  let compile () =
+    Lq_fault.Inject.hit "provider/prepare";
+    try engine.Engine_intf.prepare ?instr t.cat parameterized with
+    | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
+    | exn ->
+      raise
+        (Lq_fault.Fault
+           (Lq_fault.classify ~stage:"prepare" ~default:Lq_fault.Codegen_error exn))
+  in
   let prepared, outcome =
     if t.use_cache && instr = None then
       Query_cache.find_or_compile t.cache ~engine:engine.Engine_intf.name ~shape
@@ -84,12 +111,28 @@ let prepare_only t ~engine q =
 let run t ~engine ?(params = []) ?profile ?checkpoint q =
   let prepared, _, shape, consts = prepare_internal t ~engine ?checkpoint q in
   let all_params = params @ Query_cache.const_params consts in
-  let execute () = prepared.Engine_intf.execute ?profile ~params:all_params () in
+  let execute () =
+    Lq_fault.Inject.hit "provider/execute";
+    let rows =
+      try prepared.Engine_intf.execute ?profile ~params:all_params () with
+      | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
+      | exn ->
+        raise
+          (Lq_fault.Fault
+             (Lq_fault.classify ~stage:"execute" ~default:Lq_fault.Internal exn))
+    in
+    (* Materialized result rows count against the ambient per-request
+       budget: a runaway result yields a typed [Resource_exhausted]
+       before it is copied into caches or response futures. *)
+    Lq_fault.Governor.charge_rows ~stage:"materialize" (List.length rows);
+    rows
+  in
   match t.results with
   | None -> execute ()
   | Some rc -> (
     (* Result recycling (§9): identical invocations return the
        materialized rows without executing. *)
+    Lq_fault.Inject.hit "cache/result";
     let key = Result_cache.key ~engine:engine.Engine_intf.name ~shape ~consts ~params in
     match Result_cache.find rc key with
     | Some rows -> rows

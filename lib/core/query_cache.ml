@@ -50,6 +50,7 @@ let engine_of_key k =
   | None -> k
 
 let find_or_compile t ~engine ~shape ?(tables = []) ~compile () =
+  Lq_fault.Inject.hit "cache/query";
   let key = key ~engine ~shape in
   let cached =
     locked t (fun () ->

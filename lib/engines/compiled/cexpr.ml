@@ -47,7 +47,7 @@ let make_rt t ~params =
     (fun i name ->
       match List.assoc_opt name params with
       | Some v -> block.(i) <- v
-      | None -> invalid_arg (Printf.sprintf "unbound query parameter %S" name))
+      | None -> Lq_catalog.Engine_intf.execution_failed "unbound query parameter %S" name)
     (param_names t);
   { frame = Array.make (max 1 t.nslots) Value.Null; params = block }
 
@@ -74,8 +74,8 @@ let field_value v i name =
        is asserted cheaply here. *)
     if String.equal n name then fv else Value.field v name
   | other ->
-    invalid_arg
-      (Printf.sprintf "compiled member %S on non-record %s" name (Value.to_string other))
+    Lq_catalog.Engine_intf.execution_failed "compiled member %S on non-record %s" name
+      (Value.to_string other)
 
 let no_agg _ _ _ =
   Lq_catalog.Engine_intf.unsupported "aggregate outside a group context"

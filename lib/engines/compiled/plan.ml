@@ -66,7 +66,7 @@ let compile ?(options = Options.default) ?instr cat (query : Ast.query) : t =
   let eval_ctx () =
     match !eval_ctx_cell with
     | Some c -> c
-    | None -> failwith "Plan: executed without evaluation context"
+    | None -> Lq_catalog.Engine_intf.execution_failed "Plan: executed without evaluation context"
   in
   (* Uncorrelated sub-query / whole-aggregate expressions are constant per
      execution: pre-evaluate on first touch, cache per epoch. *)

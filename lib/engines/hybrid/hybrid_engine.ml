@@ -98,7 +98,7 @@ let make ?(buffered = false) ?(construction = Max) () : Engine_intf.t =
           let ctx =
             match !eval_ctx_cell with
             | Some c -> c
-            | None -> failwith "hybrid: no evaluation context"
+            | None -> Engine_intf.execution_failed "hybrid: no evaluation context"
           in
           let v = Lq_expr.Eval.expr ctx ~env:[] e in
           cache := (!eval_epoch, v);
@@ -421,7 +421,13 @@ let make ?(buffered = false) ?(construction = Max) () : Engine_intf.t =
             | None -> None
           in
           let nfields_hint = List.length st.writers in
+          let staged_row_width = Layout.row_width (Rowstore.layout st.store) in
           let stage_row i v =
+            (* Every staged row draws on the per-request budget: the
+               governor turns an over-wide staging pass into a typed
+               [Resource_exhausted] instead of unbounded buffer growth. *)
+            Lq_fault.Governor.charge_rows ~stage:"staging" 1;
+            Lq_fault.Governor.charge_bytes ~stage:"staging" staged_row_width;
             let row = Rowstore.alloc_row st.store in
             List.iter (fun w -> w row v) st.writers;
             (match st.write_index with Some w -> w row i | None -> ());
@@ -441,6 +447,7 @@ let make ?(buffered = false) ?(construction = Max) () : Engine_intf.t =
             List.for_all (fun p -> p rt) st.preds
           in
           let drive emit =
+            Lq_fault.Inject.hit "hybrid/staging";
             Rowstore.clear st.store;
             let n = Array.length rows in
             if profile = None then begin

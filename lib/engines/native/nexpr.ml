@@ -72,7 +72,7 @@ let bind_params c params =
   let lookup name =
     match List.assoc_opt name params with
     | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "unbound query parameter %S" name)
+    | None -> Lq_catalog.Engine_intf.execution_failed "unbound query parameter %S" name
   in
   List.iter
     (fun (name, slot) ->
@@ -83,9 +83,8 @@ let bind_params c params =
         | Value.Bool b -> if b then 1 else 0
         | Value.Str s -> Dict.intern c.dict s
         | v ->
-          invalid_arg
-            (Printf.sprintf "parameter %S: expected integer-like, got %s" name
-               (Value.to_string v))))
+          Lq_catalog.Engine_intf.execution_failed
+            "parameter %S: expected integer-like, got %s" name (Value.to_string v)))
     c.int_slots;
   List.iter
     (fun (name, slot) -> c.pfloats.(slot) <- Value.to_float (lookup name))

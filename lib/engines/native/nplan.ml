@@ -147,8 +147,8 @@ let compile ?(options = Lq_plan.Options.default) ?trace
             | Value.Bool b -> if b then 1 else 0
             | Value.Str s -> Lq_storage.Dict.intern dict s
             | v ->
-              invalid_arg
-                (Printf.sprintf "sub-query produced %s" (Value.to_string v))))
+              Lq_catalog.Engine_intf.execution_failed "sub-query produced %s"
+                (Value.to_string v)))
         :: !fillers;
       Nexpr.I ((fun () -> !cell), ty)
     | Vtype.Record _ | Vtype.List _ ->

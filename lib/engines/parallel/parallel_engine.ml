@@ -286,8 +286,24 @@ let make ?name ~domains () : Engine_intf.t =
                 (fun plan -> Domain.spawn (fun () -> Nplan.execute plan ~params ()))
                 rest
             in
-            let mine = Nplan.execute first ~params () in
-            mine :: List.map Domain.join handles
+            (* Join every partition before surfacing any failure — a
+               crashed partition must not leak still-running Domains —
+               and surface it as a typed fault. *)
+            let mine =
+              try Ok (Nplan.execute first ~params ()) with exn -> Error exn
+            in
+            let others =
+              List.map (fun h -> try Ok (Domain.join h) with exn -> Error exn) handles
+            in
+            List.map
+              (function
+                | Ok rows -> rows
+                | Error exn ->
+                  raise
+                    (Lq_fault.Fault
+                       (Lq_fault.classify ~stage:"execute" ~default:Lq_fault.Internal
+                          exn)))
+              (mine :: others)
           | [] -> []
         in
         let merged =

@@ -89,7 +89,7 @@ let rec veval vc ~(env : (string * dataset) list)
   | Ast.Param p -> (
     match List.assoc_opt p vc.params with
     | Some v -> broadcast vc n v
-    | None -> invalid_arg (Printf.sprintf "unbound parameter %S" p))
+    | None -> Lq_catalog.Engine_intf.execution_failed "unbound parameter %S" p)
   | Ast.Var _ -> unsupported "vectorized: whole-element variable use"
   | Ast.Member (Ast.Var v, field) -> (
     match List.assoc_opt v env with

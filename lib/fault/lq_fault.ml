@@ -1,0 +1,457 @@
+type kind =
+  | Codegen_error
+  | Unsupported
+  | Resource_exhausted
+  | Transient
+  | Cancelled
+  | Internal
+
+type t = {
+  kind : kind;
+  stage : string;
+  detail : string;
+}
+
+exception Fault of t
+
+let make ?(stage = "") kind detail = { kind; stage; detail }
+
+let error ?stage kind fmt =
+  Printf.ksprintf (fun s -> raise (Fault (make ?stage kind s))) fmt
+
+let kind_to_string = function
+  | Codegen_error -> "codegen error"
+  | Unsupported -> "unsupported"
+  | Resource_exhausted -> "resource exhausted"
+  | Transient -> "transient"
+  | Cancelled -> "cancelled"
+  | Internal -> "internal"
+
+let kind_label = function
+  | Codegen_error -> "codegen"
+  | Unsupported -> "unsupported"
+  | Resource_exhausted -> "resource"
+  | Transient -> "transient"
+  | Cancelled -> "cancelled"
+  | Internal -> "internal"
+
+let kind_of_label = function
+  | "codegen" -> Some Codegen_error
+  | "unsupported" -> Some Unsupported
+  | "resource" -> Some Resource_exhausted
+  | "transient" -> Some Transient
+  | "cancelled" -> Some Cancelled
+  | "internal" -> Some Internal
+  | _ -> None
+
+let to_string t =
+  if t.stage = "" then Printf.sprintf "%s: %s" (kind_to_string t.kind) t.detail
+  else Printf.sprintf "%s at %s: %s" (kind_to_string t.kind) t.stage t.detail
+
+let is_transient t = t.kind = Transient
+
+let counts_for_breaker = function
+  | Codegen_error | Transient | Internal -> true
+  | Unsupported | Resource_exhausted | Cancelled -> false
+
+(* ------------------------------------------------------------------ *)
+(* classification *)
+
+(* Registered once per owning layer at module-initialization time, so
+   ordering only matters within a layer — and each layer owns disjoint
+   exception constructors. *)
+let classifiers : (exn -> t option) list ref = ref []
+let classifiers_mu = Mutex.create ()
+
+let register_classifier f =
+  Mutex.lock classifiers_mu;
+  classifiers := !classifiers @ [ f ];
+  Mutex.unlock classifiers_mu
+
+let classify ?(stage = "") ?(default = Internal) exn =
+  let with_stage t = if t.stage = "" && stage <> "" then { t with stage } else t in
+  match exn with
+  | Fault t -> with_stage t
+  | Out_of_memory -> make ~stage Resource_exhausted "out of memory"
+  | Stack_overflow -> make ~stage Resource_exhausted "stack overflow"
+  | exn ->
+    let rec try_registered = function
+      | [] -> make ~stage default (Printexc.to_string exn)
+      | f :: rest -> (
+        match f exn with
+        | Some t -> with_stage t
+        | None -> try_registered rest)
+    in
+    try_registered !classifiers
+
+(* ------------------------------------------------------------------ *)
+(* seeded fault injection *)
+
+module Inject = struct
+  type point = {
+    name : string;
+    p : float;
+    kind : kind;
+  }
+
+  type spec = {
+    seed : int;
+    points : point list;
+  }
+
+  type armed_point = {
+    pt : point;
+    mutable stream : int64;  (* splitmix64 state *)
+    mutable fired_n : int;
+  }
+
+  type armed = {
+    spec : spec;
+    table : (string, armed_point) Hashtbl.t;
+  }
+
+  (* The flag is the fast path read on every [hit]; the mutex guards the
+     armed registry and each point's stream. *)
+  let armed_flag = Atomic.make false
+  let mu = Mutex.create ()
+  let current : armed option ref = ref None
+
+  let splitmix_next st =
+    let s = Int64.add st 0x9E3779B97F4A7C15L in
+    let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    (s, Int64.logxor z (Int64.shift_right_logical z 31))
+
+  (* Per-point streams are seeded from the spec seed and the point name,
+     so adding a point never perturbs the others' decision sequences. *)
+  let seed_for ~seed name =
+    let h = ref (Int64.of_int seed) in
+    String.iter
+      (fun c ->
+        let _, z = splitmix_next (Int64.add !h (Int64.of_int (Char.code c))) in
+        h := z)
+      name;
+    !h
+
+  let unit_float ap =
+    let st, z = splitmix_next ap.stream in
+    ap.stream <- st;
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+  let parse_spec s =
+    let clauses =
+      String.split_on_char ';' s
+      |> List.map String.trim
+      |> List.filter (fun c -> c <> "")
+    in
+    let rec go seed points = function
+      | [] -> Ok { seed; points = List.rev points }
+      | clause :: rest -> (
+        match String.index_opt clause '=' with
+        | None -> Error (Printf.sprintf "clause %S has no '='" clause)
+        | Some i -> (
+          let key = String.sub clause 0 i in
+          let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+          if key = "seed" then
+            match int_of_string_opt v with
+            | Some n -> go n points rest
+            | None -> Error (Printf.sprintf "bad seed %S" v)
+          else
+            let prob, kind_s =
+              match String.index_opt v ':' with
+              | None -> (v, "transient")
+              | Some j ->
+                (String.sub v 0 j, String.sub v (j + 1) (String.length v - j - 1))
+            in
+            match (float_of_string_opt prob, kind_of_label kind_s) with
+            | None, _ -> Error (Printf.sprintf "bad probability %S for %s" prob key)
+            | _, None -> Error (Printf.sprintf "unknown fault kind %S for %s" kind_s key)
+            | Some p, _ when p < 0.0 || p > 1.0 ->
+              Error (Printf.sprintf "probability %g for %s not in [0,1]" p key)
+            | Some p, Some kind -> go seed ({ name = key; p; kind } :: points) rest))
+    in
+    go 42 [] clauses
+
+  let spec_to_string spec =
+    String.concat ";"
+      (Printf.sprintf "seed=%d" spec.seed
+      :: List.map
+           (fun pt -> Printf.sprintf "%s=%g:%s" pt.name pt.p (kind_label pt.kind))
+           spec.points)
+
+  let enable spec =
+    Mutex.lock mu;
+    let table = Hashtbl.create 16 in
+    List.iter
+      (fun pt ->
+        Hashtbl.replace table pt.name
+          { pt; stream = seed_for ~seed:spec.seed pt.name; fired_n = 0 })
+      spec.points;
+    current := Some { spec; table };
+    Atomic.set armed_flag true;
+    Mutex.unlock mu
+
+  let disable () =
+    Mutex.lock mu;
+    Atomic.set armed_flag false;
+    current := None;
+    Mutex.unlock mu
+
+  let enabled () = Atomic.get armed_flag
+
+  let hit name =
+    if Atomic.get armed_flag then begin
+      let fire =
+        Mutex.lock mu;
+        let fire =
+          match !current with
+          | None -> None
+          | Some armed -> (
+            match Hashtbl.find_opt armed.table name with
+            | None -> None
+            | Some ap ->
+              if unit_float ap < ap.pt.p then begin
+                ap.fired_n <- ap.fired_n + 1;
+                Some ap.pt.kind
+              end
+              else None)
+        in
+        Mutex.unlock mu;
+        fire
+      in
+      match fire with
+      | None -> ()
+      | Some kind ->
+        raise (Fault (make ~stage:name kind (Printf.sprintf "injected fault at %s" name)))
+    end
+
+  let fired () =
+    Mutex.lock mu;
+    let out =
+      match !current with
+      | None -> []
+      | Some armed ->
+        Hashtbl.fold (fun name ap acc -> (name, ap.fired_n) :: acc) armed.table []
+    in
+    Mutex.unlock mu;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) out
+
+  let report () =
+    Mutex.lock mu;
+    let snapshot =
+      Option.map
+        (fun armed ->
+          ( armed.spec,
+            Hashtbl.fold (fun name ap acc -> (name, ap.pt, ap.fired_n) :: acc)
+              armed.table [] ))
+        !current
+    in
+    Mutex.unlock mu;
+    match snapshot with
+    | None -> ""
+    | Some (spec, points) ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (Printf.sprintf "fault injection armed, seed %d\n" spec.seed);
+      List.iter
+        (fun (name, pt, n) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-24s p=%-5g kind=%-10s fired %d\n" name pt.p
+               (kind_label pt.kind) n))
+        (List.sort
+           (fun (a, _, _) (b, _, _) -> String.compare a b)
+           points);
+      Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+(* circuit breaker *)
+
+module Breaker = struct
+  type config = {
+    failure_threshold : int;
+    window : int;
+    cooldown_ms : float;
+  }
+
+  let default_config = { failure_threshold = 5; window = 20; cooldown_ms = 1000.0 }
+
+  type state =
+    | Closed
+    | Open
+    | Half_open
+
+  let state_to_string = function
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half-open"
+
+  type stats = {
+    opened : int;
+    probes : int;
+    reclosed : int;
+    fast_fails : int;
+  }
+
+  type internal =
+    | S_closed
+    | S_open of float  (* opened_at, in the caller's now_ms clock *)
+    | S_half_open  (* exactly one probe in flight *)
+
+  type t = {
+    mu : Mutex.t;
+    config : config;
+    mutable st : internal;
+    recent : bool Queue.t;  (* sliding window of outcomes; true = failure *)
+    mutable window_fails : int;
+    mutable opened_n : int;
+    mutable probes_n : int;
+    mutable reclosed_n : int;
+    mutable fast_fails_n : int;
+  }
+
+  let create ?(config = default_config) () =
+    {
+      mu = Mutex.create ();
+      config;
+      st = S_closed;
+      recent = Queue.create ();
+      window_fails = 0;
+      opened_n = 0;
+      probes_n = 0;
+      reclosed_n = 0;
+      fast_fails_n = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+  let state t =
+    locked t (fun () ->
+        match t.st with
+        | S_closed -> Closed
+        | S_open _ -> Open
+        | S_half_open -> Half_open)
+
+  let stats t =
+    locked t (fun () ->
+        {
+          opened = t.opened_n;
+          probes = t.probes_n;
+          reclosed = t.reclosed_n;
+          fast_fails = t.fast_fails_n;
+        })
+
+  let reset_window t =
+    Queue.clear t.recent;
+    t.window_fails <- 0
+
+  let open_now t now_ms =
+    t.st <- S_open now_ms;
+    t.opened_n <- t.opened_n + 1;
+    reset_window t
+
+  let admit t ~now_ms =
+    locked t (fun () ->
+        match t.st with
+        | S_closed -> `Admit
+        | S_half_open ->
+          t.fast_fails_n <- t.fast_fails_n + 1;
+          `Fast_fail
+        | S_open opened_at ->
+          if now_ms -. opened_at >= t.config.cooldown_ms then begin
+            t.st <- S_half_open;
+            t.probes_n <- t.probes_n + 1;
+            `Probe
+          end
+          else begin
+            t.fast_fails_n <- t.fast_fails_n + 1;
+            `Fast_fail
+          end)
+
+  let record t ~now_ms ~ok =
+    locked t (fun () ->
+        match t.st with
+        | S_half_open ->
+          if ok then begin
+            t.st <- S_closed;
+            t.reclosed_n <- t.reclosed_n + 1;
+            reset_window t;
+            `Reclosed
+          end
+          else begin
+            open_now t now_ms;
+            `Opened
+          end
+        | S_closed ->
+          Queue.push (not ok) t.recent;
+          if not ok then t.window_fails <- t.window_fails + 1;
+          if Queue.length t.recent > t.config.window then
+            if Queue.pop t.recent then t.window_fails <- t.window_fails - 1;
+          if t.window_fails >= t.config.failure_threshold then begin
+            open_now t now_ms;
+            `Opened
+          end
+          else `None
+        | S_open _ ->
+          (* a request admitted before the breaker opened finishing late:
+             its evidence is stale, the breaker already acted on it *)
+          `None)
+end
+
+(* ------------------------------------------------------------------ *)
+(* resource governor *)
+
+module Governor = struct
+  type budget = {
+    max_rows : int option;
+    max_bytes : int option;
+  }
+
+  let unlimited = { max_rows = None; max_bytes = None }
+
+  type scope = {
+    budget : budget;
+    mutable rows : int;
+    mutable bytes : int;
+  }
+
+  let key : scope option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let with_budget budget f =
+    if budget = unlimited then f ()
+    else begin
+      let prev = Domain.DLS.get key in
+      Domain.DLS.set key (Some { budget; rows = 0; bytes = 0 });
+      Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+    end
+
+  let exhausted ~stage what used limit =
+    raise
+      (Fault
+         (make ~stage Resource_exhausted
+            (Printf.sprintf "%s budget exhausted: %d of %d" what used limit)))
+
+  let charge_rows ?(stage = "execute") n =
+    match Domain.DLS.get key with
+    | None -> ()
+    | Some s -> (
+      s.rows <- s.rows + n;
+      match s.budget.max_rows with
+      | Some limit when s.rows > limit -> exhausted ~stage "row" s.rows limit
+      | _ -> ())
+
+  let charge_bytes ?(stage = "staging") n =
+    match Domain.DLS.get key with
+    | None -> ()
+    | Some s -> (
+      s.bytes <- s.bytes + n;
+      match s.budget.max_bytes with
+      | Some limit when s.bytes > limit -> exhausted ~stage "byte" s.bytes limit
+      | _ -> ())
+
+  let usage () =
+    match Domain.DLS.get key with
+    | None -> None
+    | Some s -> Some (s.rows, s.bytes)
+end

@@ -1,0 +1,210 @@
+(** The fault-tolerance substrate: a typed error taxonomy with an
+    extensible classifier, a deterministic seeded fault-injection
+    registry, a circuit-breaker state machine and a per-request resource
+    governor.
+
+    The paper's deployment shape — compile once, serve many (§3, §7.4) —
+    makes failures routine operational events: code generation trips on
+    an unforeseen shape, a worker Domain dies mid-request, a query
+    materializes more than its share of memory. This module gives every
+    layer one vocabulary for those events so the service can make
+    *policy* decisions (retry? fall back? open the breaker? refuse?)
+    instead of string-matching [Printexc.to_string] output.
+
+    The library is dependency-free on purpose: it sits below the
+    catalog, the storage layer and the engines, all of which raise into
+    or are classified by it. *)
+
+(** {1 Taxonomy} *)
+
+type kind =
+  | Codegen_error  (** plan building / code generation blew up (a bug or
+                       an unforeseen shape — deterministic, not worth
+                       retrying, counts against the engine's breaker) *)
+  | Unsupported  (** the engine refused the query by design (capability
+                     miss or prepare-time refusal) — deterministic and
+                     expected; routes to the fallback, never trips the
+                     breaker *)
+  | Resource_exhausted
+      (** a per-request row/byte budget was exceeded ({!Governor}) — the
+          request itself is too big; retrying or falling back would
+          exhaust the budget again *)
+  | Transient  (** plausibly succeeds on retry (injected chaos, racy
+                   environmental hiccups) *)
+  | Cancelled  (** the request was cooperatively cancelled *)
+  | Internal  (** everything else: an invariant violation, a crashed
+                  worker, an unclassified exception *)
+
+type t = {
+  kind : kind;
+  stage : string;  (** pipeline stage or injection point, e.g. ["prepare"] *)
+  detail : string;
+}
+
+exception Fault of t
+
+val make : ?stage:string -> kind -> string -> t
+val error : ?stage:string -> kind -> ('a, unit, string, 'b) format4 -> 'a
+(** [error kind fmt ...] raises {!Fault} with a formatted detail. *)
+
+val kind_to_string : kind -> string
+val kind_label : kind -> string
+(** Short counter-name label: ["codegen"], ["unsupported"], ["resource"],
+    ["transient"], ["cancelled"], ["internal"]. *)
+
+val kind_of_label : string -> kind option
+val to_string : t -> string
+
+val is_transient : t -> bool
+(** Worth retrying with backoff. *)
+
+val counts_for_breaker : kind -> bool
+(** Whether a failure of this kind is evidence the *engine* is unhealthy
+    (codegen / transient / internal) rather than a property of the
+    request (unsupported / resource / cancelled). *)
+
+(** {1 Classification}
+
+    [classify] maps an arbitrary exception into the taxonomy. Layers
+    that own exception types register a classifier once at module
+    initialization (e.g. the catalog registers
+    [Engine_intf.Unsupported]); unknown exceptions land on [default]
+    (usually {!Internal}, {!Codegen_error} when classifying a prepare
+    path). *)
+
+val register_classifier : (exn -> t option) -> unit
+val classify : ?stage:string -> ?default:kind -> exn -> t
+
+(** {1 Seeded fault injection}
+
+    A process-global registry of named injection points. Each point
+    carries a firing probability and the {!kind} to raise; draws come
+    from a per-point splitmix64 stream seeded from [spec.seed] and the
+    point name, so a given spec replays the same per-point decision
+    sequence run after run. Off by default: a disabled {!Inject.hit} is
+    one atomic load. *)
+
+module Inject : sig
+  type point = {
+    name : string;  (** e.g. ["provider/execute"] *)
+    p : float;  (** firing probability in [0,1] *)
+    kind : kind;  (** fault kind raised when the point fires *)
+  }
+
+  type spec = {
+    seed : int;
+    points : point list;
+  }
+
+  val parse_spec : string -> (spec, string) result
+  (** Spec syntax (the [LQ_FAULT_SPEC] environment variable):
+      [seed=42;provider/execute=0.05:transient;provider/prepare=0.1:codegen]
+      — semicolon-separated, one optional [seed=N] (default 42), each
+      other clause [point=probability\[:kind\]] (kind defaults to
+      [transient], accepted labels as {!kind_of_label}). *)
+
+  val spec_to_string : spec -> string
+
+  val enable : spec -> unit
+  (** Arms the registry (replacing any previous spec, resetting counts). *)
+
+  val disable : unit -> unit
+
+  val enabled : unit -> bool
+
+  val hit : string -> unit
+  (** The injection point: raises {!Fault} of the configured kind when
+      the armed spec lists this point and its stream fires. No-op when
+      disabled or the point is not in the spec. *)
+
+  val fired : unit -> (string * int) list
+  (** Per-point fire counts since {!enable}, sorted by point name. *)
+
+  val report : unit -> string
+  (** Human-readable block: the armed spec and per-point fire counts;
+      [""] when disabled. *)
+end
+
+(** {1 Circuit breaker}
+
+    One breaker guards one engine. Closed counts recent failures in a
+    sliding window; at [failure_threshold] failures it opens and every
+    admission fast-fails (no code generation paid) until [cooldown_ms]
+    has passed, when exactly one probe is let through half-open: probe
+    success closes the breaker, probe failure re-opens it. Callers pass
+    the clock in ([now_ms]) so the module stays dependency-free and
+    tests can drive time. *)
+
+module Breaker : sig
+  type config = {
+    failure_threshold : int;  (** failures within [window] that open *)
+    window : int;  (** sliding window length, in recorded outcomes *)
+    cooldown_ms : float;  (** open → half-open delay *)
+  }
+
+  val default_config : config
+  (** 5 failures in the last 20 outcomes; 1000 ms cooldown. *)
+
+  type state =
+    | Closed
+    | Open
+    | Half_open
+
+  val state_to_string : state -> string
+
+  type stats = {
+    opened : int;  (** transitions into [Open] *)
+    probes : int;  (** transitions into [Half_open] *)
+    reclosed : int;  (** probe successes: [Half_open] → [Closed] *)
+    fast_fails : int;  (** admissions refused while open / probing *)
+  }
+
+  type t
+
+  val create : ?config:config -> unit -> t
+  val state : t -> state
+  val stats : t -> stats
+
+  val admit : t -> now_ms:float -> [ `Admit | `Probe | `Fast_fail ]
+  (** [`Admit]: closed, run normally. [`Probe]: was open, cooldown
+      elapsed — this caller is the half-open probe and {b must} call
+      {!record} with its outcome, or the breaker wedges probing.
+      [`Fast_fail]: open (or a probe is already in flight) — skip the
+      engine entirely. *)
+
+  val record : t -> now_ms:float -> ok:bool -> [ `None | `Opened | `Reclosed ]
+  (** Reports an admitted request's outcome; the return names the
+      transition it caused, for metrics. *)
+end
+
+(** {1 Resource governor}
+
+    Per-request row/byte budgets carried in Domain-local storage: the
+    service installs a budget around each engine attempt
+    ({!Governor.with_budget}), and the staging / materialization layers
+    charge against whatever budget is ambient ({!Governor.charge_rows},
+    {!Governor.charge_bytes}) without any plumbing through the engine
+    interfaces. Exceeding a budget raises {!Fault} with
+    {!Resource_exhausted} — a typed refusal instead of an OOM. With no
+    budget installed (the default, and everything outside a service
+    worker), charging is a no-op. *)
+
+module Governor : sig
+  type budget = {
+    max_rows : int option;  (** staged + materialized rows per request *)
+    max_bytes : int option;  (** staged bytes per request *)
+  }
+
+  val unlimited : budget
+
+  val with_budget : budget -> (unit -> 'a) -> 'a
+  (** Runs [f] with [budget] ambient on this Domain (restoring the
+      previous budget after); {!unlimited} installs nothing. *)
+
+  val charge_rows : ?stage:string -> int -> unit
+  val charge_bytes : ?stage:string -> int -> unit
+
+  val usage : unit -> (int * int) option
+  (** [(rows, bytes)] charged so far against the ambient budget, [None]
+      outside {!with_budget}. *)
+end

@@ -29,7 +29,7 @@ type outcome =
   | Shed of { reason : string }
   | Failed of {
       engine : string;
-      error : string;
+      fault : Lq_fault.t;
     }
 
 type response = {
@@ -55,7 +55,8 @@ let response_to_string r =
         (if degraded then " (degraded)" else "")
     | Timed_out { stage } -> Printf.sprintf "deadline fired at %s" stage
     | Shed { reason } -> Printf.sprintf "shed: %s" reason
-    | Failed { engine; error } -> Printf.sprintf "failed on %s: %s" engine error
+    | Failed { engine; fault } ->
+      Printf.sprintf "failed on %s: %s" engine (Lq_fault.to_string fault)
   in
   Printf.sprintf "#%d %-12s %-9s queue %.2fms exec %.2fms total %.2fms  %s" r.request_id
     r.label (outcome_kind r.outcome) r.queue_ms r.exec_ms r.total_ms detail

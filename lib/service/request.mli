@@ -35,10 +35,11 @@ type outcome =
       (** deadline fired at this pipeline stage ("queued" = never left
           the queue) *)
   | Shed of { reason : string }
-      (** dropped un-run by a non-draining shutdown; counted as a
-          rejection, never silently *)
-  | Failed of { engine : string; error : string }
-      (** both the preferred engine and the fallback refused or blew up *)
+      (** dropped un-run by a non-draining shutdown — its own accounting
+          bucket, never a silent drop *)
+  | Failed of { engine : string; fault : Lq_fault.t }
+      (** terminal typed failure: the preferred engine (and the fallback,
+          when one applied) refused or blew up; [fault] says how *)
 
 type response = {
   request_id : int;

@@ -1,11 +1,18 @@
 module Provider = Lq_core.Provider
 module Engine_intf = Lq_catalog.Engine_intf
+module Breaker = Lq_fault.Breaker
+module Governor = Lq_fault.Governor
 
 type config = {
   domains : int;
   queue_capacity : int;
   default_deadline_ms : float option;
   fallback : Engine_intf.t option;
+  breaker : Breaker.config option;
+  max_retries : int;
+  retry_base_ms : float;
+  retry_cap_ms : float;
+  budget : Governor.budget;
 }
 
 let default_config =
@@ -14,6 +21,11 @@ let default_config =
     queue_capacity = 64;
     default_deadline_ms = None;
     fallback = Some Lq_core.Engines.linq_to_objects;
+    breaker = Some Breaker.default_config;
+    max_retries = 2;
+    retry_base_ms = 1.0;
+    retry_cap_ms = 50.0;
+    budget = Governor.unlimited;
   }
 
 type job = Request.t * Request.response Future.t
@@ -24,7 +36,9 @@ type t = {
   queue : job Request_queue.t;
   metrics : Svc_metrics.t;
   next_id : int Atomic.t;
+  mu : Mutex.t;  (* guards [workers] and [breakers] *)
   mutable workers : unit Domain.t list;
+  breakers : (string, Breaker.t) Hashtbl.t;
   stopped : bool Atomic.t;
 }
 
@@ -42,6 +56,47 @@ let rejection_to_string = function
 
 let now = Lq_metrics.Profile.now_ms
 
+let breaker_for t name =
+  match t.config.breaker with
+  | None -> None
+  | Some config ->
+    Some
+      (Mutex.protect t.mu (fun () ->
+           match Hashtbl.find_opt t.breakers name with
+           | Some br -> br
+           | None ->
+             let br = Breaker.create ~config () in
+             Hashtbl.add t.breakers name br;
+             br))
+
+let breaker_state t ~engine =
+  Mutex.protect t.mu (fun () ->
+      Option.map Breaker.state (Hashtbl.find_opt t.breakers engine))
+
+let breaker_stats t ~engine =
+  Mutex.protect t.mu (fun () ->
+      Option.map Breaker.stats (Hashtbl.find_opt t.breakers engine))
+
+let breakers_report t =
+  let entries =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold (fun name br acc -> (name, br) :: acc) t.breakers [])
+  in
+  match List.sort (fun (a, _) (b, _) -> compare a b) entries with
+  | [] -> ""
+  | entries ->
+    let buf = Buffer.create 128 in
+    List.iter
+      (fun (name, br) ->
+        let s = Breaker.stats br in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "breaker %-16s %-9s opened %d, reclosed %d, fast-fails %d\n" name
+             (Breaker.state_to_string (Breaker.state br))
+             s.Breaker.opened s.Breaker.reclosed s.Breaker.fast_fails))
+      entries;
+    Buffer.contents buf
+
 let process t ((req, fut) : job) =
   let picked = now () in
   let resolve outcome =
@@ -56,6 +111,10 @@ let process t ((req, fut) : job) =
         total_ms = done_ms -. req.Request.enqueued_ms;
       }
     in
+    (* Account before fulfilling so a synchronous client that awoke from
+       [await] reads consistent counters. Resolvers never actually race:
+       the crash shield runs in this same Domain only after [process]
+       raised, and the shutdown shed path only sees never-popped jobs. *)
     Svc_metrics.note_outcome t.metrics resp;
     ignore (Future.fulfil fut resp)
   in
@@ -63,28 +122,98 @@ let process t ((req, fut) : job) =
   | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })
   | () -> (
     let checkpoint stage = Deadline.check ~stage req.Request.deadline in
+    (* One engine attempt, retried with bounded decorrelated-jitter
+       backoff while the classified fault stays [Transient] and the
+       deadline can still afford the sleep. The per-request governor
+       budget is ambient for the whole attempt. *)
     let attempt (engine : Engine_intf.t) =
-      Provider.run t.provider ~engine ~params:req.Request.params ~checkpoint
-        req.Request.query
+      let rng = lazy (Lq_exec.Prng.create (0x5eed + req.Request.id)) in
+      let rec go attempt_no prev_sleep =
+        match
+          Governor.with_budget t.config.budget (fun () ->
+              Provider.run t.provider ~engine ~params:req.Request.params ~checkpoint
+                req.Request.query)
+        with
+        | rows -> Ok rows
+        | exception (Deadline.Expired _ as e) -> raise e
+        | exception exn ->
+          let fault =
+            Lq_fault.classify ~stage:"execute" ~default:Lq_fault.Internal exn
+          in
+          if Lq_fault.is_transient fault && attempt_no < t.config.max_retries then begin
+            let remaining =
+              match req.Request.deadline with
+              | None -> Float.infinity
+              | Some d -> Deadline.remaining_ms d
+            in
+            let base = t.config.retry_base_ms in
+            let span = Float.max 0.0 ((prev_sleep *. 3.0) -. base) in
+            let sleep =
+              Float.min t.config.retry_cap_ms
+                (base +. Lq_exec.Prng.float (Lazy.force rng) span)
+            in
+            if sleep >= remaining then Error fault
+            else begin
+              Svc_metrics.note_retried t.metrics;
+              Unix.sleepf (sleep /. 1000.0);
+              go (attempt_no + 1) sleep
+            end
+          end
+          else Error fault
+      in
+      go 0 t.config.retry_base_ms
     in
-    (* Degradation ladder: anything the preferred engine refuses or
-       trips over is retried on the interpreter baseline, recorded as
-       a degraded completion rather than surfaced as a failure. *)
-    let fall_back ~error =
+    (* The breaker wraps the whole retry loop: one admitted request
+       records exactly one outcome, so a half-open probe can never
+       wedge. Deadline expiry records success — it says nothing about
+       the engine's health. *)
+    let attempt_guarded (engine : Engine_intf.t) =
+      match breaker_for t engine.Engine_intf.name with
+      | None -> attempt engine
+      | Some br -> (
+        let record ~ok =
+          match Breaker.record br ~now_ms:(now ()) ~ok with
+          | `None -> ()
+          | `Opened -> Svc_metrics.note_breaker t.metrics `Opened
+          | `Reclosed -> Svc_metrics.note_breaker t.metrics `Reclosed
+        in
+        match Breaker.admit br ~now_ms:(now ()) with
+        | `Fast_fail ->
+          Svc_metrics.note_breaker t.metrics `Fast_fail;
+          Error
+            (Lq_fault.make ~stage:"admit" Lq_fault.Transient
+               (Printf.sprintf "circuit open for engine %s" engine.Engine_intf.name))
+        | `Admit | `Probe -> (
+          match attempt engine with
+          | Ok _ as ok ->
+            record ~ok:true;
+            ok
+          | Error fault as err ->
+            record ~ok:(not (Lq_fault.counts_for_breaker fault.Lq_fault.kind));
+            err
+          | exception (Deadline.Expired _ as e) ->
+            record ~ok:true;
+            raise e))
+    in
+    (* Degradation ladder: failures of the preferred engine are retried
+       on the interpreter baseline and recorded as degraded completions
+       — except [Resource_exhausted], which is a property of the request
+       and would blow the same budget again. *)
+    let fall_back ~(fault : Lq_fault.t) =
       match t.config.fallback with
-      | Some fb when fb.Engine_intf.name <> req.Request.engine.Engine_intf.name -> (
-        Svc_metrics.note_degraded t.metrics;
-        match attempt fb with
-        | rows ->
-          resolve (Request.Completed { rows; engine = fb.Engine_intf.name; degraded = true })
-        | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })
-        | exception second ->
+      | Some fb
+        when fb.Engine_intf.name <> req.Request.engine.Engine_intf.name
+             && fault.Lq_fault.kind <> Lq_fault.Resource_exhausted -> (
+        match attempt_guarded fb with
+        | Ok rows ->
           resolve
-            (Request.Failed
-               { engine = fb.Engine_intf.name; error = Printexc.to_string second }))
+            (Request.Completed { rows; engine = fb.Engine_intf.name; degraded = true })
+        | Error second ->
+          resolve (Request.Failed { engine = fb.Engine_intf.name; fault = second })
+        | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage }))
       | _ ->
         resolve
-          (Request.Failed { engine = req.Request.engine.Engine_intf.name; error })
+          (Request.Failed { engine = req.Request.engine.Engine_intf.name; fault })
     in
     (* The plan-level capability check routes around an engine that is
        guaranteed to refuse the query *before* any code generation is
@@ -99,22 +228,71 @@ let process t ((req, fut) : job) =
     match verdict with
     | Error reason ->
       Svc_metrics.note_unsupported t.metrics;
-      fall_back ~error:reason
+      fall_back ~fault:(Lq_fault.make ~stage:"plan" Lq_fault.Unsupported reason)
     | Ok () -> (
-      match attempt req.Request.engine with
-      | rows ->
+      match attempt_guarded req.Request.engine with
+      | Ok rows ->
         resolve
           (Request.Completed
              { rows; engine = req.Request.engine.Engine_intf.name; degraded = false })
-      | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })
-      | exception first -> fall_back ~error:(Printexc.to_string first)))
+      | Error fault -> fall_back ~fault
+      | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })))
 
 let rec worker_loop t =
   match Request_queue.pop t.queue with
   | None -> ()
-  | Some job ->
-    (try process t job with _ -> ());
+  | Some ((req, fut) as job) ->
+    (match
+       Lq_fault.Inject.hit "service/worker";
+       process t job
+     with
+    | () -> ()
+    | exception exn ->
+      (* Terminal-resolution shield: a popped job must resolve no matter
+         what escapes [process] (or the worker-crash injection point
+         just above it). [process] runs in this Domain, so a resolved
+         future here means it already accounted the outcome — skip, no
+         double count. The exception then propagates to kill the Domain
+         and supervision respawns it. *)
+      if not (Future.is_resolved fut) then begin
+        let done_ms = now () in
+        let resp =
+          {
+            Request.request_id = req.Request.id;
+            label = req.Request.label;
+            outcome =
+              Request.Failed
+                {
+                  engine = req.Request.engine.Engine_intf.name;
+                  fault =
+                    Lq_fault.classify ~stage:"worker" ~default:Lq_fault.Internal exn;
+                };
+            queue_ms = done_ms -. req.Request.enqueued_ms;
+            exec_ms = 0.0;
+            total_ms = done_ms -. req.Request.enqueued_ms;
+          }
+        in
+        Svc_metrics.note_outcome t.metrics resp;
+        ignore (Future.fulfil fut resp)
+      end;
+      raise exn);
     worker_loop t
+
+(* Worker supervision: each worker runs [worker_loop] under a top-level
+   catch; if it dies it spawns and registers its replacement *before*
+   exiting, so [shutdown]'s join loop (which re-snapshots the worker
+   list until it stays empty) can never miss one. The pool only stops
+   regrowing once the service is stopped with nothing left to drain. *)
+let rec spawn_worker t =
+  let d =
+    Domain.spawn (fun () ->
+        try worker_loop t
+        with _exn ->
+          Svc_metrics.note_worker_crash t.metrics;
+          if not (Atomic.get t.stopped && Request_queue.depth t.queue = 0) then
+            spawn_worker t)
+  in
+  Mutex.protect t.mu (fun () -> t.workers <- d :: t.workers)
 
 let create ?(config = default_config) provider =
   let t =
@@ -124,11 +302,15 @@ let create ?(config = default_config) provider =
       queue = Request_queue.create ~capacity:config.queue_capacity;
       metrics = Svc_metrics.create ();
       next_id = Atomic.make 0;
+      mu = Mutex.create ();
       workers = [];
+      breakers = Hashtbl.create 8;
       stopped = Atomic.make false;
     }
   in
-  t.workers <- List.init config.domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  for _ = 1 to config.domains do
+    spawn_worker t
+  done;
   t
 
 let provider t = t.provider
@@ -184,8 +366,8 @@ let shutdown ?(drain = true) t =
     Request_queue.close t.queue;
     if not drain then
       (* Shed whatever the workers haven't picked up: each pending
-         future resolves with a typed [Shed] outcome and is accounted
-         as a shutdown rejection — never a silent drop. *)
+         future resolves with a typed [Shed] outcome and lands in the
+         shed accounting bucket — never a silent drop. *)
       List.iter
         (fun ((req, fut) : job) ->
           let picked = now () in
@@ -202,9 +384,26 @@ let shutdown ?(drain = true) t =
           Svc_metrics.note_outcome t.metrics resp;
           ignore (Future.fulfil fut resp))
         (Request_queue.drain t.queue);
-    List.iter Domain.join t.workers;
-    t.workers <- []
+    (* Join until the worker list stays empty: a worker that crashes
+       while we join registers its replacement before it exits, so a
+       fresh snapshot picks the replacement up. *)
+    let rec join_all () =
+      match
+        Mutex.protect t.mu (fun () ->
+            let ws = t.workers in
+            t.workers <- [];
+            ws)
+      with
+      | [] -> ()
+      | ws ->
+        List.iter Domain.join ws;
+        join_all ()
+    in
+    join_all ()
   end
 
 let report t =
-  Svc_metrics.report t.metrics ^ "\n" ^ Provider.report t.provider
+  let breakers = breakers_report t in
+  Svc_metrics.report t.metrics
+  ^ (if breakers = "" then "" else breakers)
+  ^ "\n" ^ Provider.report t.provider

@@ -1,16 +1,21 @@
 (** The query service: a shared provider behind an admission-controlled
-    queue drained by a pool of worker Domains.
+    queue drained by a supervised pool of worker Domains, with
+    per-engine circuit breakers, transient-failure retry and a
+    per-request resource governor.
 
     {v
     submit ──▶ admission control ──▶ bounded priority queue
                     │ (full: typed Overloaded, no silent drop)
                     ▼
-            N worker Domains ──▶ Provider.run (deadline checkpoints)
-                    │                  │ engine Unsupported / error
-                    │                  ▼
-                    │           fallback engine (degraded = true)
-                    ▼
-            response Future  ◀── completed / timed-out / failed
+            N worker Domains (supervised: crash ⇒ typed failure + respawn)
+                    │
+                    ▼ breaker admit?  ── open: fast-fail, skip codegen ──┐
+            Provider.run under governor budget, deadline checkpoints    │
+                    │ Transient: retry with jittered backoff            │
+                    │ engine fault ──────────────────────────────────▶  ▼
+                    │                                     fallback engine
+                    ▼                                     (degraded = true)
+            response Future ◀── completed / timed-out / failed / shed
     v}
 
     One service instance is meant to be shared: the underlying
@@ -29,11 +34,26 @@ type config = {
   fallback : Lq_catalog.Engine_intf.t option;
       (** degradation target when the preferred engine refuses or fails;
           [None] disables the ladder *)
+  breaker : Lq_fault.Breaker.config option;
+      (** per-engine circuit-breaker policy; [None] disables breakers *)
+  max_retries : int;
+      (** extra attempts (beyond the first) for {!Lq_fault.Transient}
+          failures of a single engine *)
+  retry_base_ms : float;  (** backoff floor per retry *)
+  retry_cap_ms : float;
+      (** backoff ceiling (decorrelated jitter between the two, always
+          bounded by the request deadline) *)
+  budget : Lq_fault.Governor.budget;
+      (** per-request row/byte budget installed around every engine
+          attempt; exceeding it fails the request
+          {!Lq_fault.Resource_exhausted} with no fallback *)
 }
 
 val default_config : config
 (** 4 Domains, 64-deep queue, no default deadline, fallback
-    [linq-to-objects] (the always-correct interpreter baseline). *)
+    [linq-to-objects] (the always-correct interpreter baseline),
+    default breakers, 2 retries with 1–50 ms backoff, unlimited
+    budget. *)
 
 type t
 
@@ -54,6 +74,12 @@ val provider : t -> Lq_core.Provider.t
 val metrics : t -> Svc_metrics.t
 val queue_depth : t -> int
 
+val breaker_state : t -> engine:string -> Lq_fault.Breaker.state option
+(** Current breaker state for an engine; [None] before the engine's
+    first guarded attempt or when breakers are disabled. *)
+
+val breaker_stats : t -> engine:string -> Lq_fault.Breaker.stats option
+
 val submit :
   t ->
   ?label:string ->
@@ -68,7 +94,8 @@ val submit :
     [deadline_ms] is relative to now and overrides
     [default_deadline_ms]. Every call bumps [service/submitted]; an
     [Error] bumps [service/rejected] — the future of an [Ok] always
-    resolves, so accounting stays conserved. *)
+    resolves (worker crashes included), so accounting stays
+    conserved. *)
 
 val run_sync :
   t ->
@@ -82,12 +109,13 @@ val run_sync :
 (** [submit] + [Future.await] — the synchronous client. *)
 
 val shutdown : ?drain:bool -> t -> unit
-(** Stops admission and joins the workers. With [drain] (default) the
-    queue empties normally first; without it, still-queued requests are
-    shed — their futures resolve with {!Request.Shed} and they count as
-    shutdown rejections. Idempotent. *)
+(** Stops admission and joins the workers (including any respawned by
+    supervision mid-join). With [drain] (default) the queue empties
+    normally first; without it, still-queued requests are shed — their
+    futures resolve with {!Request.Shed} and land in the shed
+    accounting bucket. Idempotent. *)
 
 val report : t -> string
-(** Service metrics (counters, conservation equation, histograms)
-    followed by the provider's cache observability block, so a load run
-    shows hit rates alongside latency. *)
+(** Service metrics (counters, conservation equation, resilience
+    counters, histograms), per-engine breaker states, then the
+    provider's cache observability block. *)

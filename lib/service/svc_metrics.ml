@@ -30,15 +30,31 @@ let note_rejected t cause =
     | `Overload -> "service/rejected_overload"
     | `Shutdown -> "service/rejected_shutdown")
 
-let note_degraded t = Counters.incr t.counters "service/degraded"
 let note_unsupported t = Counters.incr t.counters "service/unsupported"
+let note_retried t = Counters.incr t.counters "service/retried"
+let note_worker_crash t = Counters.incr t.counters "service/worker_crashes"
+
+let note_breaker t event =
+  Counters.incr t.counters
+    (match event with
+    | `Opened -> "service/breaker/opened"
+    | `Reclosed -> "service/breaker/reclosed"
+    | `Fast_fail -> "service/breaker/fast_fail")
 
 let note_outcome t (r : Request.response) =
   (match r.Request.outcome with
-  | Request.Completed _ -> Counters.incr t.counters "service/completed"
+  | Request.Completed { degraded; _ } ->
+    Counters.incr t.counters "service/completed";
+    (* Degradation is an attribute of a *completion*: the fallback
+       actually answered. Fallback attempts that themselves fail land
+       in [failed], not here. *)
+    if degraded then Counters.incr t.counters "service/degraded"
   | Request.Timed_out _ -> Counters.incr t.counters "service/timed_out"
-  | Request.Shed _ -> note_rejected t `Shutdown
-  | Request.Failed _ -> Counters.incr t.counters "service/failed");
+  | Request.Shed _ -> Counters.incr t.counters "service/shed"
+  | Request.Failed { fault; _ } ->
+    Counters.incr t.counters "service/failed";
+    Counters.incr t.counters
+      ("service/failed/" ^ Lq_fault.kind_label fault.Lq_fault.kind));
   Histogram.observe t.queue_wait r.Request.queue_ms;
   Histogram.observe t.exec r.Request.exec_ms;
   Histogram.observe t.total r.Request.total_ms
@@ -55,15 +71,22 @@ let submitted t = Counters.count t.counters "service/submitted"
 let completed t = Counters.count t.counters "service/completed"
 let rejected t = Counters.count t.counters "service/rejected"
 let timed_out t = Counters.count t.counters "service/timed_out"
+let shed t = Counters.count t.counters "service/shed"
 let degraded t = Counters.count t.counters "service/degraded"
 let unsupported t = Counters.count t.counters "service/unsupported"
 let failed t = Counters.count t.counters "service/failed"
+let retried t = Counters.count t.counters "service/retried"
+let worker_crashes t = Counters.count t.counters "service/worker_crashes"
+let breaker_opened t = Counters.count t.counters "service/breaker/opened"
+let breaker_reclosed t = Counters.count t.counters "service/breaker/reclosed"
+let breaker_fast_fails t = Counters.count t.counters "service/breaker/fast_fail"
 let queue_depth_peak t = Atomic.get t.depth_peak
 let total_latency t = t.total
 let exec_latency t = t.exec
 let queue_wait t = t.queue_wait
 
-let conserved t = submitted t = completed t + rejected t + timed_out t + failed t
+let conserved t =
+  submitted t = completed t + rejected t + timed_out t + failed t + shed t
 
 let report t =
   let buf = Buffer.create 512 in
@@ -72,9 +95,15 @@ let report t =
   Buffer.add_string buf
     (Printf.sprintf
        "accounting: submitted %d = completed %d + rejected %d + timed-out %d + failed \
-        %d  [%s]\n"
-       (submitted t) (completed t) (rejected t) (timed_out t) (failed t)
+        %d + shed %d  [%s]\n"
+       (submitted t) (completed t) (rejected t) (timed_out t) (failed t) (shed t)
        (if conserved t then "conserved" else "NOT CONSERVED"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "resilience:  retried %d, breaker opened %d / reclosed %d / fast-fail %d, \
+        worker crashes %d\n"
+       (retried t) (breaker_opened t) (breaker_reclosed t) (breaker_fast_fails t)
+       (worker_crashes t));
   Buffer.add_string buf
     (Printf.sprintf "queue depth: peak %d, at admission %s\n" (queue_depth_peak t)
        (Histogram.summary t.depth_hist));

@@ -2,15 +2,17 @@
     distributions.
 
     One {!Lq_metrics.Counters} registry holds the ["service/"] family —
-    submitted / completed / rejected (split into overload vs shutdown
-    sheds) / timed-out / degraded / failed — next to a queue-depth gauge,
-    while three {!Lq_metrics.Histogram}s track queue-wait, execution and
-    total latency and a fourth tracks the queue depth seen at each
-    admission.
+    submitted / completed / rejected (split into overload vs shutdown) /
+    timed-out / failed (split per fault kind under
+    ["service/failed/<kind>"]) / shed / degraded — plus the resilience
+    family: ["service/retried"], ["service/breaker/*"] and
+    ["service/worker_crashes"]. Three {!Lq_metrics.Histogram}s track
+    queue-wait, execution and total latency and a fourth tracks the
+    queue depth seen at each admission.
 
     The invariant the whole layer is audited against:
 
-    {v submitted = completed + rejected + timed-out + failed v}
+    {v submitted = completed + rejected + timed-out + failed + shed v}
 
     Every request the service ever admits or refuses lands in exactly one
     right-hand bucket — no silent drops. {!conserved} checks it,
@@ -28,16 +30,25 @@ val counters : t -> Lq_metrics.Counters.t
 
 val note_submitted : t -> unit
 val note_rejected : t -> [ `Overload | `Shutdown ] -> unit
-val note_degraded : t -> unit
 
 val note_unsupported : t -> unit
 (** The preferred engine's capability check refused the plan before any
     code generation was paid (distinct from [degraded], which also counts
     prepare/execute-time failures absorbed by the ladder). *)
 
+val note_retried : t -> unit
+(** One retry of a transient failure (per attempt beyond the first). *)
+
+val note_worker_crash : t -> unit
+(** A worker Domain died outside the per-job shield and was respawned. *)
+
+val note_breaker : t -> [ `Opened | `Reclosed | `Fast_fail ] -> unit
+(** A circuit-breaker transition or fast-failed admission. *)
+
 val note_outcome : t -> Request.response -> unit
-(** Buckets the terminal outcome (completed / timed-out / failed; [Shed]
-    counts as a shutdown rejection) and feeds the latency histograms. *)
+(** Buckets the terminal outcome (completed / timed-out / failed — also
+    per-kind — / shed; a degraded completion additionally bumps
+    [service/degraded]) and feeds the latency histograms. *)
 
 val observe_queue_depth : t -> int -> unit
 
@@ -47,9 +58,15 @@ val submitted : t -> int
 val completed : t -> int
 val rejected : t -> int
 val timed_out : t -> int
+val shed : t -> int
 val degraded : t -> int
 val unsupported : t -> int
 val failed : t -> int
+val retried : t -> int
+val worker_crashes : t -> int
+val breaker_opened : t -> int
+val breaker_reclosed : t -> int
+val breaker_fast_fails : t -> int
 
 val queue_depth_peak : t -> int
 val total_latency : t -> Lq_metrics.Histogram.t
@@ -57,11 +74,11 @@ val exec_latency : t -> Lq_metrics.Histogram.t
 val queue_wait : t -> Lq_metrics.Histogram.t
 
 val conserved : t -> bool
-(** [submitted = completed + rejected + timed_out + failed]. Only
+(** [submitted = completed + rejected + timed_out + failed + shed]. Only
     meaningful once all outstanding futures have resolved (e.g. after
     {!Service.shutdown}). *)
 
 val report : t -> string
 (** Multi-line block: the counter family, the conservation equation with
-    its verdict, queue-depth peak, and p50/p95/p99 for each latency
-    histogram. *)
+    its verdict, the resilience counters, queue-depth peak, and
+    p50/p95/p99 for each latency histogram. *)

@@ -15,7 +15,11 @@ and t = {
 
 let default_page_bytes = 64 * 1024
 
+(* Page memory is charged against the ambient per-request budget (when
+   one is installed): a query staging more than its share yields a typed
+   [Resource_exhausted] instead of growing the page chain into an OOM. *)
 let new_page page_bytes =
+  Lq_fault.Governor.charge_bytes ~stage:"staging" page_bytes;
   { bytes = Bytes.make page_bytes '\000'; base = Addr_space.alloc page_bytes; used_rows = 0 }
 
 let check_width ~page_bytes ~row_width =
@@ -45,6 +49,7 @@ let create_buffered ?(page_bytes = default_page_bytes) ~row_width ~on_full () =
 let rows_per_page t = t.per_page
 
 let slot_of t page =
+  Lq_fault.Governor.charge_rows ~stage:"staging" 1;
   let row = page.used_rows in
   page.used_rows <- row + 1;
   t.total <- t.total + 1;

@@ -25,7 +25,9 @@ val create_buffered : ?page_bytes:int -> row_width:int -> on_full:(t -> unit) ->
 val alloc : t -> slot
 (** Space for one row. In buffered mode this may first invoke [on_full]
     with the full page; the returned slot then points into the recycled
-    page. *)
+    page. Rows and newly allocated page bytes are charged against the
+    ambient {!Lq_fault.Governor} budget, so staging past a per-request
+    budget raises a typed [Resource_exhausted] fault. *)
 
 val flush : t -> unit
 (** Buffered mode: delivers the final partial page via [on_full] (no-op if

@@ -1,11 +1,13 @@
 (* The query service layer: futures, histograms, the bounded priority
    queue, admission control / load shedding, deadline expiry, the
-   engine-degradation ladder, and a multi-Domain storm that audits the
-   conservation invariant
+   engine-degradation ladder, the fault substrate (taxonomy, injection,
+   breakers, governor, retry, worker supervision), and multi-Domain
+   storms — one clean, one chaos — that audit the conservation invariant
 
-     submitted = completed + rejected + timed-out (+ failed)
+     submitted = completed + rejected + timed-out + failed + shed
 
-   end to end — the service must never drop a request silently. *)
+   end to end: the service must never drop a request silently, even
+   under injected faults and crashing workers. *)
 
 open Lq_expr.Dsl
 module Provider = Lq_core.Provider
@@ -120,7 +122,9 @@ let make_service ?(domains = 1) ?(queue = 16) ?default_deadline_ms
     ?(fallback = Service.default_config.Service.fallback) ?(n = 120) () =
   let cat = Lq_testkit.sales_catalog ~n () in
   let prov = Provider.create cat in
-  let config = { Service.domains; queue_capacity = queue; default_deadline_ms; fallback } in
+  let config =
+    { Service.default_config with domains; queue_capacity = queue; default_deadline_ms; fallback }
+  in
   (prov, Service.create ~config prov)
 
 let test_admission_rejects_when_full () =
@@ -147,7 +151,8 @@ let test_admission_rejects_when_full () =
   | Request.Shed _ -> ()
   | other -> Alcotest.failf "expected Shed, got %s" (Request.outcome_kind other));
   check_bool "shed future resolved too" true (Future.is_resolved (Result.get_ok ok2));
-  check_int "sheds count as rejections" 3 (Svc_metrics.rejected m);
+  check_int "sheds land in their own bucket" 2 (Svc_metrics.shed m);
+  check_int "admission rejection count unchanged" 1 (Svc_metrics.rejected m);
   check_bool "conserved after shutdown" true (Svc_metrics.conserved m);
   match Service.submit svc q_all with
   | Error Service.Shutting_down -> ()
@@ -303,8 +308,8 @@ let test_multi_domain_storm_conservation () =
                     Atomic.incr mismatches
                 | Request.Timed_out _ -> ()
                 | Request.Shed _ -> Atomic.incr mismatches
-                | Request.Failed { engine; error } ->
-                  Printf.eprintf "FAILED %s: %s\n%!" engine error;
+                | Request.Failed { engine; fault } ->
+                  Printf.eprintf "FAILED %s: %s\n%!" engine (Lq_fault.to_string fault);
                   Atomic.incr mismatches)
               !pending))
   in
@@ -313,9 +318,7 @@ let test_multi_domain_storm_conservation () =
   let m = Service.metrics svc in
   check_int "no torn or failed results" 0 (Atomic.get mismatches);
   check_int "every submission seen" (submitters * per_submitter) (Svc_metrics.submitted m);
-  check_int "conservation: submitted = completed + rejected + timed-out"
-    (Svc_metrics.submitted m)
-    (Svc_metrics.completed m + Svc_metrics.rejected m + Svc_metrics.timed_out m);
+  check_bool "conservation: submitted fully bucketed" true (Svc_metrics.conserved m);
   check_int "no failures" 0 (Svc_metrics.failed m);
   check_bool "deadlines fired" true (Svc_metrics.timed_out m > 0);
   check_bool "queue never exceeded its bound" true (Svc_metrics.queue_depth_peak m <= 8);
@@ -352,6 +355,352 @@ let test_loadgen_closed_loop () =
   check_bool "parameterized repeats hit the cache" true
     (stats.Lq_core.Query_cache.hits > 0)
 
+(* ------------------------------------------------------------------ *)
+(* the fault substrate: taxonomy, injection, breakers, governor *)
+
+let with_injection spec_s f =
+  match Lq_fault.Inject.parse_spec spec_s with
+  | Error e -> Alcotest.failf "bad test spec %S: %s" spec_s e
+  | Ok spec ->
+    Lq_fault.Inject.enable spec;
+    Fun.protect ~finally:Lq_fault.Inject.disable f
+
+let test_fault_classify () =
+  (* the catalog registered a classifier for Unsupported at module init *)
+  let f =
+    Lq_fault.classify (Lq_catalog.Engine_intf.Unsupported "no joins here")
+  in
+  check_bool "Unsupported classified" true (f.Lq_fault.kind = Lq_fault.Unsupported);
+  (* a Fault passes through, picking up the stage when it had none *)
+  let g =
+    Lq_fault.classify ~stage:"execute"
+      (Lq_fault.Fault (Lq_fault.make Lq_fault.Transient "blip"))
+  in
+  check_string "stage filled in" "execute" g.Lq_fault.stage;
+  check_bool "kind preserved" true (g.Lq_fault.kind = Lq_fault.Transient);
+  (* unknown exceptions land on the default kind *)
+  let h = Lq_fault.classify ~default:Lq_fault.Codegen_error (Failure "boom") in
+  check_bool "default kind" true (h.Lq_fault.kind = Lq_fault.Codegen_error);
+  check_bool "transient is retryable" true
+    (Lq_fault.is_transient (Lq_fault.make Lq_fault.Transient ""));
+  check_bool "unsupported never trips breakers" false
+    (Lq_fault.counts_for_breaker Lq_fault.Unsupported);
+  check_bool "internal trips breakers" true
+    (Lq_fault.counts_for_breaker Lq_fault.Internal)
+
+let test_inject_determinism () =
+  (match Lq_fault.Inject.parse_spec "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "clause without '=' must be rejected");
+  (match Lq_fault.Inject.parse_spec "p/x=1.5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "probability beyond 1 must be rejected");
+  let spec_s = "seed=123;p/x=0.3:internal" in
+  let draw_seq () =
+    with_injection spec_s (fun () ->
+        List.init 200 (fun _ ->
+            match Lq_fault.Inject.hit "p/x" with
+            | () -> false
+            | exception Lq_fault.Fault f ->
+              check_bool "injected kind from spec" true
+                (f.Lq_fault.kind = Lq_fault.Internal);
+              true))
+  in
+  let a = draw_seq () in
+  let b = draw_seq () in
+  check_bool "same seed replays the same decision sequence" true (a = b);
+  let fired = List.length (List.filter Fun.id a) in
+  check_bool
+    (Printf.sprintf "fire rate near p (fired %d/200)" fired)
+    true
+    (fired > 30 && fired < 90);
+  (* disabled and unknown points are no-ops *)
+  Lq_fault.Inject.hit "p/x";
+  with_injection spec_s (fun () -> Lq_fault.Inject.hit "p/other")
+
+let test_breaker_state_machine () =
+  let config =
+    { Lq_fault.Breaker.failure_threshold = 2; window = 4; cooldown_ms = 100.0 }
+  in
+  let br = Lq_fault.Breaker.create ~config () in
+  let admit now = Lq_fault.Breaker.admit br ~now_ms:now in
+  let record now ok = Lq_fault.Breaker.record br ~now_ms:now ~ok in
+  check_bool "starts closed" true (Lq_fault.Breaker.state br = Lq_fault.Breaker.Closed);
+  check_bool "closed admits" true (admit 0.0 = `Admit);
+  check_bool "one failure stays closed" true (record 0.0 false = `None);
+  check_bool "successes dilute" true (record 1.0 true = `None);
+  check_bool "second failure in window opens" true (record 2.0 false = `Opened);
+  check_bool "open" true (Lq_fault.Breaker.state br = Lq_fault.Breaker.Open);
+  check_bool "open fast-fails" true (admit 3.0 = `Fast_fail);
+  check_bool "still open before cooldown" true (admit 50.0 = `Fast_fail);
+  check_bool "cooldown elapses into a probe" true (admit 103.0 = `Probe);
+  check_bool "half-open" true (Lq_fault.Breaker.state br = Lq_fault.Breaker.Half_open);
+  check_bool "only one probe in flight" true (admit 104.0 = `Fast_fail);
+  check_bool "probe failure re-opens" true (record 105.0 false = `Opened);
+  check_bool "re-opened" true (Lq_fault.Breaker.state br = Lq_fault.Breaker.Open);
+  check_bool "second cooldown, second probe" true (admit 210.0 = `Probe);
+  check_bool "probe success recloses" true (record 211.0 true = `Reclosed);
+  check_bool "closed again" true (Lq_fault.Breaker.state br = Lq_fault.Breaker.Closed);
+  (* the reclose reset the window: one failure must not re-open *)
+  check_bool "fresh window after reclose" true (record 212.0 false = `None);
+  let s = Lq_fault.Breaker.stats br in
+  check_int "opened twice" 2 s.Lq_fault.Breaker.opened;
+  check_int "probed twice" 2 s.Lq_fault.Breaker.probes;
+  check_int "reclosed once" 1 s.Lq_fault.Breaker.reclosed;
+  check_bool "fast-fails counted" true (s.Lq_fault.Breaker.fast_fails >= 3)
+
+let test_governor_budgets () =
+  check_bool "no ambient budget outside with_budget" true
+    (Lq_fault.Governor.usage () = None);
+  (* charging with no budget installed is a no-op *)
+  Lq_fault.Governor.charge_rows 1_000_000;
+  Lq_fault.Governor.charge_bytes 1_000_000;
+  let budget = { Lq_fault.Governor.max_rows = Some 10; max_bytes = Some 100 } in
+  (match
+     Lq_fault.Governor.with_budget budget (fun () ->
+         Lq_fault.Governor.charge_rows 4;
+         Lq_fault.Governor.charge_rows 6;
+         Lq_fault.Governor.charge_bytes 50;
+         Lq_fault.Governor.usage ())
+   with
+  | Some (10, 50) -> ()
+  | other ->
+    Alcotest.failf "usage tracked wrong: %s"
+      (match other with
+      | None -> "None"
+      | Some (r, b) -> Printf.sprintf "(%d, %d)" r b));
+  (match Lq_fault.Governor.with_budget budget (fun () -> Lq_fault.Governor.charge_rows 11) with
+  | () -> Alcotest.fail "row budget breach must raise"
+  | exception Lq_fault.Fault f ->
+    check_bool "typed Resource_exhausted" true
+      (f.Lq_fault.kind = Lq_fault.Resource_exhausted));
+  (match
+     Lq_fault.Governor.with_budget budget (fun () ->
+         Lq_fault.Governor.charge_bytes 101)
+   with
+  | () -> Alcotest.fail "byte budget breach must raise"
+  | exception Lq_fault.Fault f ->
+    check_bool "typed Resource_exhausted" true
+      (f.Lq_fault.kind = Lq_fault.Resource_exhausted));
+  check_bool "budget scope popped after breach" true
+    (Lq_fault.Governor.usage () = None)
+
+(* ------------------------------------------------------------------ *)
+(* resilience through the service: retry, breakers, governor, supervision *)
+
+(* Fails its first [failures] prepare calls with a Transient fault, then
+   behaves exactly like the interpreter — the retry loop must absorb the
+   failures without ever reaching the fallback. *)
+let flaky_engine ~failures =
+  let base = Lq_core.Engines.linq_to_objects in
+  let remaining = Atomic.make failures in
+  {
+    Lq_catalog.Engine_intf.name = "flaky";
+    describe = "transiently failing test engine";
+    caps = base.Lq_catalog.Engine_intf.caps;
+    prepare =
+      (fun ?instr plan ctx ->
+        if Atomic.fetch_and_add remaining (-1) > 0 then
+          Lq_fault.error ~stage:"prepare" Lq_fault.Transient "flaky prepare"
+        else base.Lq_catalog.Engine_intf.prepare ?instr plan ctx);
+  }
+
+let always_internal =
+  {
+    Lq_catalog.Engine_intf.name = "always-internal";
+    describe = "test engine that always blows up";
+    caps = Lq_catalog.Engine_intf.caps_any;
+    prepare =
+      (fun ?instr _ _ ->
+        ignore instr;
+        Lq_fault.error ~stage:"prepare" Lq_fault.Internal "boom by construction");
+  }
+
+let test_retry_recovers_transient () =
+  let prov, svc = make_service ~domains:1 () in
+  (match Service.run_sync svc ~engine:(flaky_engine ~failures:2) q_paris with
+  | Ok { Request.outcome = Request.Completed { rows; engine; degraded }; _ } ->
+    check_string "flaky engine itself answered" "flaky" engine;
+    check_bool "not degraded: retries absorbed the faults" false degraded;
+    Lq_testkit.check_rows "rows match the oracle" (Provider.reference prov q_paris) rows
+  | Ok r ->
+    Alcotest.failf "expected completion, got %s" (Request.outcome_kind r.Request.outcome)
+  | Error _ -> Alcotest.fail "admission should succeed");
+  let m = Service.metrics svc in
+  check_int "two retries recorded" 2 (Svc_metrics.retried m);
+  check_int "no degradation" 0 (Svc_metrics.degraded m);
+  Service.shutdown svc;
+  check_bool "conserved" true (Svc_metrics.conserved m)
+
+let test_breaker_opens_and_fast_fails () =
+  let cat = Lq_testkit.sales_catalog ~n:60 () in
+  let prov = Provider.create cat in
+  let config =
+    {
+      Service.default_config with
+      domains = 1;
+      breaker =
+        (* long cooldown: the breaker must stay open for the whole test *)
+        Some
+          { Lq_fault.Breaker.failure_threshold = 2; window = 8; cooldown_ms = 60_000.0 };
+    }
+  in
+  let svc = Service.create ~config prov in
+  for _ = 1 to 4 do
+    match Service.run_sync svc ~engine:always_internal q_paris with
+    | Ok { Request.outcome = Request.Completed { degraded = true; engine; _ }; _ } ->
+      check_string "ladder absorbed the blow-up" "linq-to-objects" engine
+    | Ok r ->
+      Alcotest.failf "expected degraded completion, got %s"
+        (Request.outcome_kind r.Request.outcome)
+    | Error _ -> Alcotest.fail "admission should succeed"
+  done;
+  check_bool "breaker open after repeated failures" true
+    (Service.breaker_state svc ~engine:"always-internal" = Some Lq_fault.Breaker.Open);
+  check_bool "fallback breaker untouched" true
+    (Service.breaker_state svc ~engine:"linq-to-objects" = Some Lq_fault.Breaker.Closed);
+  let m = Service.metrics svc in
+  check_int "one open transition" 1 (Svc_metrics.breaker_opened m);
+  check_bool "later requests fast-failed without paying codegen" true
+    (Svc_metrics.breaker_fast_fails m >= 2);
+  check_int "every request still completed (degraded)" 4 (Svc_metrics.completed m);
+  check_int "all four degraded" 4 (Svc_metrics.degraded m);
+  Service.shutdown svc;
+  check_bool "conserved" true (Svc_metrics.conserved m)
+
+let test_governor_budget_fails_typed () =
+  let cat = Lq_testkit.sales_catalog ~n:120 () in
+  let prov = Provider.create cat in
+  (* warm the provider outside any budget: lazy table loads and plan
+     compilation must not be charged to the first budgeted request *)
+  ignore (Provider.run prov ~engine:Lq_core.Engines.linq_to_objects q_all);
+  let config =
+    {
+      Service.default_config with
+      domains = 1;
+      budget = { Lq_fault.Governor.max_rows = Some 5; max_bytes = None };
+    }
+  in
+  let svc = Service.create ~config prov in
+  (* q_all materializes 120 rows against a 5-row budget *)
+  (match Service.run_sync svc q_all with
+  | Ok { Request.outcome = Request.Failed { fault; _ }; _ } ->
+    check_bool "typed Resource_exhausted, no fallback attempted" true
+      (fault.Lq_fault.kind = Lq_fault.Resource_exhausted)
+  | Ok r ->
+    Alcotest.failf "expected Failed, got %s" (Request.outcome_kind r.Request.outcome)
+  | Error _ -> Alcotest.fail "admission should succeed");
+  (* a small result fits the same budget *)
+  (match Service.run_sync svc (q_qty 90) with
+  | Ok { Request.outcome = Request.Completed { degraded; _ }; _ } ->
+    check_bool "small query under budget completes clean" false degraded
+  | Ok r ->
+    Alcotest.failf "expected completion, got %s" (Request.outcome_kind r.Request.outcome)
+  | Error _ -> Alcotest.fail "admission should succeed");
+  let m = Service.metrics svc in
+  check_int "resource failure bucketed by kind" 1
+    (Lq_metrics.Counters.count (Svc_metrics.counters m) "service/failed/resource");
+  check_int "no degradation: resource faults skip the ladder" 0 (Svc_metrics.degraded m);
+  Service.shutdown svc;
+  check_bool "conserved" true (Svc_metrics.conserved m)
+
+let test_worker_supervision () =
+  with_injection "seed=7;service/worker=1.0:internal" (fun () ->
+      let _, svc = make_service ~domains:2 ~queue:32 () in
+      let futs =
+        List.init 10 (fun _ ->
+            match Service.submit svc q_all with
+            | Ok fut -> fut
+            | Error _ -> Alcotest.fail "admission should succeed")
+      in
+      List.iter
+        (fun fut ->
+          match Future.await_for ~timeout_ms:30_000.0 fut with
+          | None -> Alcotest.fail "future hung after its worker crashed"
+          | Some resp -> (
+            match resp.Request.outcome with
+            | Request.Failed { fault; _ } ->
+              check_bool "crash surfaced as typed Internal" true
+                (fault.Lq_fault.kind = Lq_fault.Internal)
+            | other ->
+              Alcotest.failf "expected Failed, got %s" (Request.outcome_kind other)))
+        futs;
+      Service.shutdown svc;
+      let m = Service.metrics svc in
+      check_bool "every crash respawned a worker" true
+        (Svc_metrics.worker_crashes m >= 10);
+      check_int "every job resolved exactly once" 10 (Svc_metrics.failed m);
+      check_bool "conserved despite 10 worker deaths" true (Svc_metrics.conserved m))
+
+(* The acceptance storm: 4 Domains, 520 requests, seeded injection on
+   codegen, execute, staging and the workers themselves. Every future
+   must resolve, accounting must conserve exactly, and at least one
+   breaker must complete a full open -> half-open -> closed cycle. *)
+let test_chaos_storm () =
+  with_injection
+    "seed=1234;provider/prepare=0.05:codegen;provider/execute=0.08:internal;hybrid/staging=0.05:transient;service/worker=0.01:internal"
+    (fun () ->
+      let cat = Lq_testkit.sales_catalog ~n:300 () in
+      let prov = Provider.create cat in
+      let config =
+        {
+          Service.default_config with
+          domains = 4;
+          queue_capacity = 64;
+          breaker =
+            Some
+              {
+                Lq_fault.Breaker.failure_threshold = 2;
+                window = 16;
+                (* short cooldown relative to the storm's duration, so
+                   open breakers get probed while requests still flow *)
+                cooldown_ms = 2.0;
+              };
+        }
+      in
+      let svc = Service.create ~config prov in
+      let queries = Array.of_list (List.map q_qty [ 5; 15; 25; 35 ]) in
+      let submitters = 4 and per_submitter = 130 in
+      let hung = Atomic.make 0 in
+      let clients =
+        (* closed loop: each client awaits its request before the next,
+           so (nearly) every submission is admitted and actually runs
+           through the injected fault points *)
+        List.init submitters (fun s ->
+            Domain.spawn (fun () ->
+                let rng = Lq_exec.Prng.create (900 + s) in
+                for _ = 1 to per_submitter do
+                  let q = queries.(Lq_exec.Prng.int rng (Array.length queries)) in
+                  match
+                    Service.submit svc ~engine:Lq_core.Engines.compiled_csharp q
+                  with
+                  | Ok fut -> (
+                    match Future.await_for ~timeout_ms:30_000.0 fut with
+                    | None -> Atomic.incr hung
+                    | Some _ -> ())
+                  | Error (Service.Overloaded _) -> ()
+                  | Error Service.Shutting_down -> Alcotest.fail "premature shutdown"
+                done))
+      in
+      List.iter Domain.join clients;
+      Service.shutdown svc;
+      let m = Service.metrics svc in
+      if Sys.getenv_opt "CHAOS_DEBUG" <> None then begin
+        Printf.eprintf "%s\n" (Service.report svc);
+        Printf.eprintf "%s\n" (Lq_fault.Inject.report ())
+      end;
+      check_int "no hung futures" 0 (Atomic.get hung);
+      check_int "every submission seen" (submitters * per_submitter)
+        (Svc_metrics.submitted m);
+      check_bool "conservation holds under chaos" true (Svc_metrics.conserved m);
+      check_bool "injection actually fired" true
+        (List.exists (fun (_, n) -> n > 0) (Lq_fault.Inject.fired ()));
+      check_bool "at least one breaker opened" true (Svc_metrics.breaker_opened m >= 1);
+      check_bool "at least one breaker reclosed after a probe" true
+        (Svc_metrics.breaker_reclosed m >= 1);
+      check_bool "faults were absorbed or typed, never dropped" true
+        (Svc_metrics.completed m + Svc_metrics.failed m > 0))
+
 let () =
   Alcotest.run "service"
     [
@@ -378,10 +727,29 @@ let () =
           Alcotest.test_case "fallback disabled fails typed" `Quick
             test_fallback_disabled_fails_typed;
         ] );
+      ( "faults",
+        [
+          Alcotest.test_case "taxonomy and classifier" `Quick test_fault_classify;
+          Alcotest.test_case "seeded injection determinism" `Quick
+            test_inject_determinism;
+          Alcotest.test_case "breaker state machine" `Quick test_breaker_state_machine;
+          Alcotest.test_case "governor budgets" `Quick test_governor_budgets;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "retry recovers transient" `Quick
+            test_retry_recovers_transient;
+          Alcotest.test_case "breaker opens and fast-fails" `Quick
+            test_breaker_opens_and_fast_fails;
+          Alcotest.test_case "governor budget fails typed" `Quick
+            test_governor_budget_fails_typed;
+          Alcotest.test_case "worker supervision" `Quick test_worker_supervision;
+        ] );
       ( "storm",
         [
           Alcotest.test_case "multi-domain conservation" `Quick
             test_multi_domain_storm_conservation;
           Alcotest.test_case "loadgen closed loop" `Quick test_loadgen_closed_loop;
+          Alcotest.test_case "seeded chaos" `Quick test_chaos_storm;
         ] );
     ]

@@ -231,6 +231,38 @@ let test_pagelist_errors () =
     (Invalid_argument "Pagelist: row wider than a page") (fun () ->
       ignore (Pagelist.create_staged ~page_bytes:8 ~row_width:16 ()))
 
+let test_pagelist_governor_budget () =
+  (* without an ambient budget, staging is uncharged *)
+  let pl = Pagelist.create_staged ~page_bytes:64 ~row_width:16 () in
+  for _ = 1 to 20 do
+    ignore (Pagelist.alloc pl)
+  done;
+  check_int "unbudgeted staging unrestricted" 20 (Pagelist.total_rows pl);
+  (* a row budget trips mid-staging with a typed Resource_exhausted *)
+  let budget = { Lq_fault.Governor.max_rows = Some 6; max_bytes = None } in
+  (match
+     Lq_fault.Governor.with_budget budget (fun () ->
+         let pl = Pagelist.create_staged ~page_bytes:64 ~row_width:16 () in
+         for _ = 1 to 10 do
+           ignore (Pagelist.alloc pl)
+         done)
+   with
+  | () -> Alcotest.fail "row budget should have tripped"
+  | exception Lq_fault.Fault f ->
+    check_bool "typed Resource_exhausted" true
+      (f.Lq_fault.kind = Lq_fault.Resource_exhausted);
+    check_str "charged at the staging stage" "staging" f.Lq_fault.stage);
+  (* a byte budget trips on page allocation, before any row fits *)
+  let budget = { Lq_fault.Governor.max_rows = None; max_bytes = Some 63 } in
+  match
+    Lq_fault.Governor.with_budget budget (fun () ->
+        ignore (Pagelist.alloc (Pagelist.create_staged ~page_bytes:64 ~row_width:16 ())))
+  with
+  | () -> Alcotest.fail "byte budget should have tripped"
+  | exception Lq_fault.Fault f ->
+    check_bool "typed Resource_exhausted" true
+      (f.Lq_fault.kind = Lq_fault.Resource_exhausted)
+
 (* --- mapping --- *)
 
 let nested_ty = Schema.to_vtype Lq_testkit.nested_schema
@@ -302,6 +334,7 @@ let () =
           Alcotest.test_case "staged" `Quick test_pagelist_staged;
           Alcotest.test_case "buffered" `Quick test_pagelist_buffered;
           Alcotest.test_case "errors" `Quick test_pagelist_errors;
+          Alcotest.test_case "governor budget" `Quick test_pagelist_governor_budget;
         ] );
       ( "mapping",
         [
