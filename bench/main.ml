@@ -725,6 +725,43 @@ let extensions () =
     Lq_tpch.Queries.extended
 
 (* ------------------------------------------------------------------ *)
+(* tracing overhead: the off-path must stay one atomic load *)
+
+let trace_overhead () =
+  header "Tracing overhead: span-point cost with tracing off vs on";
+  let module Trace = Lq_trace.Trace in
+  let span_point () =
+    Trace.with_span Trace.Execute "bench" (fun () -> Sys.opaque_identity ())
+  in
+  let time_loop n f =
+    let t0 = now_ms () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (now_ms () -. t0) *. 1e6 /. float_of_int n
+  in
+  (* warm up, then measure the disabled fast path (no live trace in the
+     whole process: one atomic load and a branch per span point) *)
+  ignore (time_loop 10_000 span_point);
+  let off_ns = time_loop 1_000_000 span_point in
+  let tr = Trace.start ~label:"bench" () in
+  let on_ns = Trace.with_trace tr (fun () -> time_loop 200_000 span_point) in
+  Trace.finish tr;
+  Printf.printf "  span point, tracing off %10.1f ns\n" off_ns;
+  Printf.printf "  span point, tracing on  %10.1f ns   (%d spans recorded)\n%!" on_ns
+    (List.length (Trace.spans tr));
+  (* end-to-end: a warm compiled query untraced vs traced *)
+  let prov = Lazy.force provider in
+  let w = Lq_tpch.Workloads.aggregation in
+  let params = Lq_tpch.Workloads.params ~sel:1.0 in
+  let untraced = time_query prov Lq_core.Engines.compiled_c w params in
+  let tr = Trace.start ~label:"bench-e2e" () in
+  let traced =
+    Trace.with_trace tr (fun () -> time_query prov Lq_core.Engines.compiled_c w params)
+  in
+  Trace.finish tr;
+  Printf.printf "  warm query, untraced    %10.3f ms\n" untraced;
+  Printf.printf "  warm query, traced      %10.3f ms\n%!" traced
 
 let all_experiments =
   [
@@ -741,6 +778,7 @@ let all_experiments =
     ("codegen", codegen);
     ("extensions", extensions);
     ("bechamel", bechamel_micro);
+    ("trace", trace_overhead);
   ]
 
 let () =

@@ -6,9 +6,13 @@
      run     [-e] [-q]    run a TPC-H query on an engine
      plan    [-e] [-q]    show the optimized tree and generated source
      explain [-e] [-q]    show the lowered physical plan + capability verdict
+                          (--trace adds a traced run's span tree)
      profile [-e] [-q]    run under the cache simulator
+     trace   [QUERY]      run one query through the service with tracing on
+                          and print the span tree (+ Chrome JSON via --out)
      serve   [...]        run a load-generated workload against the
-                          multi-Domain query service *)
+                          multi-Domain query service (--trace-sample /
+                          --trace-out export the slowest sampled traces) *)
 
 open Cmdliner
 open Lq_value
@@ -131,20 +135,49 @@ let plan_cmd =
   in
   Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
 
+(* One traced provider run: installs a fresh span tree, executes, and
+   returns the finished trace (also noted in the slow-query ring). *)
+let traced_run provider ~engine ~label ?profile query =
+  let tr = Lq_trace.Trace.start ~label () in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Lq_trace.Trace.finish tr;
+        Lq_trace.Trace.Ring.note Lq_trace.Trace.slow_log tr)
+      (fun () ->
+        Lq_trace.Trace.with_trace tr (fun () ->
+            Lq_core.Provider.run provider ~engine ?profile
+              ~params:Lq_tpch.Queries.extended_params query))
+  in
+  (tr, result)
+
 let explain_cmd =
   let doc = "Show the lowered physical plan and the engine's capability verdict." in
-  let run sf engine_name query_name =
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Also run the query once with tracing on and print the span tree.")
+  in
+  let run sf engine_name query_name with_trace =
     let _, provider = load sf in
     let engine = resolve_engine engine_name in
     let query = resolve_query query_name in
     let rendered, verdict = Lq_core.Provider.explain provider ~engine query in
     Printf.printf "=== physical plan (shared lowering) ===\n%s\n" rendered;
-    match verdict with
+    (match verdict with
     | Ok () -> Printf.printf "engine %s: supported\n" engine.Engine_intf.name
     | Error reason ->
-      Printf.printf "engine %s: unsupported — %s\n" engine.Engine_intf.name reason
+      Printf.printf "engine %s: unsupported — %s\n" engine.Engine_intf.name reason);
+    if with_trace then
+      match traced_run provider ~engine ~label:query_name query with
+      | exception Engine_intf.Unsupported msg -> Printf.printf "unsupported: %s\n" msg
+      | tr, rows ->
+        Printf.printf "\n=== trace (%d rows) ===\n%s" (List.length rows)
+          (Lq_trace.Tree.to_string tr)
   in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ sf_arg $ engine_arg $ query_arg $ trace_arg)
 
 let profile_cmd =
   let doc = "Run a query under the trace-driven cache simulator." in
@@ -163,6 +196,77 @@ let profile_cmd =
         (Lq_cachesim.Hierarchy.report hierarchy)
   in
   Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ sf_arg $ engine_arg $ query_arg)
+
+let trace_cmd =
+  let doc =
+    "Run one query through the query service with tracing forced on, print the \
+     span tree and the phase profile of the completing attempt."
+  in
+  let query_pos =
+    Arg.(
+      value & pos 0 string "Q1"
+      & info [] ~docv:"QUERY" ~doc:(Printf.sprintf "TPC-H query: %s." query_names))
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the trace as Chrome trace_event JSON (loadable in \
+             chrome://tracing and Perfetto).")
+  in
+  let run sf engine_name query_name out =
+    let _, provider = load sf in
+    let engine = resolve_engine engine_name in
+    let query = resolve_query query_name in
+    let profile = Lq_metrics.Profile.create () in
+    let config = { Lq_service.Service.default_config with domains = 1 } in
+    let svc = Lq_service.Service.create ~config provider in
+    let result =
+      Lq_service.Service.run_sync svc ~label:query_name ~engine
+        ~params:Lq_tpch.Queries.extended_params ~trace:true ~profile query
+    in
+    Lq_service.Service.shutdown svc;
+    match result with
+    | Error rej ->
+      Printf.eprintf "rejected: %s\n" (Lq_service.Service.rejection_to_string rej);
+      exit 1
+    | Ok resp -> (
+      Printf.printf "%s\n" (Lq_service.Request.response_to_string resp);
+      match resp.Lq_service.Request.trace with
+      | None -> print_endline "(no trace recorded)"
+      | Some tr ->
+        Printf.printf "\n%s" (Lq_trace.Tree.to_string tr);
+        if Lq_metrics.Profile.phases profile <> [] then begin
+          Printf.printf "\n== phase profile (completing attempt) ==\n%s\n"
+            (Lq_metrics.Profile.to_string profile);
+          (* Hybrid reconciliation: the trace's staging / native-op /
+             return-result spans and the profile derive from the same
+             clock samples, so their sums should agree. *)
+          let span_sum =
+            List.fold_left
+              (fun acc (sp : Lq_trace.Trace.span) ->
+                match sp.Lq_trace.Trace.kind with
+                | Lq_trace.Trace.Staging | Lq_trace.Trace.Native_op
+                | Lq_trace.Trace.Return_result ->
+                  acc +. Float.max 0.0 sp.Lq_trace.Trace.dur_ms
+                | _ -> acc)
+              0.0 (Lq_trace.Trace.spans tr)
+          in
+          if span_sum > 0.0 then
+            Printf.printf "staging+native+return spans %.3f ms vs profile total %.3f ms\n"
+              span_sum
+              (Lq_metrics.Profile.total_ms profile)
+        end;
+        (match out with
+        | None -> ()
+        | Some path ->
+          Lq_trace.Chrome.write_file ~path [ tr ];
+          Printf.printf "chrome trace written to %s\n" path))
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ sf_arg $ engine_arg $ query_pos $ out_arg)
 
 let serve_cmd =
   let doc =
@@ -236,11 +340,29 @@ let serve_cmd =
       & info [ "max-bytes" ] ~docv:"N"
           ~doc:"Per-request staged-byte budget; 0 means unlimited.")
   in
+  let trace_sample_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "trace-sample" ] ~docv:"P"
+          ~doc:
+            "Head-sample this fraction of requests with a span tree (0 disables; \
+             defaults to 1 when $(b,--trace-out) is given).")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "After the run, write the slowest sampled traces as Chrome trace_event \
+             JSON (chrome://tracing / Perfetto).")
+  in
   let default_chaos_spec =
     "seed=42;provider/prepare=0.05:codegen;provider/execute=0.05:transient;hybrid/staging=0.05:transient"
   in
   let run sf engine_name domains queue rate clients requests deadline_ms chaos fault_spec
-      max_rows max_bytes =
+      max_rows max_bytes trace_sample trace_out =
     (match
        match (fault_spec, chaos, Sys.getenv_opt "LQ_FAULT_SPEC") with
        | Some s, _, _ -> Some s
@@ -265,8 +387,22 @@ let serve_cmd =
         max_bytes = (if max_bytes > 0 then Some max_bytes else None);
       }
     in
+    let trace_sample =
+      if trace_sample <= 0.0 && trace_out <> None then 1.0 else trace_sample
+    in
+    let sampler =
+      if trace_sample > 0.0 then
+        Some (Lq_trace.Trace.Sampler.create ~p:trace_sample ())
+      else None
+    in
     let config =
-      { Lq_service.Service.default_config with domains; queue_capacity = queue; budget }
+      {
+        Lq_service.Service.default_config with
+        domains;
+        queue_capacity = queue;
+        budget;
+        sampler;
+      }
     in
     let svc = Lq_service.Service.create ~config provider in
     let workload =
@@ -299,6 +435,15 @@ let serve_cmd =
     Printf.printf "\n== service (post-shutdown) ==\n%s" (Lq_service.Service.report svc);
     if Lq_fault.Inject.enabled () then
       Printf.printf "\n== fault injection ==\n%s" (Lq_fault.Inject.report ());
+    (match trace_out with
+    | None -> ()
+    | Some path -> (
+      match Lq_trace.Trace.Ring.slowest Lq_trace.Trace.slow_log with
+      | [] -> Printf.printf "\nno sampled traces to export\n"
+      | traces ->
+        Lq_trace.Chrome.write_file ~path traces;
+        Printf.printf "\n%d slowest sampled trace(s) written to %s\n"
+          (List.length traces) path));
     if not (Lq_service.Loadgen.conserved report) then begin
       Printf.eprintf "request accounting NOT conserved\n";
       exit 1
@@ -308,7 +453,7 @@ let serve_cmd =
     Term.(
       const run $ sf_arg $ engine_arg $ domains_arg $ queue_arg $ rate_arg $ clients_arg
       $ requests_arg $ deadline_arg $ chaos_arg $ fault_spec_arg $ max_rows_arg
-      $ max_bytes_arg)
+      $ max_bytes_arg $ trace_sample_arg $ trace_out_arg)
 
 let () =
   let doc = "query compilation for managed runtimes (VLDB 2014 reproduction)" in
@@ -316,4 +461,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ engines_cmd; tables_cmd; run_cmd; plan_cmd; explain_cmd; profile_cmd; serve_cmd ]))
+          [
+            engines_cmd; tables_cmd; run_cmd; plan_cmd; explain_cmd; profile_cmd;
+            trace_cmd; serve_cmd;
+          ]))

@@ -1,0 +1,36 @@
+(* Standalone trace well-formedness checker for exported Chrome JSON.
+
+   Reads a trace_event document from stdin (or the file named by the
+   first argument), re-validates the span tree encoded in args.id /
+   args.parent — one root per trace, closed spans, parent containment —
+   and exits non-zero listing every violation. verify.sh pipes each
+   engine's [lqcg trace --out] export through this. *)
+
+let read_all ic =
+  let buf = Buffer.create 65536 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 65536
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let () =
+  let json =
+    match Sys.argv with
+    | [| _ |] -> read_all stdin
+    | [| _; path |] ->
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
+    | _ ->
+      prerr_endline "usage: trace_check [trace.json]   (default: stdin)";
+      exit 2
+  in
+  match Lq_trace.Wellformed.check_chrome_json json with
+  | Ok n ->
+    Printf.printf "trace ok: %d events well-formed\n" n;
+    exit 0
+  | Error problems ->
+    Printf.eprintf "trace ill-formed (%d problems):\n" (List.length problems);
+    List.iter (fun p -> Printf.eprintf "  - %s\n" p) problems;
+    exit 1

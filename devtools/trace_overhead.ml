@@ -1,0 +1,54 @@
+(* Tracing off-path overhead guard.
+
+   Every span point in the provider, engines and service compiles to one
+   [Atomic.get] when no trace is live anywhere in the process. This
+   program measures that cost directly — a tight loop over
+   [Trace.with_span] with the live gate down — and fails when it exceeds
+   a generous ceiling, so a regression that puts allocation or locking
+   on the disabled path is caught by verify.sh before it lands.
+
+   The ceiling (100 ns/op by default, override with LQ_TRACE_NS_BUDGET)
+   is ~17x the measured cost on the development container: loose enough
+   to ride out CI noise, tight enough that a mutex or allocation on the
+   off path (hundreds of ns) trips it. *)
+
+module Trace = Lq_trace.Trace
+
+let time_ns f iters =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int iters
+
+let () =
+  let budget_ns =
+    match Sys.getenv_opt "LQ_TRACE_NS_BUDGET" with
+    | Some s -> float_of_string s
+    | None -> 100.0
+  in
+  let iters = 2_000_000 in
+  let span_point () =
+    Trace.with_span Trace.Execute "guard" (fun () -> Sys.opaque_identity ())
+  in
+  (* warm up, then measure three times and keep the fastest: the guard
+     asks "can the off path be this cheap", not "is the machine idle" *)
+  ignore (time_ns span_point 100_000);
+  let best =
+    List.fold_left Float.min infinity
+      (List.init 3 (fun _ -> time_ns span_point iters))
+  in
+  Printf.printf "disabled span point: %.1f ns/op (budget %.0f ns)\n" best budget_ns;
+  if Trace.tracing () then begin
+    prerr_endline "FAIL: tracing reported ambient with no trace installed";
+    exit 1
+  end;
+  if best > budget_ns then begin
+    Printf.eprintf
+      "FAIL: disabled span point costs %.1f ns/op (> %.0f ns budget) — the off \
+       path must stay one atomic load\n"
+      best budget_ns;
+    exit 1
+  end;
+  print_endline "trace overhead ok"

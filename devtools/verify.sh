@@ -87,4 +87,34 @@ case "$out" in
 esac
 echo "   ok: chaos run terminated, accounting conserved, injection armed"
 
+# Trace smoke: one traced query per engine, exported as Chrome JSON and
+# re-validated by the standalone well-formedness checker — the span tree
+# must hold for every engine's execute path, not just the ones the unit
+# tests pick.
+echo "== trace smoke (one traced query per engine, checked) =="
+TRACE_CHECK="_build/default/devtools/trace_check.exe"
+TRACE_OUT="$(mktemp /tmp/lqcg_trace.XXXXXX.json)"
+trap 'rm -f "$TRACE_OUT"' EXIT
+for e in linq-to-objects compiled-csharp compiled-c \
+  'hybrid-csharp-c[max]' 'hybrid-csharp-c[max,buffer]' \
+  'hybrid-csharp-c[min]' 'hybrid-csharp-c[min,buffer]' \
+  sqlserver-interpreted sqlserver-native vectorwise compiled-c-parallel; do
+  if ! out=$("$LQCG" trace Q1 -e "$e" --sf 0.001 --out "$TRACE_OUT" 2>&1); then
+    echo "traced run failed for $e:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  if ! check=$("$TRACE_CHECK" "$TRACE_OUT" 2>&1); then
+    echo "exported trace ill-formed for $e:" >&2
+    echo "$check" >&2
+    exit 1
+  fi
+done
+echo "   ok: 11 engines traced, every export well-formed"
+
+# Overhead guard: with no trace live, every span point must cost one
+# atomic load — a mutex or allocation on the disabled path fails this.
+echo "== trace overhead guard (disabled span points) =="
+_build/default/devtools/trace_overhead.exe
+
 echo "== verify OK =="

@@ -2,6 +2,7 @@ module Ast = Lq_expr.Ast
 module Shape = Lq_expr.Shape
 module Catalog = Lq_catalog.Catalog
 module Engine_intf = Lq_catalog.Engine_intf
+module Trace = Lq_trace.Trace
 
 type t = {
   cat : Catalog.t;
@@ -44,26 +45,28 @@ let optimized t q = Optimizer.run ~options:t.optimizer q
    stage boundary with the stage just finished; raising from it aborts the
    pipeline (the service layer's cooperative deadline cancellation). *)
 let prepare_internal t ~(engine : Engine_intf.t) ?instr ?(checkpoint = fun _ -> ()) q =
-  Lq_fault.Inject.hit "provider/optimize";
   let q =
-    try optimized t q with
-    | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
-    | exn ->
-      raise
-        (Lq_fault.Fault
-           (Lq_fault.classify ~stage:"optimize" ~default:Lq_fault.Codegen_error exn))
+    Trace.with_span Trace.Optimize "optimize" (fun () ->
+        Lq_fault.Inject.hit "provider/optimize";
+        try optimized t q with
+        | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
+        | exn ->
+          raise
+            (Lq_fault.Fault
+               (Lq_fault.classify ~stage:"optimize" ~default:Lq_fault.Codegen_error exn)))
   in
   checkpoint "optimized";
   let consts = Shape.consts q in
   let parameterized, _bindings = Shape.parameterize q in
-  Lq_fault.Inject.hit "provider/lower";
   let plan =
-    try Lq_plan.Lower.lower t.cat parameterized with
-    | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
-    | exn ->
-      raise
-        (Lq_fault.Fault
-           (Lq_fault.classify ~stage:"lower" ~default:Lq_fault.Codegen_error exn))
+    Trace.with_span Trace.Lower "lower" (fun () ->
+        Lq_fault.Inject.hit "provider/lower";
+        try Lq_plan.Lower.lower t.cat parameterized with
+        | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
+        | exn ->
+          raise
+            (Lq_fault.Fault
+               (Lq_fault.classify ~stage:"lower" ~default:Lq_fault.Codegen_error exn)))
   in
   (match Lq_plan.Plan.check engine.Engine_intf.caps plan with
   | Ok () -> ()
@@ -74,18 +77,27 @@ let prepare_internal t ~(engine : Engine_intf.t) ?instr ?(checkpoint = fun _ -> 
      code-generation failure — structurally distinct from an execution
      failure, and the breaker/retry policy above treats them differently. *)
   let compile () =
-    Lq_fault.Inject.hit "provider/prepare";
-    try engine.Engine_intf.prepare ?instr t.cat parameterized with
-    | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
-    | exn ->
-      raise
-        (Lq_fault.Fault
-           (Lq_fault.classify ~stage:"prepare" ~default:Lq_fault.Codegen_error exn))
+    (* The codegen span lives inside the cache-lookup span, so a cache
+       hit structurally cannot contain one — an invariant the trace test
+       suite checks. *)
+    Trace.with_span Trace.Codegen engine.Engine_intf.name (fun () ->
+        Lq_fault.Inject.hit "provider/prepare";
+        try engine.Engine_intf.prepare ?instr t.cat parameterized with
+        | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
+        | exn ->
+          raise
+            (Lq_fault.Fault
+               (Lq_fault.classify ~stage:"prepare" ~default:Lq_fault.Codegen_error exn)))
   in
   let prepared, outcome =
     if t.use_cache && instr = None then
-      Query_cache.find_or_compile t.cache ~engine:engine.Engine_intf.name ~shape
-        ~tables:(Ast.sources_of_query q) ~compile ()
+      Trace.with_span Trace.Cache_lookup "query-cache" (fun () ->
+          let prepared, outcome =
+            Query_cache.find_or_compile t.cache ~engine:engine.Engine_intf.name ~shape
+              ~tables:(Ast.sources_of_query q) ~compile ()
+          in
+          Trace.span_attr "outcome" (match outcome with `Hit -> "hit" | `Miss -> "miss");
+          (prepared, outcome))
     else (compile (), `Miss)
   in
   checkpoint "prepared";
@@ -112,20 +124,22 @@ let run t ~engine ?(params = []) ?profile ?checkpoint q =
   let prepared, _, shape, consts = prepare_internal t ~engine ?checkpoint q in
   let all_params = params @ Query_cache.const_params consts in
   let execute () =
-    Lq_fault.Inject.hit "provider/execute";
-    let rows =
-      try prepared.Engine_intf.execute ?profile ~params:all_params () with
-      | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
-      | exn ->
-        raise
-          (Lq_fault.Fault
-             (Lq_fault.classify ~stage:"execute" ~default:Lq_fault.Internal exn))
-    in
-    (* Materialized result rows count against the ambient per-request
-       budget: a runaway result yields a typed [Resource_exhausted]
-       before it is copied into caches or response futures. *)
-    Lq_fault.Governor.charge_rows ~stage:"materialize" (List.length rows);
-    rows
+    Trace.with_span Trace.Execute engine.Engine_intf.name (fun () ->
+        Lq_fault.Inject.hit "provider/execute";
+        let rows =
+          try prepared.Engine_intf.execute ?profile ~params:all_params () with
+          | (Lq_fault.Fault _ | Engine_intf.Unsupported _) as e -> raise e
+          | exn ->
+            raise
+              (Lq_fault.Fault
+                 (Lq_fault.classify ~stage:"execute" ~default:Lq_fault.Internal exn))
+        in
+        (* Materialized result rows count against the ambient per-request
+           budget: a runaway result yields a typed [Resource_exhausted]
+           before it is copied into caches or response futures. *)
+        Lq_fault.Governor.charge_rows ~stage:"materialize" (List.length rows);
+        Trace.span_attr "rows" (string_of_int (List.length rows));
+        rows)
   in
   match t.results with
   | None -> execute ()
@@ -134,7 +148,13 @@ let run t ~engine ?(params = []) ?profile ?checkpoint q =
        materialized rows without executing. *)
     Lq_fault.Inject.hit "cache/result";
     let key = Result_cache.key ~engine:engine.Engine_intf.name ~shape ~consts ~params in
-    match Result_cache.find rc key with
+    let cached =
+      Trace.with_span Trace.Cache_lookup "result-cache" (fun () ->
+          let found = Result_cache.find rc key in
+          Trace.span_attr "outcome" (if Option.is_some found then "hit" else "miss");
+          found)
+    in
+    match cached with
     | Some rows -> rows
     | None ->
       let rows = execute () in
@@ -167,6 +187,12 @@ let report t =
          rstats.Result_cache.hits rstats.Result_cache.misses
          rstats.Result_cache.evictions rstats.Result_cache.invalidations));
   Buffer.add_string buf (Lq_metrics.Counters.to_string (Query_cache.counters t.cache));
+  (match Trace.Ring.report Trace.slow_log with
+  | "" -> ()
+  | slow ->
+    if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '\n' then
+      Buffer.add_char buf '\n';
+    Buffer.add_string buf slow);
   Buffer.contents buf
 
 let run_instrumented t ~engine ?(params = []) hierarchy q =

@@ -8,6 +8,7 @@ module Split = Lq_plan.Staging
 module Layout = Lq_storage.Layout
 module Rowstore = Lq_storage.Rowstore
 module Profile = Lq_metrics.Profile
+module Trace = Lq_trace.Trace
 
 let unsupported = Engine_intf.unsupported
 
@@ -411,6 +412,11 @@ let make ?(buffered = false) ?(construction = Max) () : Engine_intf.t =
       incr eval_epoch;
       eval_ctx_cell := Some (Catalog.eval_ctx cat ~params);
       let ph = { iterate_ms = 0.0; predicates_ms = 0.0; staging_ms = 0.0 } in
+      (* Wall-clock spent inside staging drivers this execution; the
+         native-op span is the offloaded run minus this, so the trace's
+         staging/native split derives from one set of clock samples
+         (Figs. 8/10/12). *)
+      let staged_ms = ref 0.0 in
       (* Install staging drivers for this execution. *)
       List.iter
         (fun st ->
@@ -508,11 +514,43 @@ let make ?(buffered = false) ?(construction = Max) () : Engine_intf.t =
               if buffered then Rowstore.clear st.store
             end
           in
+          let drive emit =
+            if not (Trace.tracing ()) then drive emit
+            else begin
+              let d0 = Profile.now_ms () in
+              Trace.with_span
+                ~attrs:[ ("source", st.spec.Split.source) ]
+                Trace.Staging
+                ("stage:" ^ st.spec.Split.occ)
+                (fun () -> drive emit);
+              staged_ms := !staged_ms +. (Profile.now_ms () -. d0)
+            end
+          in
           st.driver_cell := drive)
         staged;
+      (* Phase attribution happens per *attempt*: managed-side phases
+         accumulated so far are charged even when the native run or the
+         result construction raises, just like the other engines'
+         [Profile.time] wrappers. A caller running several attempts
+         against one request (the service's retry/fallback ladder) must
+         give each attempt a scratch profile and merge only the
+         completing one, or staging would be double-charged. *)
+      let charged = ref false in
+      let charge_managed p =
+        Profile.add p "Iterate data (C#)" ph.iterate_ms;
+        Profile.add p "Apply predicates (C#)" ph.predicates_ms;
+        Profile.add p "Data staging (C#)" ph.staging_ms
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          match profile with
+          | Some p when not !charged -> charge_managed p
+          | _ -> ())
+      @@ fun () ->
       let t_start = Profile.now_ms () in
       let native_out = Nplan.execute nplan ~params () in
       let t_native = Profile.now_ms () in
+      Lq_fault.Inject.hit "hybrid/result";
       let result =
         match finish with
         | `Native -> native_out
@@ -543,12 +581,21 @@ let make ?(buffered = false) ?(construction = Max) () : Engine_intf.t =
             + (if buffered then st.page_rows else Rowstore.length st.store)
               * Layout.row_width (Rowstore.layout st.store))
           0 staged;
+      if Trace.tracing () then begin
+        (* The staging spans were recorded live by the drivers; the
+           offloaded-operator and return-result spans are derived from
+           the same clock samples, so span sums reconcile with the
+           profile's phase totals. *)
+        Trace.add_span Trace.Native_op (native_phase_label rewritten) ~start_ms:t_start
+          ~dur_ms:(Float.max 0.0 (t_native -. t_start -. !staged_ms));
+        Trace.add_span Trace.Return_result "return-result" ~start_ms:t_native
+          ~dur_ms:(Float.max 0.0 (t_end -. t_native))
+      end;
       (match profile with
       | None -> ()
       | Some p ->
-        Profile.add p "Iterate data (C#)" ph.iterate_ms;
-        Profile.add p "Apply predicates (C#)" ph.predicates_ms;
-        Profile.add p "Data staging (C#)" ph.staging_ms;
+        charged := true;
+        charge_managed p;
         let managed = ph.iterate_ms +. ph.predicates_ms +. ph.staging_ms in
         Profile.add p (native_phase_label rewritten)
           (Float.max 0.0 (t_native -. t_start -. managed));

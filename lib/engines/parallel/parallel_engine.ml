@@ -281,16 +281,30 @@ let make ?name ~domains () : Engine_intf.t =
                   ignore (Lq_storage.Dict.intern (Catalog.dict cat) s : int)
                 | _ -> ())
               params;
+            (* Hand the ambient trace context (if any) to the partition
+               Domains: each re-installs it with its own span buffer, so
+               partition spans land in the submitting request's trace
+               without contending on the coordinator's buffer. *)
+            let tctx = Lq_trace.Trace.current () in
             let handles =
-              List.map
-                (fun plan -> Domain.spawn (fun () -> Nplan.execute plan ~params ()))
+              List.mapi
+                (fun i plan ->
+                  Domain.spawn (fun () ->
+                      Lq_trace.Trace.with_context tctx (fun () ->
+                          Lq_trace.Trace.with_span Lq_trace.Trace.Partition
+                            (Printf.sprintf "partition-%d" (i + 1))
+                            (fun () -> Nplan.execute plan ~params ()))))
                 rest
             in
             (* Join every partition before surfacing any failure — a
                crashed partition must not leak still-running Domains —
                and surface it as a typed fault. *)
             let mine =
-              try Ok (Nplan.execute first ~params ()) with exn -> Error exn
+              try
+                Ok
+                  (Lq_trace.Trace.with_span Lq_trace.Trace.Partition "partition-0"
+                     (fun () -> Nplan.execute first ~params ()))
+              with exn -> Error exn
             in
             let others =
               List.map (fun h -> try Ok (Domain.join h) with exn -> Error exn) handles

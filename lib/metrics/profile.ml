@@ -24,6 +24,8 @@ let phases t =
 
 let total_ms t = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 (phases t)
 
+let merge src ~into = List.iter (fun (name, ms) -> add into name ms) (phases src)
+
 let reset t =
   t.order <- [];
   Hashtbl.reset t.totals

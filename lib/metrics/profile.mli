@@ -23,5 +23,11 @@ val phases : t -> (string * float) list
 (** Accumulated (name, milliseconds), in first-use order. *)
 
 val total_ms : t -> float
+
+val merge : t -> into:t -> unit
+(** Adds every phase of the first profile into [into]. The service uses
+    this to charge a request's profile from a per-attempt scratch
+    profile only when that attempt completes. *)
+
 val reset : t -> unit
 val to_string : t -> string

@@ -17,6 +17,8 @@ type t = {
   deadline : Deadline.t option;
   priority : priority;
   enqueued_ms : float;
+  trace : Lq_trace.Trace.t option;
+  profile : Lq_metrics.Profile.t option;
 }
 
 type outcome =
@@ -39,6 +41,7 @@ type response = {
   queue_ms : float;
   exec_ms : float;
   total_ms : float;
+  trace : Lq_trace.Trace.t option;
 }
 
 let outcome_kind = function

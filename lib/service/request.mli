@@ -23,6 +23,12 @@ type t = {
   deadline : Deadline.t option;
   priority : priority;
   enqueued_ms : float;  (** {!Lq_metrics.Profile.now_ms} at admission *)
+  trace : Lq_trace.Trace.t option;
+      (** span tree opened at admission for sampled requests; the worker
+          installs it as the ambient context for the whole journey *)
+  profile : Lq_metrics.Profile.t option;
+      (** per-request phase profile, charged only from the engine
+          attempt that completes *)
 }
 
 type outcome =
@@ -48,6 +54,7 @@ type response = {
   queue_ms : float;  (** admission → worker pickup *)
   exec_ms : float;  (** worker pickup → outcome *)
   total_ms : float;  (** admission → outcome *)
+  trace : Lq_trace.Trace.t option;  (** the finished span tree, when sampled *)
 }
 
 val outcome_kind : outcome -> string

@@ -2,6 +2,8 @@ module Provider = Lq_core.Provider
 module Engine_intf = Lq_catalog.Engine_intf
 module Breaker = Lq_fault.Breaker
 module Governor = Lq_fault.Governor
+module Trace = Lq_trace.Trace
+module Profile = Lq_metrics.Profile
 
 type config = {
   domains : int;
@@ -13,6 +15,7 @@ type config = {
   retry_base_ms : float;
   retry_cap_ms : float;
   budget : Governor.budget;
+  sampler : Trace.Sampler.t option;
 }
 
 let default_config =
@@ -26,6 +29,7 @@ let default_config =
     retry_base_ms = 1.0;
     retry_cap_ms = 50.0;
     budget = Governor.unlimited;
+    sampler = None;
   }
 
 type job = Request.t * Request.response Future.t
@@ -97,10 +101,21 @@ let breakers_report t =
       entries;
     Buffer.contents buf
 
+(* Close a request's trace (if sampled) and feed it to the process-wide
+   slow-query ring. Every resolution path — normal, crash shield, shed —
+   funnels through here exactly once ([finish] is idempotent). *)
+let seal_trace (req : Request.t) =
+  match req.Request.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.finish tr;
+    Trace.Ring.note Trace.slow_log tr
+
 let process t ((req, fut) : job) =
   let picked = now () in
   let resolve outcome =
     let done_ms = now () in
+    seal_trace req;
     let resp =
       {
         Request.request_id = req.Request.id;
@@ -109,6 +124,7 @@ let process t ((req, fut) : job) =
         queue_ms = picked -. req.Request.enqueued_ms;
         exec_ms = done_ms -. picked;
         total_ms = done_ms -. req.Request.enqueued_ms;
+        trace = req.Request.trace;
       }
     in
     (* Account before fulfilling so a synchronous client that awoke from
@@ -118,9 +134,22 @@ let process t ((req, fut) : job) =
     Svc_metrics.note_outcome t.metrics resp;
     ignore (Future.fulfil fut resp)
   in
+  (* Install the request's trace as this worker's ambient context for
+     the whole journey; the queue-wait span is reconstructed from the
+     admission timestamp. *)
+  let in_request_context f =
+    match req.Request.trace with
+    | None -> f ()
+    | Some tr ->
+      Trace.with_trace tr (fun () ->
+          Trace.add_span Trace.Queue "queue" ~start_ms:req.Request.enqueued_ms
+            ~dur_ms:(picked -. req.Request.enqueued_ms);
+          f ())
+  in
   match Deadline.check ~stage:"queued" req.Request.deadline with
   | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })
-  | () -> (
+  | () ->
+    in_request_context @@ fun () ->
     let checkpoint stage = Deadline.check ~stage req.Request.deadline in
     (* One engine attempt, retried with bounded decorrelated-jitter
        backoff while the classified fault stays [Transient] and the
@@ -129,12 +158,27 @@ let process t ((req, fut) : job) =
     let attempt (engine : Engine_intf.t) =
       let rng = lazy (Lq_exec.Prng.create (0x5eed + req.Request.id)) in
       let rec go attempt_no prev_sleep =
+        (* Each attempt runs against a scratch profile, merged into the
+           request profile only when this attempt completes: a failed
+           attempt's partial phases (e.g. hybrid staging before a native
+           fault) must not be double-charged on top of the attempt that
+           eventually answers. *)
+        let scratch = Option.map (fun _ -> Profile.create ()) req.Request.profile in
         match
-          Governor.with_budget t.config.budget (fun () ->
-              Provider.run t.provider ~engine ~params:req.Request.params ~checkpoint
-                req.Request.query)
+          Trace.with_span
+            ~attrs:
+              [ ("engine", engine.Engine_intf.name); ("n", string_of_int attempt_no) ]
+            Trace.Retry_attempt "attempt"
+            (fun () ->
+              Governor.with_budget t.config.budget (fun () ->
+                  Provider.run t.provider ~engine ?profile:scratch
+                    ~params:req.Request.params ~checkpoint req.Request.query))
         with
-        | rows -> Ok rows
+        | rows ->
+          (match (req.Request.profile, scratch) with
+          | Some p, Some s -> Profile.merge s ~into:p
+          | _ -> ());
+          Ok rows
         | exception (Deadline.Expired _ as e) -> raise e
         | exception exn ->
           let fault =
@@ -171,14 +215,27 @@ let process t ((req, fut) : job) =
       match breaker_for t engine.Engine_intf.name with
       | None -> attempt engine
       | Some br -> (
+        (* Breaker transitions mirror into the trace as instant spans at
+           exactly the counter sites, so traced chaos runs can assert
+           span/counter agreement. *)
+        let breaker_event what =
+          Trace.event
+            ~attrs:[ ("engine", engine.Engine_intf.name) ]
+            Trace.Breaker_event what
+        in
         let record ~ok =
           match Breaker.record br ~now_ms:(now ()) ~ok with
           | `None -> ()
-          | `Opened -> Svc_metrics.note_breaker t.metrics `Opened
-          | `Reclosed -> Svc_metrics.note_breaker t.metrics `Reclosed
+          | `Opened ->
+            breaker_event "opened";
+            Svc_metrics.note_breaker t.metrics `Opened
+          | `Reclosed ->
+            breaker_event "reclosed";
+            Svc_metrics.note_breaker t.metrics `Reclosed
         in
         match Breaker.admit br ~now_ms:(now ()) with
         | `Fast_fail ->
+          breaker_event "fast-fail";
           Svc_metrics.note_breaker t.metrics `Fast_fail;
           Error
             (Lq_fault.make ~stage:"admit" Lq_fault.Transient
@@ -204,7 +261,16 @@ let process t ((req, fut) : job) =
       | Some fb
         when fb.Engine_intf.name <> req.Request.engine.Engine_intf.name
              && fault.Lq_fault.kind <> Lq_fault.Resource_exhausted -> (
-        match attempt_guarded fb with
+        match
+          Trace.with_span
+            ~attrs:
+              [
+                ("engine", fb.Engine_intf.name);
+                ("after", Lq_fault.kind_to_string fault.Lq_fault.kind);
+              ]
+            Trace.Fallback_hop fb.Engine_intf.name
+            (fun () -> attempt_guarded fb)
+        with
         | Ok rows ->
           resolve
             (Request.Completed { rows; engine = fb.Engine_intf.name; degraded = true })
@@ -236,7 +302,7 @@ let process t ((req, fut) : job) =
           (Request.Completed
              { rows; engine = req.Request.engine.Engine_intf.name; degraded = false })
       | Error fault -> fall_back ~fault
-      | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage })))
+      | exception Deadline.Expired stage -> resolve (Request.Timed_out { stage }))
 
 let rec worker_loop t =
   match Request_queue.pop t.queue with
@@ -256,6 +322,7 @@ let rec worker_loop t =
          and supervision respawns it. *)
       if not (Future.is_resolved fut) then begin
         let done_ms = now () in
+        seal_trace req;
         let resp =
           {
             Request.request_id = req.Request.id;
@@ -270,6 +337,7 @@ let rec worker_loop t =
             queue_ms = done_ms -. req.Request.enqueued_ms;
             exec_ms = 0.0;
             total_ms = done_ms -. req.Request.enqueued_ms;
+            trace = req.Request.trace;
           }
         in
         Svc_metrics.note_outcome t.metrics resp;
@@ -317,8 +385,8 @@ let provider t = t.provider
 let metrics t = t.metrics
 let queue_depth t = Request_queue.depth t.queue
 
-let submit t ?label ?(priority = Request.Batch) ?engine ?(params = []) ?deadline_ms query
-    =
+let submit t ?label ?(priority = Request.Batch) ?engine ?(params = []) ?deadline_ms
+    ?trace ?profile query =
   let engine =
     match engine with
     | Some e -> e
@@ -330,18 +398,38 @@ let submit t ?label ?(priority = Request.Batch) ?engine ?(params = []) ?deadline
     | None -> Option.map (fun ms -> Deadline.after ~ms) t.config.default_deadline_ms
   in
   let id = Atomic.fetch_and_add t.next_id 1 in
+  let label = Option.value label ~default:(Printf.sprintf "req-%d" id) in
+  (* Head-sampling: an explicit [?trace] wins; otherwise the config
+     sampler decides (one atomic step); no sampler means no tracing. *)
+  let sampled =
+    match trace with
+    | Some b -> b
+    | None -> (
+      match t.config.sampler with
+      | Some s -> Trace.Sampler.sample s
+      | None -> false)
+  in
+  (* Open the root span before stamping the admission time, so the
+     queue-wait span reconstructed at pickup nests inside it. *)
+  let tr = if sampled then Some (Trace.start ~label ()) else None in
+  let enqueued_ms = now () in
   let req =
     {
       Request.id;
-      label = Option.value label ~default:(Printf.sprintf "req-%d" id);
+      label;
       query;
       engine;
       params;
       deadline;
       priority;
-      enqueued_ms = now ();
+      enqueued_ms;
+      trace = tr;
+      profile;
     }
   in
+  (* A rejected submission never reaches a worker, so its trace must be
+     released here or the live gate would stay raised forever. *)
+  let reject_trace () = Option.iter Trace.finish tr in
   Svc_metrics.note_submitted t.metrics;
   let fut = Future.create () in
   match Request_queue.push t.queue ~priority (req, fut) with
@@ -349,15 +437,17 @@ let submit t ?label ?(priority = Request.Batch) ?engine ?(params = []) ?deadline
     Svc_metrics.observe_queue_depth t.metrics depth;
     Ok fut
   | `Overloaded depth ->
+    reject_trace ();
     Svc_metrics.observe_queue_depth t.metrics depth;
     Svc_metrics.note_rejected t.metrics `Overload;
     Error (Overloaded { depth; capacity = Request_queue.capacity t.queue })
   | `Closed ->
+    reject_trace ();
     Svc_metrics.note_rejected t.metrics `Shutdown;
     Error Shutting_down
 
-let run_sync t ?label ?priority ?engine ?params ?deadline_ms query =
-  match submit t ?label ?priority ?engine ?params ?deadline_ms query with
+let run_sync t ?label ?priority ?engine ?params ?deadline_ms ?trace ?profile query =
+  match submit t ?label ?priority ?engine ?params ?deadline_ms ?trace ?profile query with
   | Error _ as e -> e
   | Ok fut -> Ok (Future.await fut)
 
@@ -371,6 +461,7 @@ let shutdown ?(drain = true) t =
       List.iter
         (fun ((req, fut) : job) ->
           let picked = now () in
+          seal_trace req;
           let resp =
             {
               Request.request_id = req.Request.id;
@@ -379,6 +470,7 @@ let shutdown ?(drain = true) t =
               queue_ms = picked -. req.Request.enqueued_ms;
               exec_ms = 0.0;
               total_ms = picked -. req.Request.enqueued_ms;
+              trace = req.Request.trace;
             }
           in
           Svc_metrics.note_outcome t.metrics resp;

@@ -47,13 +47,17 @@ type config = {
       (** per-request row/byte budget installed around every engine
           attempt; exceeding it fails the request
           {!Lq_fault.Resource_exhausted} with no fallback *)
+  sampler : Lq_trace.Trace.Sampler.t option;
+      (** head-sampler consulted at admission for requests submitted
+          without an explicit [?trace]; [None] disables sampling (the
+          off-path cost of every span point is then one atomic load) *)
 }
 
 val default_config : config
 (** 4 Domains, 64-deep queue, no default deadline, fallback
     [linq-to-objects] (the always-correct interpreter baseline),
     default breakers, 2 retries with 1–50 ms backoff, unlimited
-    budget. *)
+    budget, no trace sampling. *)
 
 type t
 
@@ -87,6 +91,8 @@ val submit :
   ?engine:Lq_catalog.Engine_intf.t ->
   ?params:(string * Lq_value.Value.t) list ->
   ?deadline_ms:float ->
+  ?trace:bool ->
+  ?profile:Lq_metrics.Profile.t ->
   Lq_expr.Ast.query ->
   (Request.response Future.t, rejection) result
 (** Non-blocking: admission happens inline, execution on a worker.
@@ -95,7 +101,14 @@ val submit :
     [default_deadline_ms]. Every call bumps [service/submitted]; an
     [Error] bumps [service/rejected] — the future of an [Ok] always
     resolves (worker crashes included), so accounting stays
-    conserved. *)
+    conserved.
+
+    [trace] forces (or suppresses) a span tree for this request,
+    overriding the config sampler; the finished trace comes back on the
+    response. [profile] receives the per-phase breakdown of the engine
+    attempt that completes the request — failed attempts charge only
+    their own scratch profile, so retries and fallback hops never
+    double-charge a phase. *)
 
 val run_sync :
   t ->
@@ -104,6 +117,8 @@ val run_sync :
   ?engine:Lq_catalog.Engine_intf.t ->
   ?params:(string * Lq_value.Value.t) list ->
   ?deadline_ms:float ->
+  ?trace:bool ->
+  ?profile:Lq_metrics.Profile.t ->
   Lq_expr.Ast.query ->
   (Request.response, rejection) result
 (** [submit] + [Future.await] — the synchronous client. *)

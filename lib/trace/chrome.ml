@@ -1,0 +1,66 @@
+(* Chrome trace_event exporter.
+
+   Emits the JSON Object Format ({"traceEvents": [...]}) with one
+   complete event (ph "X") per span, loadable in chrome://tracing and
+   Perfetto. Timestamps are integer microseconds relative to the
+   earliest root span across the exported traces, so a synthetic-clock
+   trace exports byte-identically run after run (the golden test), and
+   real traces start near zero instead of at an arbitrary monotonic
+   origin.
+
+   Span identity survives the export: args.id / args.parent carry the
+   span tree, which is what lets the standalone checker re-validate
+   nesting from the JSON alone. *)
+
+let us_of ~base ms = int_of_float (Float.round ((ms -. base) *. 1000.0))
+
+let event_of ~base ~pid ~trace_id (sp : Trace.span) =
+  let args =
+    Json.Obj
+      ([
+         ("trace", Json.Int trace_id);
+         ("id", Json.Int sp.Trace.id);
+         ("parent", Json.Int sp.Trace.parent);
+       ]
+      @ List.map (fun (k, v) -> (k, Json.Str v)) (List.rev sp.Trace.attrs))
+  in
+  Json.Obj
+    [
+      ("name", Json.Str sp.Trace.name);
+      ("cat", Json.Str (Trace.kind_to_string sp.Trace.kind));
+      ("ph", Json.Str "X");
+      ("ts", Json.Int (us_of ~base sp.Trace.start_ms));
+      ("dur", Json.Int (us_of ~base:0.0 (Float.max 0.0 sp.Trace.dur_ms)));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int sp.Trace.domain);
+      ("args", args);
+    ]
+
+let events ?(pid = 1) traces =
+  match traces with
+  | [] -> []
+  | _ ->
+    let base =
+      List.fold_left
+        (fun acc tr ->
+          List.fold_left (fun acc sp -> Float.min acc sp.Trace.start_ms) acc (Trace.spans tr))
+        infinity traces
+    in
+    List.concat_map
+      (fun tr ->
+        List.map (event_of ~base ~pid ~trace_id:(Trace.trace_id tr)) (Trace.spans tr))
+      traces
+
+let to_json ?pid traces =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (events ?pid traces));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+let write_file ?pid ~path traces =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ?pid traces))

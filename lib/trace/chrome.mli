@@ -1,0 +1,8 @@
+(** Chrome [trace_event] exporter: one complete ("ph":"X") event per
+    span, integer-microsecond timestamps relative to the earliest root,
+    loadable in chrome://tracing / Perfetto. Deterministic given
+    deterministic spans — the golden test relies on byte stability. *)
+
+val events : ?pid:int -> Trace.t list -> Json.v list
+val to_json : ?pid:int -> Trace.t list -> string
+val write_file : ?pid:int -> path:string -> Trace.t list -> unit

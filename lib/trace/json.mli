@@ -1,0 +1,20 @@
+(** Minimal dependency-free JSON: a value type, a deterministic compact
+    printer (what makes the Chrome exporter's golden test byte-stable)
+    and a strict parser used by the trace well-formedness checker. *)
+
+type v =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of v list
+  | Obj of (string * v) list
+
+val to_string : v -> string
+val parse : string -> (v, string) result
+
+val member : string -> v -> v option
+val to_int : v -> int option
+val to_str : v -> string option
+val to_list : v -> v list option

@@ -1,0 +1,50 @@
+(* Human-readable span-tree printer (lqcg trace / explain --trace).
+
+       request Q1 12.345 ms
+       ├─ queue 0.120 ms
+       └─ retry-attempt attempt-0 11.900 ms [engine=hybrid-csharp-c[max]]
+          ├─ optimize 0.210 ms
+          ...
+
+   Children are ordered by start time; durations are printed with the
+   kind so a breakdown reads like the paper's Figs. 8/10/12. *)
+
+let attrs_to_string = function
+  | [] -> ""
+  | attrs ->
+    " ["
+    ^ String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) (List.rev attrs))
+    ^ "]"
+
+let span_line (sp : Trace.span) =
+  let name =
+    if String.equal sp.Trace.name (Trace.kind_to_string sp.Trace.kind) then sp.Trace.name
+    else Printf.sprintf "%s %s" (Trace.kind_to_string sp.Trace.kind) sp.Trace.name
+  in
+  Printf.sprintf "%s %.3f ms%s" name (Float.max 0.0 sp.Trace.dur_ms)
+    (attrs_to_string sp.Trace.attrs)
+
+let to_string (t : Trace.t) =
+  let spans = Trace.spans t in
+  let children parent =
+    List.filter (fun (sp : Trace.span) -> sp.Trace.parent = parent) spans
+  in
+  let buf = Buffer.create 512 in
+  let rec walk prefix (sp : Trace.span) =
+    let kids = children sp.Trace.id in
+    let last = List.length kids - 1 in
+    List.iteri
+      (fun i kid ->
+        let branch, extend = if i = last then ("└─ ", "   ") else ("├─ ", "│  ") in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s%s\n" prefix branch (span_line kid));
+        walk (prefix ^ extend) kid)
+      kids
+  in
+  (match List.find_opt (fun (sp : Trace.span) -> sp.Trace.parent = 0) spans with
+  | None -> Buffer.add_string buf "(empty trace)\n"
+  | Some root ->
+    Buffer.add_string buf (span_line root);
+    Buffer.add_char buf '\n';
+    walk "" root);
+  Buffer.contents buf

@@ -1,0 +1,4 @@
+(** Span-tree pretty printer for [lqcg trace] and [lqcg explain --trace]. *)
+
+val span_line : Trace.span -> string
+val to_string : Trace.t -> string

@@ -1,0 +1,149 @@
+(* Trace well-formedness: the invariants every finished trace must
+   satisfy, checked both on in-memory span lists (the qcheck suite) and
+   on exported Chrome JSON (the verify.sh smoke, via the standalone
+   checker binary):
+
+   - every span is closed exactly once (duration present and >= 0);
+   - exactly one root, and it is a [Request] span;
+   - every non-root parent exists and was opened before its child
+     (parent id < child id — which also rules out cycles);
+   - parents contain children: a child's [start, start+dur] interval
+     lies within its parent's, up to a small clock epsilon. *)
+
+type problem = string
+
+let check_spans ?(eps_ms = 0.1) (spans : Trace.span list) : (unit, problem list) result =
+  let problems = ref [] in
+  let push fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let by_id = Hashtbl.create (List.length spans * 2) in
+  List.iter
+    (fun (sp : Trace.span) ->
+      if Hashtbl.mem by_id sp.Trace.id then push "duplicate span id %d" sp.Trace.id
+      else Hashtbl.add by_id sp.Trace.id sp)
+    spans;
+  let roots = List.filter (fun (sp : Trace.span) -> sp.Trace.parent = 0) spans in
+  (match roots with
+  | [ root ] ->
+    if root.Trace.kind <> Trace.Request then
+      push "root span %d is %s, not request" root.Trace.id
+        (Trace.kind_to_string root.Trace.kind)
+  | [] -> push "no root span"
+  | _ -> push "%d root spans (want exactly 1)" (List.length roots));
+  List.iter
+    (fun (sp : Trace.span) ->
+      if sp.Trace.dur_ms < 0.0 then
+        push "span %d (%s) never closed" sp.Trace.id sp.Trace.name;
+      if sp.Trace.parent <> 0 then
+        match Hashtbl.find_opt by_id sp.Trace.parent with
+        | None -> push "span %d (%s) has unknown parent %d" sp.Trace.id sp.Trace.name sp.Trace.parent
+        | Some parent ->
+          if parent.Trace.id >= sp.Trace.id then
+            push "span %d opened before its parent %d" sp.Trace.id parent.Trace.id;
+          if sp.Trace.start_ms < parent.Trace.start_ms -. eps_ms then
+            push "span %d (%s) starts %.3f ms before its parent" sp.Trace.id sp.Trace.name
+              (parent.Trace.start_ms -. sp.Trace.start_ms);
+          let child_end = sp.Trace.start_ms +. Float.max 0.0 sp.Trace.dur_ms in
+          let parent_end = parent.Trace.start_ms +. Float.max 0.0 parent.Trace.dur_ms in
+          if child_end > parent_end +. eps_ms then
+            push "span %d (%s) outlives its parent by %.3f ms" sp.Trace.id sp.Trace.name
+              (child_end -. parent_end))
+    spans;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (List.rev ps)
+
+let check ?eps_ms t =
+  if not (Trace.is_finished t) then Error [ "trace not finished" ]
+  else check_spans ?eps_ms (Trace.spans t)
+
+(* ------------------------------------------------------------------ *)
+(* the same invariants over exported Chrome JSON *)
+
+type event = {
+  e_trace : int;
+  e_id : int;
+  e_parent : int;
+  e_cat : string;
+  e_ts : int;
+  e_dur : int;
+}
+
+let event_of_json j =
+  let ( let* ) o f = Option.bind o f in
+  let* args = Json.member "args" j in
+  let* e_trace = Option.bind (Json.member "trace" args) Json.to_int in
+  let* e_id = Option.bind (Json.member "id" args) Json.to_int in
+  let* e_parent = Option.bind (Json.member "parent" args) Json.to_int in
+  let* e_cat = Option.bind (Json.member "cat" j) Json.to_str in
+  let* e_ts = Option.bind (Json.member "ts" j) Json.to_int in
+  let* e_dur = Option.bind (Json.member "dur" j) Json.to_int in
+  let* ph = Option.bind (Json.member "ph" j) Json.to_str in
+  if ph <> "X" then None else Some { e_trace; e_id; e_parent; e_cat; e_ts; e_dur }
+
+(* [eps_us] absorbs the microsecond rounding of the exporter. Returns
+   the number of events checked. *)
+let check_chrome_json ?(eps_us = 50) (json : string) : (int, problem list) result =
+  match Json.parse json with
+  | Error msg -> Error [ "JSON parse error: " ^ msg ]
+  | Ok doc -> (
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | None -> Error [ "no traceEvents array" ]
+    | Some items -> (
+      let problems = ref [] in
+      let push fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+      let events =
+        List.filter_map
+          (fun j ->
+            match event_of_json j with
+            | Some e -> Some e
+            | None ->
+              push "malformed event: %s" (Json.to_string j);
+              None)
+          items
+      in
+      let traces = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let group =
+            match Hashtbl.find_opt traces e.e_trace with
+            | Some g -> g
+            | None ->
+              let g = ref [] in
+              Hashtbl.add traces e.e_trace g;
+              g
+          in
+          group := e :: !group)
+        events;
+      Hashtbl.iter
+        (fun trace_id group ->
+          let group = !group in
+          let by_id = Hashtbl.create 16 in
+          List.iter
+            (fun e ->
+              if Hashtbl.mem by_id e.e_id then
+                push "trace %d: duplicate span id %d" trace_id e.e_id
+              else Hashtbl.add by_id e.e_id e)
+            group;
+          (match List.filter (fun e -> e.e_parent = 0) group with
+          | [ root ] ->
+            if root.e_cat <> "request" then
+              push "trace %d: root is %S, not request" trace_id root.e_cat
+          | [] -> push "trace %d: no root event" trace_id
+          | roots -> push "trace %d: %d root events" trace_id (List.length roots));
+          List.iter
+            (fun e ->
+              if e.e_dur < 0 then push "trace %d: span %d has negative dur" trace_id e.e_id;
+              if e.e_parent <> 0 then
+                match Hashtbl.find_opt by_id e.e_parent with
+                | None -> push "trace %d: span %d has unknown parent %d" trace_id e.e_id e.e_parent
+                | Some p ->
+                  if e.e_ts < p.e_ts - eps_us then
+                    push "trace %d: span %d starts before its parent" trace_id e.e_id;
+                  if e.e_ts + e.e_dur > p.e_ts + p.e_dur + eps_us then
+                    push "trace %d: span %d (ts %d dur %d) outlives parent %d (ts %d dur %d)"
+                      trace_id e.e_id e.e_ts e.e_dur p.e_id p.e_ts p.e_dur)
+            group)
+        traces;
+      match !problems with
+      | [] -> Ok (List.length events)
+      | ps -> Error (List.rev ps)))

@@ -1,0 +1,14 @@
+(** Trace well-formedness: exactly one [Request] root, every span
+    closed exactly once with a non-negative duration, parents existing,
+    opened before, and (up to a clock epsilon) containing their
+    children. Checked on in-memory traces by the test suite and on
+    exported Chrome JSON by the verify.sh smoke. *)
+
+type problem = string
+
+val check_spans : ?eps_ms:float -> Trace.span list -> (unit, problem list) result
+val check : ?eps_ms:float -> Trace.t -> (unit, problem list) result
+
+val check_chrome_json : ?eps_us:int -> string -> (int, problem list) result
+(** Validates an exported Chrome trace_event document; [Ok n] is the
+    number of complete events checked. *)

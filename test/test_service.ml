@@ -701,6 +701,81 @@ let test_chaos_storm () =
       check_bool "faults were absorbed or typed, never dropped" true
         (Svc_metrics.completed m + Svc_metrics.failed m > 0))
 
+(* Traced chaos: with every request sampled, the breaker's state
+   transitions are visible twice — once as service/breaker/* counters,
+   once as Breaker_event spans inside whichever request triggered them.
+   The two views must agree exactly: a span without a counter (or vice
+   versa) would mean an event was attributed to the wrong request or
+   dropped. *)
+let test_breaker_spans_match_counters () =
+  with_injection
+    "seed=4242;provider/prepare=0.10:internal;provider/execute=0.05:internal"
+    (fun () ->
+      let cat = Lq_testkit.sales_catalog ~n:200 () in
+      let prov = Provider.create cat in
+      let config =
+        {
+          Service.default_config with
+          domains = 2;
+          queue_capacity = 64;
+          breaker =
+            Some
+              { Lq_fault.Breaker.failure_threshold = 2; window = 16; cooldown_ms = 2.0 };
+        }
+      in
+      let svc = Service.create ~config prov in
+      let queries = Array.of_list (List.map q_qty [ 5; 15; 25; 35 ]) in
+      let submitters = 2 and per_submitter = 60 in
+      let responses = Array.make submitters [] in
+      let clients =
+        List.init submitters (fun s ->
+            Domain.spawn (fun () ->
+                let rng = Lq_exec.Prng.create (4300 + s) in
+                for _ = 1 to per_submitter do
+                  let q = queries.(Lq_exec.Prng.int rng (Array.length queries)) in
+                  match
+                    Service.submit svc ~engine:Lq_core.Engines.compiled_csharp
+                      ~trace:true q
+                  with
+                  | Ok fut -> responses.(s) <- Future.await fut :: responses.(s)
+                  | Error _ -> Alcotest.fail "closed-loop submission rejected"
+                done))
+      in
+      List.iter Domain.join clients;
+      Service.shutdown svc;
+      let m = Service.metrics svc in
+      check_bool "conserved under traced chaos" true (Svc_metrics.conserved m);
+      let all = Array.to_list responses |> List.concat in
+      check_int "every request traced" (submitters * per_submitter) (List.length all);
+      let count_events what =
+        List.fold_left
+          (fun acc (resp : Request.response) ->
+            match resp.Request.trace with
+            | None -> Alcotest.fail "sampled request lost its trace"
+            | Some tr ->
+              (match Lq_trace.Wellformed.check tr with
+              | Ok () -> ()
+              | Error problems ->
+                Alcotest.failf "ill-formed chaos trace: %s"
+                  (String.concat "; " problems));
+              acc
+              + List.length
+                  (List.filter
+                     (fun (sp : Lq_trace.Trace.span) ->
+                       sp.Lq_trace.Trace.kind = Lq_trace.Trace.Breaker_event
+                       && sp.Lq_trace.Trace.name = what)
+                     (Lq_trace.Trace.spans tr)))
+          0 all
+      in
+      check_bool "injection opened at least one breaker" true
+        (Svc_metrics.breaker_opened m >= 1);
+      check_int "opened spans = opened counter" (Svc_metrics.breaker_opened m)
+        (count_events "opened");
+      check_int "reclosed spans = reclosed counter" (Svc_metrics.breaker_reclosed m)
+        (count_events "reclosed");
+      check_int "fast-fail spans = fast-fail counter"
+        (Svc_metrics.breaker_fast_fails m) (count_events "fast-fail"))
+
 let () =
   Alcotest.run "service"
     [
@@ -751,5 +826,7 @@ let () =
             test_multi_domain_storm_conservation;
           Alcotest.test_case "loadgen closed loop" `Quick test_loadgen_closed_loop;
           Alcotest.test_case "seeded chaos" `Quick test_chaos_storm;
+          Alcotest.test_case "breaker spans match counters" `Quick
+            test_breaker_spans_match_counters;
         ] );
     ]
