@@ -1,0 +1,78 @@
+(* Strict command-line parsing shared by the bench executables.
+
+   The previous hand-rolled loops silently collected unknown "--flags" as
+   positional targets (`bench/main.exe --fs 0.05` ran every experiment at
+   the default scale with no error); here any token starting with '-'
+   that is not a declared option is a hard usage error. *)
+
+type spec =
+  | Flag of string * (unit -> unit) * string
+      (* --name, action, doc *)
+  | Value of string * string * (string -> unit) * string
+      (* --name, metavar, action (raises Failure on a bad value), doc *)
+
+let spec_name = function Flag (n, _, _) | Value (n, _, _, _) -> n
+
+let usage ~prog ?(positional_doc = "") specs =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "usage: %s [options]%s\n" prog positional_doc);
+  Buffer.add_string buf "options:\n";
+  List.iter
+    (fun s ->
+      match s with
+      | Flag (n, _, doc) -> Buffer.add_string buf (Printf.sprintf "  %-24s %s\n" n doc)
+      | Value (n, mv, _, doc) ->
+        Buffer.add_string buf (Printf.sprintf "  %-24s %s\n" (n ^ " " ^ mv) doc))
+    specs;
+  Buffer.add_string buf "  --help                   print this message\n";
+  Buffer.contents buf
+
+let fail ~prog ?positional_doc specs fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_string (Printf.sprintf "%s: %s\n%s" prog msg (usage ~prog ?positional_doc specs));
+      exit 2)
+    fmt
+
+(* [parse ~prog ?positional specs argv] walks [argv] (program name
+   excluded). Tokens starting with '-' must match a declared option;
+   anything else goes to [positional] (its absence makes positionals a
+   usage error). [--help] prints usage and exits 0. *)
+let parse ~prog ?positional ?positional_doc specs argv =
+  let rec go = function
+    | [] -> ()
+    | "--help" :: _ ->
+      print_string (usage ~prog ?positional_doc specs);
+      exit 0
+    | tok :: rest when String.length tok > 0 && tok.[0] = '-' -> (
+      match List.find_opt (fun s -> String.equal (spec_name s) tok) specs with
+      | None -> fail ~prog ?positional_doc specs "unknown option %s" tok
+      | Some (Flag (_, action, _)) ->
+        action ();
+        go rest
+      | Some (Value (name, mv, action, _)) -> (
+        match rest with
+        | [] -> fail ~prog ?positional_doc specs "option %s expects %s" name mv
+        | v :: rest -> (
+          match action v with
+          | () -> go rest
+          | exception Failure msg ->
+            fail ~prog ?positional_doc specs "bad value %S for %s: %s" v name msg)))
+    | tok :: rest -> (
+      match positional with
+      | Some f ->
+        f tok;
+        go rest
+      | None -> fail ~prog ?positional_doc specs "unexpected argument %S" tok)
+  in
+  go argv
+
+let float_value v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> failwith "expected a number"
+
+let int_value v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> failwith "expected an integer"

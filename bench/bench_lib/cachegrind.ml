@@ -1,0 +1,106 @@
+(* Driving valgrind --tool=cachegrind and parsing its output file.
+
+   Following nim-lang/ci_bench: the workload runs as a small
+   single-query process under cachegrind with *pinned* cache geometry
+   and ASLR disabled (setarch -R), so the instruction and miss counts —
+   unlike wall clock — are stable across machines and across runs. Only
+   the "events:" and "summary:" lines of the cachegrind output file
+   matter; everything else (per-function costs) is ignored. *)
+
+(* The pinned geometry (Haswell-class L1, 8 MiB LL), as cli flags.
+   Changing these invalidates every committed baseline — the gate
+   cross-checks them via {!geometry_id}. *)
+let geometry =
+  [ ("--I1", "32768,8,64"); ("--D1", "32768,8,64"); ("--LL", "8388608,16,64") ]
+
+let geometry_id =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) geometry)
+
+let available () =
+  Sys.command "command -v valgrind >/dev/null 2>&1" = 0
+
+let setarch_available () =
+  Sys.command "command -v setarch >/dev/null 2>&1" = 0
+
+let version () =
+  if not (available ()) then None
+  else
+    let ic = Unix.open_process_in "valgrind --version 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    (match Unix.close_process_in ic with _ -> ());
+    if String.equal line "" then None else Some line
+
+(* The full argv for one scored child run. [--cache-sim=yes] is explicit:
+   cachegrind ≥ 3.21 no longer simulates caches by default, and without
+   it the summary has no miss counts to score. *)
+let command ~exe ~args ~out_file =
+  let valgrind =
+    [ "valgrind"; "--tool=cachegrind"; "--cache-sim=yes"; "--branch-sim=no" ]
+    @ List.map (fun (k, v) -> k ^ "=" ^ v) geometry
+    @ [ "--cachegrind-out-file=" ^ out_file; "-q"; exe ]
+    @ args
+  in
+  if setarch_available () then
+    (* disable ASLR so heap/stack placement (and with it conflict misses)
+       cannot drift between runs *)
+    let arch =
+      let ic = Unix.open_process_in "uname -m" in
+      let m = try input_line ic with End_of_file -> "" in
+      (match Unix.close_process_in ic with _ -> ());
+      m
+    in
+    "setarch" :: arch :: "-R" :: valgrind
+  else valgrind
+
+(* ------------------------------------------------------------------ *)
+(* output-file parsing *)
+
+let strip_prefix ~prefix line =
+  if String.length line >= String.length prefix
+     && String.equal (String.sub line 0 (String.length prefix)) prefix
+  then Some (String.trim (String.sub line (String.length prefix)
+                            (String.length line - String.length prefix)))
+  else None
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> not (String.equal w ""))
+
+(* [parse contents] extracts the event names from the "events:" header
+   and the whole-program totals from the "summary:" line, zipped into an
+   association list. Unknown lines are ignored (the body is per-function
+   cost data); a missing header or summary, an arity mismatch, or a
+   non-integer count is a parse error, not a zero. *)
+let parse contents : ((string * int) list, string) result =
+  let lines = String.split_on_char '\n' contents in
+  let events =
+    List.find_map (fun l -> strip_prefix ~prefix:"events:" l) lines
+  in
+  let summary =
+    List.find_map (fun l -> strip_prefix ~prefix:"summary:" l) lines
+  in
+  match (events, summary) with
+  | None, _ -> Error "no \"events:\" header line"
+  | _, None -> Error "no \"summary:\" line"
+  | Some ev, Some sum -> (
+    let names = words ev in
+    let counts = words sum in
+    if List.length names <> List.length counts then
+      Error
+        (Printf.sprintf "events/summary arity mismatch (%d names, %d counts)"
+           (List.length names) (List.length counts))
+    else
+      match
+        List.map2
+          (fun n c ->
+            match int_of_string_opt c with
+            | Some i -> (n, i)
+            | None -> failwith c)
+          names counts
+      with
+      | pairs -> Ok pairs
+      | exception Failure c -> Error (Printf.sprintf "non-integer count %S" c))
+
+let parse_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg

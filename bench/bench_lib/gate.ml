@@ -1,0 +1,132 @@
+(* The regression comparator: committed baseline vs fresh run.
+
+   Pure (no valgrind, no data generation), so the pass / regression /
+   added / removed paths are unit-testable in tier 1. A pair is keyed by
+   (query, engine); verdicts:
+
+     Pass        |delta| within threshold
+     Improved    score dropped by more than the threshold (kept green,
+                 but surfaced — the baseline should be refreshed so the
+                 win is locked in)
+     Regression  score rose by more than the threshold  -> gate fails
+     Removed     pair in the baseline, absent fresh     -> gate fails
+                 (a silently vanished benchmark is how regressions hide)
+     Added       pair fresh, absent in the baseline     (green; refresh
+                 the baseline to start tracking it) *)
+
+type verdict = Pass | Improved | Regression | Added | Removed
+
+type row = {
+  query : string;
+  engine : string;
+  base : int option;
+  fresh : int option;
+  delta_pct : float option;
+  verdict : verdict;
+}
+
+type report = { threshold_pct : float; rows : row list }
+
+let default_threshold_pct = 5.0
+
+(* Baseline and fresh run must measure the same thing before scores are
+   comparable at all. *)
+let check_config ~(baseline : Score.file) ~(fresh : Score.file) =
+  let mismatch what a b =
+    Error (Printf.sprintf "baseline/fresh %s mismatch: %s vs %s" what a b)
+  in
+  if not (String.equal baseline.Score.backend fresh.Score.backend) then
+    mismatch "backend" baseline.Score.backend fresh.Score.backend
+  else if not (String.equal baseline.Score.geometry_id fresh.Score.geometry_id) then
+    mismatch "cache geometry" baseline.Score.geometry_id fresh.Score.geometry_id
+  else if baseline.Score.seed <> fresh.Score.seed then
+    mismatch "data seed"
+      (string_of_int baseline.Score.seed)
+      (string_of_int fresh.Score.seed)
+  else if baseline.Score.sf <> fresh.Score.sf then
+    mismatch "scale factor"
+      (string_of_float baseline.Score.sf)
+      (string_of_float fresh.Score.sf)
+  else Ok ()
+
+let key (r : Score.record) = (r.Score.query, r.Score.engine)
+
+let compare_records ?(threshold_pct = default_threshold_pct) ~baseline ~fresh () =
+  let fresh_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace fresh_tbl (key r) r) fresh;
+  let baseline_keys = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace baseline_keys (key r) ()) baseline;
+  let of_base (b : Score.record) =
+    let query, engine = key b in
+    match Hashtbl.find_opt fresh_tbl (query, engine) with
+    | None ->
+      { query; engine; base = Some b.Score.record_score; fresh = None;
+        delta_pct = None; verdict = Removed }
+    | Some f ->
+      let bs = b.Score.record_score and fs = f.Score.record_score in
+      let delta = 100.0 *. float_of_int (fs - bs) /. float_of_int (max 1 bs) in
+      let verdict =
+        if delta > threshold_pct then Regression
+        else if delta < -.threshold_pct then Improved
+        else Pass
+      in
+      { query; engine; base = Some bs; fresh = Some fs;
+        delta_pct = Some delta; verdict }
+  in
+  let added =
+    List.filter_map
+      (fun (f : Score.record) ->
+        if Hashtbl.mem baseline_keys (key f) then None
+        else
+          Some
+            { query = f.Score.query; engine = f.Score.engine; base = None;
+              fresh = Some f.Score.record_score; delta_pct = None; verdict = Added })
+      fresh
+  in
+  let rows =
+    List.sort
+      (fun a b ->
+        match compare a.query b.query with 0 -> compare a.engine b.engine | c -> c)
+      (List.map of_base baseline @ added)
+  in
+  { threshold_pct; rows }
+
+let failures report =
+  List.filter (fun r -> r.verdict = Regression || r.verdict = Removed) report.rows
+
+let ok report = failures report = []
+
+(* ------------------------------------------------------------------ *)
+(* the human delta table *)
+
+let verdict_str = function
+  | Pass -> "ok"
+  | Improved -> "IMPROVED"
+  | Regression -> "REGRESSION"
+  | Added -> "added"
+  | Removed -> "REMOVED"
+
+let render report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %-26s %14s %14s %9s  %s\n" "query" "engine" "baseline"
+       "fresh" "delta" "verdict");
+  let cell = function Some v -> string_of_int v | None -> "-" in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6s %-26s %14s %14s %9s  %s\n" r.query r.engine
+           (cell r.base) (cell r.fresh)
+           (match r.delta_pct with
+           | Some d -> Printf.sprintf "%+.2f%%" d
+           | None -> "-")
+           (verdict_str r.verdict)))
+    report.rows;
+  let n v = List.length (List.filter (fun r -> r.verdict = v) report.rows) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d pair(s): %d ok, %d improved, %d added, %d REGRESSION(s), %d REMOVED \
+        (threshold ±%.1f%%)\n"
+       (List.length report.rows) (n Pass) (n Improved) (n Added) (n Regression)
+       (n Removed) report.threshold_pct);
+  Buffer.contents buf

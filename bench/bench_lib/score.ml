@@ -1,0 +1,203 @@
+(* Cost records and the weighted score.
+
+   One record per (query, engine) pair. The score is the classic
+   estimated-cycle formula used by nim-lang/ci_bench and pyperformance:
+
+     score = Ir + 10·(I1mr + D1mr + D1mw) + 100·(ILmr + DLmr + DLmw)
+
+   i.e. every executed instruction costs 1, an L1 miss that hits LL
+   costs 10, and a miss all the way to RAM costs 100. It is a pure
+   function of deterministic counters, so the committed baseline is an
+   exact integer, not a distribution. *)
+
+module Json = Lq_trace.Json
+
+type counts = {
+  ir : int;  (* instructions executed (sim backend: modelled accesses) *)
+  i1mr : int;
+  ilmr : int;
+  dr : int;
+  d1mr : int;
+  dlmr : int;
+  dw : int;
+  d1mw : int;
+  dlmw : int;
+}
+
+let zero_counts =
+  { ir = 0; i1mr = 0; ilmr = 0; dr = 0; d1mr = 0; dlmr = 0; dw = 0; d1mw = 0; dlmw = 0 }
+
+let count_fields =
+  [
+    ("Ir", (fun c -> c.ir), fun c v -> { c with ir = v });
+    ("I1mr", (fun c -> c.i1mr), fun c v -> { c with i1mr = v });
+    ("ILmr", (fun c -> c.ilmr), fun c v -> { c with ilmr = v });
+    ("Dr", (fun c -> c.dr), fun c v -> { c with dr = v });
+    ("D1mr", (fun c -> c.d1mr), fun c v -> { c with d1mr = v });
+    ("DLmr", (fun c -> c.dlmr), fun c v -> { c with dlmr = v });
+    ("Dw", (fun c -> c.dw), fun c v -> { c with dw = v });
+    ("D1mw", (fun c -> c.d1mw), fun c v -> { c with d1mw = v });
+    ("DLmw", (fun c -> c.dlmw), fun c v -> { c with dlmw = v });
+  ]
+
+(* From a cachegrind events/summary association list; events the formula
+   does not use are ignored, absent events count as zero. *)
+let counts_of_events events =
+  List.fold_left
+    (fun acc (name, set) ->
+      match List.assoc_opt name events with Some v -> set acc v | None -> acc)
+    zero_counts
+    (List.map (fun (n, _, s) -> (n, s)) count_fields)
+
+let l1_weight = 10
+let ll_weight = 100
+
+let score c =
+  c.ir + (l1_weight * (c.i1mr + c.d1mr + c.d1mw)) + (ll_weight * (c.ilmr + c.dlmr + c.dlmw))
+
+type record = {
+  query : string;
+  engine : string;
+  rows : int;  (* result cardinality: a cheap correctness cross-check *)
+  counts : counts;
+  record_score : int;
+}
+
+let make_record ~query ~engine ~rows counts =
+  { query; engine; rows; counts; record_score = score counts }
+
+type file = {
+  version : int;
+  suite : string;
+  backend : string;  (* "sim" | "cachegrind" *)
+  sf : float;
+  seed : int;
+  tool : string;  (* scoring-tool identification, e.g. valgrind version *)
+  geometry_id : string;
+  records : record list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* JSON (schema version 1) *)
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("query", Json.Str r.query);
+      ("engine", Json.Str r.engine);
+      ("score", Json.Int r.record_score);
+      ("rows", Json.Int r.rows);
+      ( "counts",
+        Json.Obj (List.map (fun (n, get, _) -> (n, Json.Int (get r.counts))) count_fields)
+      );
+    ]
+
+(* One record per line, sorted by (query, engine): a baseline refresh
+   diffs as one changed line per changed pair. *)
+let to_json f =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  let header =
+    [
+      ("version", Json.Int f.version);
+      ("suite", Json.Str f.suite);
+      ("backend", Json.Str f.backend);
+      ("sf", Json.Float f.sf);
+      ("seed", Json.Int f.seed);
+      ("tool", Json.Str f.tool);
+      ("geometry", Json.Str f.geometry_id);
+    ]
+  in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %s,\n" (Json.to_string (Json.Str k)) (Json.to_string v)))
+    header;
+  Buffer.add_string buf "\"records\": [\n";
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.query b.query with 0 -> compare a.engine b.engine | c -> c)
+      f.records
+  in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (Json.to_string (record_to_json r));
+      if i < List.length sorted - 1 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n')
+    sorted;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let json_str key j =
+  match Option.bind (Json.member key j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string %S" key)
+
+let json_int key j =
+  match Option.bind (Json.member key j) Json.to_int with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "missing or non-integer %S" key)
+
+let ( let* ) = Result.bind
+
+let record_of_json j =
+  let* query = json_str "query" j in
+  let* engine = json_str "engine" j in
+  let* sc = json_int "score" j in
+  let* rows = json_int "rows" j in
+  match Json.member "counts" j with
+  | None -> Error (Printf.sprintf "%s/%s: missing counts" query engine)
+  | Some cj ->
+    let* counts =
+      List.fold_left
+        (fun acc (name, _, set) ->
+          let* c = acc in
+          let* v = json_int name cj in
+          Ok (set c v))
+        (Ok zero_counts) count_fields
+    in
+    if score counts <> sc then
+      Error
+        (Printf.sprintf "%s/%s: stored score %d does not match counts (%d)" query
+           engine sc (score counts))
+    else Ok { query; engine; rows; counts; record_score = sc }
+
+let of_json s =
+  match Json.parse s with
+  | Error msg -> Error ("BENCH json: " ^ msg)
+  | Ok j -> (
+    let* version = json_int "version" j in
+    if version <> 1 then Error (Printf.sprintf "unsupported schema version %d" version)
+    else
+      let* suite = json_str "suite" j in
+      let* backend = json_str "backend" j in
+      let* seed = json_int "seed" j in
+      let* tool = json_str "tool" j in
+      let* geometry_id = json_str "geometry" j in
+      let* sf =
+        match Json.member "sf" j with
+        | Some (Json.Float f) -> Ok f
+        | Some (Json.Int i) -> Ok (float_of_int i)
+        | _ -> Error "missing or non-number \"sf\""
+      in
+      match Option.bind (Json.member "records" j) Json.to_list with
+      | None -> Error "missing \"records\" array"
+      | Some items ->
+        let* records =
+          List.fold_left
+            (fun acc item ->
+              let* rs = acc in
+              let* r = record_of_json item in
+              Ok (r :: rs))
+            (Ok []) items
+        in
+        Ok { version; suite; backend; sf; seed; tool; geometry_id; records = List.rev records })
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> of_json contents
+  | exception Sys_error msg -> Error msg
+
+let save path f = Out_channel.with_open_bin path (fun oc -> output_string oc (to_json f))

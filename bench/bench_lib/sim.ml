@@ -1,0 +1,92 @@
+(* The deterministic in-process scoring backend.
+
+   Valgrind is not part of every toolchain image, and cachegrind counts
+   still embed libc/GC details of the host. This backend reuses the
+   repo's own trace-driven cache model (lib/cachesim, the Fig. 14
+   instrument): every modelled memory access of an instrumented run is
+   pushed through a pinned three-level LRU hierarchy, and the score
+   weighs those accesses by where they hit. The trace is a pure function
+   of (seed, scale, query, engine), so the score is bit-identical across
+   machines and runs — which is exactly what a committed baseline needs.
+
+   Counts map onto the cachegrind vocabulary: Ir/Dr are the modelled
+   accesses, D1mr the L1 misses, DLmr the last-level misses; write and
+   instruction-fetch events are zero (the model traces data reads). *)
+
+module Provider = Lq_core.Provider
+module Hierarchy = Lq_cachesim.Hierarchy
+module Level = Lq_cachesim.Level
+
+let backend_name = "sim"
+
+(* Pinned geometry, mirroring the cachegrind flags: 32 KiB/8-way L1,
+   256 KiB/8-way L2, 8 MiB/16-way LL, 64-byte lines everywhere. *)
+let hierarchy () =
+  Hierarchy.create
+    ~l1:(Level.create ~name:"L1d" ~size_bytes:(32 * 1024) ~ways:8 ~line_bytes:64)
+    ~l2:(Level.create ~name:"L2" ~size_bytes:(256 * 1024) ~ways:8 ~line_bytes:64)
+    ~l3:(Level.create ~name:"LL" ~size_bytes:(8 * 1024 * 1024) ~ways:16 ~line_bytes:64)
+    ()
+
+let geometry_id = "sim:L1d=32768,8,64 L2=262144,8,64 LL=8388608,16,64"
+let tool_id = "lq_cachesim/1"
+
+(* One hermetic measurement: the synthetic address space is restarted
+   and the catalog rebuilt from the seed, so a pair's counts do not
+   depend on what was measured before it in the same process. Returns
+   [None] when the engine refuses the query. *)
+let measure ?(seed = Suite.default_seed) ~sf ~engine (qname, q) =
+  Lq_storage.Addr_space.reset ();
+  let cat = Lq_tpch.Dbgen.load ~seed ~sf () in
+  let prov = Provider.create ~use_cache:false cat in
+  let h = hierarchy () in
+  match Provider.run_instrumented prov ~engine ~params:Suite.query_params h q with
+  | exception Lq_catalog.Engine_intf.Unsupported _ -> None
+  | rows ->
+    let reads = Hierarchy.reads h in
+    let counts =
+      {
+        Score.zero_counts with
+        ir = reads;
+        dr = reads;
+        d1mr = Level.misses (Hierarchy.l1 h);
+        dlmr = Hierarchy.llc_misses h;
+      }
+    in
+    Some
+      (Score.make_record ~query:qname ~engine:engine.Lq_catalog.Engine_intf.name
+         ~rows:(List.length rows) counts)
+
+(* The whole suite (every supported pair), in deterministic order. *)
+let run_suite ?(seed = Suite.default_seed) ?(sf = Suite.default_sf)
+    ?(queries = Suite.queries) ?(engines = Suite.scored_engines)
+    ?(progress = fun _ -> ()) () =
+  List.concat_map
+    (fun (qname, q) ->
+      List.filter_map
+        (fun engine ->
+          let r = measure ~seed ~sf ~engine (qname, q) in
+          (match r with
+          | Some r ->
+            progress
+              (Printf.sprintf "%-6s %-26s score=%d rows=%d" qname
+                 engine.Lq_catalog.Engine_intf.name r.Score.record_score r.Score.rows)
+          | None ->
+            progress
+              (Printf.sprintf "%-6s %-26s unsupported" qname
+                 engine.Lq_catalog.Engine_intf.name));
+          r)
+        engines)
+    queries
+
+let file_of_records ?(seed = Suite.default_seed) ?(sf = Suite.default_sf) records =
+  {
+    Score.version = 1;
+    suite = "tpch";
+    backend = backend_name;
+    sf;
+    seed;
+    tool = tool_id;
+    geometry_id;
+    records;
+  }

@@ -1,0 +1,93 @@
+(* The benchmark suite definition and the query/engine/provider plumbing
+   shared by the wall-clock harness (bench/main.exe), the load generator
+   (bench/loadgen.exe) and the perf-CI scorer (bench/perf_ci.exe): all
+   three drive the same prepared plans through the same provider
+   pipeline, so a number from one harness is comparable to a number from
+   another. *)
+
+module Engine_intf = Lq_catalog.Engine_intf
+module Provider = Lq_core.Provider
+module Profile = Lq_metrics.Profile
+
+(* ------------------------------------------------------------------ *)
+(* the scored suite: fixed data seed, extended-TPC-H queries, every
+   deterministic engine *)
+
+let default_seed = 42
+(* Scale of the committed BENCH_tpch.json baseline; small enough that
+   the cachesim-scored gate finishes in CI time, large enough that every
+   query has non-trivial groups and join fan-in. *)
+
+let default_sf = 0.005
+
+let queries : (string * Lq_expr.Ast.query) list =
+  Lq_tpch.Queries.all @ Lq_tpch.Queries.extended
+
+let query_params = Lq_tpch.Queries.extended_params
+
+let find_query name =
+  List.find_opt (fun (n, _) -> String.equal n name) queries |> Option.map snd
+
+(* Every engine with a deterministic execution trace. compiled-c-parallel
+   is excluded from the scored suite: its worker Domains interleave
+   nondeterministically, so a shared cache-simulation trace (and with it
+   the score) would differ run to run. *)
+let scored_engines : Engine_intf.t list =
+  List.filter
+    (fun (e : Engine_intf.t) ->
+      not (String.equal e.name Lq_core.Engines.compiled_c_parallel.name))
+    Lq_core.Engines.all
+
+let find_engine = Lq_core.Engines.by_name
+
+(* ------------------------------------------------------------------ *)
+(* provider plumbing *)
+
+let load ?(seed = default_seed) ~sf () = Lq_tpch.Dbgen.load ~seed ~sf ()
+
+let provider ?seed ~sf () = Provider.create (load ?seed ~sf ())
+
+(* ------------------------------------------------------------------ *)
+(* timing helpers (moved from bench/main.ml) *)
+
+let median = Lq_metrics.Stats.median
+
+(* Prepare once (plan compilation measured separately), execute
+   warmup+timed, report the median execution time and the row count. *)
+let time_engine ?(runs = 3) prov ~engine ?(params = []) q =
+  match Provider.prepare_only prov ~engine q with
+  | exception Engine_intf.Unsupported _ -> None
+  | prepared, _ ->
+    let consts = Lq_expr.Shape.consts (Provider.optimized prov q) in
+    let params = params @ Lq_core.Query_cache.const_params consts in
+    let run () =
+      let t0 = Profile.now_ms () in
+      let result = prepared.Engine_intf.execute ~params () in
+      let ms = Profile.now_ms () -. t0 in
+      (ms, List.length result)
+    in
+    ignore (run ());
+    let samples = List.init (max 1 runs) (fun _ -> run ()) in
+    Some (median (List.map fst samples), snd (List.hd samples))
+
+(* One warmup, then one profiled execution; the per-phase breakdown. *)
+let profile_engine prov ~engine ?(params = []) q =
+  match Provider.prepare_only prov ~engine q with
+  | exception Engine_intf.Unsupported _ -> None
+  | prepared, _ ->
+    let consts = Lq_expr.Shape.consts (Provider.optimized prov q) in
+    let params = params @ Lq_core.Query_cache.const_params consts in
+    ignore (prepared.Engine_intf.execute ~params ());
+    let profile = Profile.create () in
+    ignore (prepared.Engine_intf.execute ~profile ~params ());
+    Some (Profile.phases profile)
+
+(* The lowered plan's shape key — what the compiled-plan cache keys on.
+   The determinism test pins this byte-for-byte across fresh catalogs:
+   if lowering ever becomes input-order- or address-dependent, the perf
+   baseline is meaningless and the test fails before the gate lies. *)
+let shape_key ?seed ~sf q =
+  let prov = provider ?seed ~sf () in
+  let optimized = Provider.optimized prov q in
+  let cat = Provider.catalog prov in
+  Lq_plan.Plan.shape_key (Lq_plan.Lower.lower cat optimized)

@@ -28,41 +28,34 @@ let rates = ref [ 50.0; 150.0; 400.0 ]
 let clients = ref 8
 let fault_spec = ref None
 
+module Args = Lq_bench.Args
+
 let parse_args () =
-  let rec go = function
-    | [] -> ()
-    | "--sf" :: x :: rest ->
-      sf := float_of_string x;
-      go rest
-    | "--fault-spec" :: x :: rest ->
-      fault_spec := Some x;
-      go rest
-    | "--domains" :: x :: rest ->
-      domains := int_of_string x;
-      go rest
-    | "--queue" :: x :: rest ->
-      queue := int_of_string x;
-      go rest
-    | "--engine" :: x :: rest ->
-      engine_name := x;
-      go rest
-    | "--requests" :: x :: rest ->
-      requests := int_of_string x;
-      go rest
-    | "--deadline-ms" :: x :: rest ->
-      deadline_ms := float_of_string x;
-      go rest
-    | "--clients" :: x :: rest ->
-      clients := int_of_string x;
-      go rest
-    | "--rates" :: x :: rest ->
-      rates := List.map float_of_string (String.split_on_char ',' x);
-      go rest
-    | other :: _ ->
-      Printf.eprintf "unknown argument %S\n" other;
-      exit 2
+  let specs =
+    [
+      Args.Value ("--sf", "F", (fun v -> sf := Args.float_value v), "TPC-H scale factor");
+      Args.Value ("--fault-spec", "SPEC", (fun v -> fault_spec := Some v), "arm fault injection");
+      Args.Value ("--domains", "N", (fun v -> domains := Args.int_value v), "worker Domains");
+      Args.Value ("--queue", "N", (fun v -> queue := Args.int_value v), "admission queue capacity");
+      Args.Value ("--engine", "E", (fun v -> engine_name := v), "execution engine");
+      Args.Value ("--requests", "N", (fun v -> requests := Args.int_value v), "requests per point");
+      Args.Value
+        ("--deadline-ms", "MS", (fun v -> deadline_ms := Args.float_value v), "per-request deadline");
+      Args.Value ("--clients", "N", (fun v -> clients := Args.int_value v), "closed-loop clients");
+      Args.Value
+        ( "--rates", "R1,R2,...",
+          (fun v ->
+            rates :=
+              List.map
+                (fun r ->
+                  match float_of_string_opt r with
+                  | Some f -> f
+                  | None -> failwith "expected a number list")
+                (String.split_on_char ',' v)),
+          "open-loop arrival rates" );
+    ]
   in
-  go (List.tl (Array.to_list Sys.argv))
+  Args.parse ~prog:"bench/loadgen.exe" specs (List.tl (Array.to_list Sys.argv))
 
 let () =
   parse_args ();

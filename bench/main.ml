@@ -16,6 +16,8 @@ open Lq_value
 module Engine_intf = Lq_catalog.Engine_intf
 module Provider = Lq_core.Provider
 module Profile = Lq_metrics.Profile
+module Args = Lq_bench.Args
+module Suite = Lq_bench.Suite
 
 (* ------------------------------------------------------------------ *)
 (* configuration *)
@@ -24,20 +26,18 @@ let sf = ref 0.02
 let quick = ref false
 let targets = ref []
 
+let arg_specs =
+  [
+    Args.Value
+      ("--sf", "F", (fun v -> sf := Args.float_value v), "TPC-H scale factor (default 0.02)");
+    Args.Flag ("--quick", (fun () -> quick := true), "coarse sweeps, single timed run");
+  ]
+
 let parse_args () =
-  let rec go = function
-    | [] -> ()
-    | "--sf" :: x :: rest ->
-      sf := float_of_string x;
-      go rest
-    | "--quick" :: rest ->
-      quick := true;
-      go rest
-    | t :: rest ->
-      targets := t :: !targets;
-      go rest
-  in
-  go (List.tl (Array.to_list Sys.argv))
+  Args.parse ~prog:"bench/main.exe"
+    ~positional:(fun t -> targets := t :: !targets)
+    ~positional_doc:" [experiment...]" arg_specs
+    (List.tl (Array.to_list Sys.argv))
 
 let selectivities () =
   if !quick then [ 0.1; 0.5; 1.0 ]
@@ -46,43 +46,11 @@ let selectivities () =
 let timed_runs () = if !quick then 1 else 3
 
 (* ------------------------------------------------------------------ *)
-(* timing helpers *)
+(* timing helpers (shared with the scorer and the load generator) *)
 
 let now_ms = Profile.now_ms
-
-let median xs =
-  let sorted = List.sort compare xs in
-  List.nth sorted (List.length sorted / 2)
-
-(* Prepare once (plan compilation measured separately), execute
-   warmup+timed, report the median execution time. *)
-let time_engine prov ~engine ?(params = []) q =
-  match Provider.prepare_only prov ~engine q with
-  | exception Engine_intf.Unsupported _ -> None
-  | prepared, _ ->
-    let consts = Lq_expr.Shape.consts (Provider.optimized prov q) in
-    let params = params @ Lq_core.Query_cache.const_params consts in
-    let run () =
-      let t0 = now_ms () in
-      let result = prepared.Engine_intf.execute ~params () in
-      let ms = now_ms () -. t0 in
-      (ms, List.length result)
-    in
-    ignore (run ());
-    let samples = List.init (timed_runs ()) (fun _ -> run ()) in
-    let ms = median (List.map fst samples) in
-    Some (ms, snd (List.hd samples))
-
-let profile_engine prov ~engine ?(params = []) q =
-  match Provider.prepare_only prov ~engine q with
-  | exception Engine_intf.Unsupported _ -> None
-  | prepared, _ ->
-    let consts = Lq_expr.Shape.consts (Provider.optimized prov q) in
-    let params = params @ Lq_core.Query_cache.const_params consts in
-    ignore (prepared.Engine_intf.execute ~params ());
-    let profile = Profile.create () in
-    ignore (prepared.Engine_intf.execute ~profile ~params ());
-    Some (Profile.phases profile)
+let time_engine prov ~engine = Suite.time_engine ~runs:(timed_runs ()) prov ~engine
+let profile_engine = Suite.profile_engine
 
 (* ------------------------------------------------------------------ *)
 (* output helpers *)

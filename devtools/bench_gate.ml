@@ -1,0 +1,161 @@
+(* The perf regression gate: re-scores the suite and compares against
+   the committed baseline (BENCH_tpch.json).
+
+   Exit status:
+     0  every pair within threshold (improvements and added pairs ok)
+     1  >threshold regression, or a baseline pair vanished
+     2  configuration problem (unreadable baseline, config mismatch)
+
+   The committed baseline uses the deterministic sim backend, so the
+   gate runs without valgrind. A cachegrind-backend baseline needs
+   valgrind on PATH: when it is missing the gate SKIPS WITH A WARNING
+   (exit 0) unless LQ_BENCH_GATE=strict, which turns the skip into a
+   failure.
+
+   Usage:
+     devtools/bench_gate.exe [--baseline BENCH_tpch.json] [--threshold 5]
+     devtools/bench_gate.exe --fresh other.json     compare two files only *)
+
+module Suite = Lq_bench.Suite
+module Sim = Lq_bench.Sim
+module Score = Lq_bench.Score
+module Gate = Lq_bench.Gate
+module Args = Lq_bench.Args
+module Cachegrind = Lq_bench.Cachegrind
+
+let baseline_path = ref "BENCH_tpch.json"
+let fresh_path = ref None
+let threshold = ref Gate.default_threshold_pct
+let quiet = ref false
+
+let specs =
+  [
+    Args.Value
+      ( "--baseline", "FILE",
+        (fun v -> baseline_path := v),
+        "committed baseline (default BENCH_tpch.json)" );
+    Args.Value
+      ( "--fresh", "FILE",
+        (fun v -> fresh_path := Some v),
+        "compare this BENCH json instead of re-running the suite" );
+    Args.Value
+      ( "--threshold", "PCT",
+        (fun v -> threshold := Args.float_value v),
+        "regression threshold percent (default 5)" );
+    Args.Flag ("--quiet", (fun () -> quiet := true), "suppress per-pair progress");
+  ]
+
+let strict () =
+  match Sys.getenv_opt "LQ_BENCH_GATE" with
+  | Some "strict" -> true
+  | _ -> false
+
+let skip fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if strict () then begin
+        Printf.eprintf "bench_gate: %s\nbench_gate: LQ_BENCH_GATE=strict, failing\n" msg;
+        exit 1
+      end
+      else begin
+        Printf.eprintf
+          "bench_gate: WARNING: %s\n\
+           bench_gate: *** PERF GATE SKIPPED — speed claims are unverified *** \
+           (set LQ_BENCH_GATE=strict to make this fatal)\n"
+          msg;
+        exit 0
+      end)
+    fmt
+
+let () =
+  Args.parse ~prog:"devtools/bench_gate.exe" specs (List.tl (Array.to_list Sys.argv));
+  let baseline =
+    match Score.load !baseline_path with
+    | Ok f -> f
+    | Error msg ->
+      if Sys.file_exists !baseline_path then begin
+        Printf.eprintf "bench_gate: cannot parse %s: %s\n" !baseline_path msg;
+        exit 2
+      end
+      else skip "no committed baseline at %s (run devtools/bench_refresh.sh)" !baseline_path
+  in
+  let fresh =
+    match !fresh_path with
+    | Some path -> (
+      match Score.load path with
+      | Ok f -> f
+      | Error msg ->
+        Printf.eprintf "bench_gate: cannot parse %s: %s\n" path msg;
+        exit 2)
+    | None -> (
+      match baseline.Score.backend with
+      | "sim" ->
+        let records =
+          Sim.run_suite ~seed:baseline.Score.seed ~sf:baseline.Score.sf
+            ~progress:(fun line -> if not !quiet then Printf.printf "  %s\n%!" line)
+            ()
+        in
+        Sim.file_of_records ~seed:baseline.Score.seed ~sf:baseline.Score.sf records
+      | "cachegrind" ->
+        if not (Cachegrind.available ()) then
+          skip "baseline %s was scored under cachegrind but valgrind is not on PATH"
+            !baseline_path;
+        (* the cachegrind suite runs through the scorer's child-process
+           machinery; delegate to it *)
+        let tmp = Filename.temp_file "lq_bench_fresh" ".json" in
+        let cmd =
+          Printf.sprintf
+            "%s --backend cachegrind --sf %s --seed %d --quiet --out %s"
+            (Filename.quote
+               (Filename.concat
+                  (Filename.dirname Sys.executable_name)
+                  "../bench/perf_ci.exe"))
+            (string_of_float baseline.Score.sf)
+            baseline.Score.seed (Filename.quote tmp)
+        in
+        if Sys.command cmd <> 0 then begin
+          Printf.eprintf "bench_gate: cachegrind suite run failed (%s)\n" cmd;
+          exit 2
+        end;
+        (match Score.load tmp with
+        | Ok f ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          f
+        | Error msg ->
+          Printf.eprintf "bench_gate: fresh cachegrind run unreadable: %s\n" msg;
+          exit 2)
+      | other ->
+        Printf.eprintf "bench_gate: unknown baseline backend %S\n" other;
+        exit 2)
+  in
+  match Gate.check_config ~baseline ~fresh with
+  | Error msg ->
+    Printf.eprintf "bench_gate: %s\n" msg;
+    exit 2
+  | Ok () ->
+    let report =
+      Gate.compare_records ~threshold_pct:!threshold ~baseline:baseline.Score.records
+        ~fresh:fresh.Score.records ()
+    in
+    print_string (Gate.render report);
+    if Gate.ok report then begin
+      Printf.printf "bench_gate: OK (no pair regressed by more than %.1f%%)\n" !threshold;
+      exit 0
+    end
+    else begin
+      let fails = Gate.failures report in
+      Printf.printf "bench_gate: FAIL — %d pair(s) regressed or vanished:\n"
+        (List.length fails);
+      List.iter
+        (fun (r : Gate.row) ->
+          Printf.printf "  %s / %s: %s\n" r.Gate.query r.Gate.engine
+            (match (r.Gate.verdict, r.Gate.delta_pct) with
+            | Gate.Removed, _ -> "present in baseline, missing from this run"
+            | _, Some d -> Printf.sprintf "score %+.2f%% vs baseline" d
+            | _, None -> "regressed"))
+        fails;
+      Printf.printf
+        "bench_gate: if this change is an accepted cost, refresh the baseline \
+         with devtools/bench_refresh.sh and commit the diff\n";
+      exit 1
+    end

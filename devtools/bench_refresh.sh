@@ -1,0 +1,27 @@
+#!/bin/sh
+# Refresh the committed perf baseline (BENCH_tpch.json).
+#
+# Run this ONLY when a score change is an accepted cost (or a win you
+# want to lock in), then commit the JSON diff alongside the change that
+# caused it — the one-record-per-line layout makes the review diff one
+# line per changed (query, engine) pair.
+#
+#   sh devtools/bench_refresh.sh                 # sim backend (default)
+#   sh devtools/bench_refresh.sh --backend cachegrind   # needs valgrind
+#
+# Extra flags are passed through to bench/perf_ci.exe (--sf, --seed,
+# --query, --engine, ...).
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bench/perf_ci.exe
+
+echo "== scoring suite =="
+_build/default/bench/perf_ci.exe --out BENCH_tpch.json "$@"
+
+echo ""
+echo "== diff vs committed baseline =="
+git --no-pager diff --stat -- BENCH_tpch.json || true
+echo "review with: git diff BENCH_tpch.json ; then commit the refresh"

@@ -117,4 +117,46 @@ echo "   ok: 11 engines traced, every export well-formed"
 echo "== trace overhead guard (disabled span points) =="
 _build/default/devtools/trace_overhead.exe
 
+# Perf regression gate: re-score the suite with the deterministic sim
+# backend and compare against the committed BENCH_tpch.json. A >5%
+# score regression on any (query, engine) pair — or a vanished pair —
+# fails verification. If the cost is accepted, refresh the baseline
+# with devtools/bench_refresh.sh and commit the diff.
+echo "== perf gate (cachesim scores vs committed BENCH_tpch.json) =="
+_build/default/devtools/bench_gate.exe --quiet
+
+# Cachegrind smoke: the real-valgrind scoring path (child processes,
+# out-file parsing, setup-cost subtraction) exercised end to end on one
+# pair. Needs valgrind on PATH; skipped loudly otherwise
+# (LQ_BENCH_GATE=strict turns the skip into a failure).
+if command -v valgrind >/dev/null 2>&1; then
+  echo "== cachegrind smoke (Q6 x compiled-c under valgrind) =="
+  CG_OUT="$(mktemp /tmp/lqcg_bench.XXXXXX.json)"
+  if ! _build/default/bench/perf_ci.exe --backend cachegrind \
+      --query Q6 --engine compiled-c --sf 0.001 --out "$CG_OUT"; then
+    echo "cachegrind smoke failed" >&2
+    rm -f "$CG_OUT"
+    exit 1
+  fi
+  case "$(cat "$CG_OUT")" in
+    *'"backend": "cachegrind"'*) ;;
+    *)
+      echo "cachegrind smoke produced no cachegrind-backend record:" >&2
+      cat "$CG_OUT" >&2
+      rm -f "$CG_OUT"
+      exit 1
+      ;;
+  esac
+  rm -f "$CG_OUT"
+  echo "   ok: valgrind path scored one pair end to end"
+else
+  if [ "${LQ_BENCH_GATE:-}" = "strict" ]; then
+    echo "== cachegrind smoke: valgrind not on PATH and LQ_BENCH_GATE=strict — failing ==" >&2
+    exit 1
+  fi
+  echo "== cachegrind smoke SKIPPED: valgrind not on PATH =="
+  echo "   *** the real-cachegrind scoring path is UNVERIFIED on this machine ***"
+  echo "   (install valgrind, or set LQ_BENCH_GATE=strict to make this fatal)"
+fi
+
 echo "== verify OK =="

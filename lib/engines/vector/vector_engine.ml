@@ -660,6 +660,36 @@ let box_dataset vc ds =
         Value.Record
           (Array.of_list (List.map (fun (name, c) -> (name, decode c i)) cols)))
 
+(* Instrumented runs model this engine's memory traffic as its scans: one
+   sequential pass over each demanded column (8-byte elements), which is
+   the columnar access pattern the stand-in exists to exhibit. Vector
+   intermediates (selection vectors, primitive outputs) are small and
+   cache-resident by design, so they are not traced. *)
+let trace_scan_traffic (instr : Lq_catalog.Instr.t) cat plan =
+  let rec go (p : P.t) =
+    (match p.P.op with
+    | P.Scan s ->
+      let cs = Catalog.cols (Catalog.table cat s.P.table) in
+      let n = Colstore.length cs in
+      Array.iteri
+        (fun i (f : Layout.field) ->
+          let demanded =
+            match s.P.fields with
+            | None -> true
+            | Some fs -> List.mem f.Layout.name fs
+          in
+          if demanded then begin
+            let base = Colstore.base_addr cs i in
+            for row = 0 to n - 1 do
+              instr.Lq_catalog.Instr.trace (base + (8 * row))
+            done
+          end)
+        (Layout.fields (Colstore.layout cs))
+    | _ -> ());
+    List.iter go (P.children p)
+  in
+  go plan
+
 let engine : Engine_intf.t =
   {
     name = "vectorwise";
@@ -677,7 +707,6 @@ let engine : Engine_intf.t =
       };
     prepare =
       (fun ?instr cat query ->
-        ignore instr;
         (try
            List.iter
              (fun s ->
@@ -692,6 +721,9 @@ let engine : Engine_intf.t =
           Engine_intf.execute =
             (fun ?profile ~params () ->
               let go () =
+                (match instr with
+                | Some i -> trace_scan_traffic i cat plan
+                | None -> ());
                 let vc =
                   {
                     dict = Catalog.dict cat;

@@ -22,12 +22,25 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-let rec build ctx cat (p : P.t) : operator =
+let rec build ?instr ctx cat (p : P.t) : operator =
   let apply1 l v = Eval.apply ctx ~env:[] l [ v ] in
   match p.P.op with
   | P.Scan s ->
-    (* Scans decode relational rows into boxed tuples, one per next. *)
+    (* Scans decode relational rows into boxed tuples, one per next.
+       Under instrumentation each decode touches every field of the row
+       (the whole-row traffic that makes the iterator model expensive on
+       a row store), reported to the cache model at its flat address. *)
     let store = Catalog.store (Catalog.table cat s.P.table) in
+    let nfields = Array.length (Lq_storage.Layout.fields (Rowstore.layout store)) in
+    let trace_row =
+      match instr with
+      | None -> fun _ -> ()
+      | Some (i : Lq_catalog.Instr.t) ->
+        fun row ->
+          for col = 0 to nfields - 1 do
+            i.Lq_catalog.Instr.trace (Rowstore.addr store ~row ~col)
+          done
+    in
     let pos = ref 0 in
     {
       op_open = (fun () -> pos := 0);
@@ -35,6 +48,7 @@ let rec build ctx cat (p : P.t) : operator =
         (fun () ->
           if !pos >= Rowstore.length store then None
           else begin
+            trace_row !pos;
             let v = Rowstore.row_value store !pos in
             incr pos;
             Some v
@@ -42,7 +56,7 @@ let rec build ctx cat (p : P.t) : operator =
       close = ignore;
     }
   | P.Filter (src, preds) ->
-    let input = build ctx cat src in
+    let input = build ?instr ctx cat src in
     (* Conjuncts are cost-ordered in the plan; test cheapest first. *)
     let passes v =
       List.for_all (fun (pr : P.pred) -> Value.to_bool (apply1 pr.P.lambda v)) preds
@@ -59,11 +73,11 @@ let rec build ctx cat (p : P.t) : operator =
           loop ());
     }
   | P.Project (src, sel) ->
-    let input = build ctx cat src in
+    let input = build ?instr ctx cat src in
     { input with next = (fun () -> Option.map (apply1 sel) (input.next ())) }
   | P.Join { P.left; right; left_key; right_key; result; strategy = _ } ->
-    let louter = build ctx cat left in
-    let rinner = build ctx cat right in
+    let louter = build ?instr ctx cat left in
+    let rinner = build ?instr ctx cat right in
     let table = Vtbl.create 1024 in
     let pending = ref [] in
     let drain_inner () =
@@ -114,7 +128,7 @@ let rec build ctx cat (p : P.t) : operator =
        re-walks the materialized item lists per aggregate, which is the
        per-tuple overhead this engine exists to exhibit. *)
     let { P.input = group_source; key; group_result; _ } = a in
-    let input = build ctx cat group_source in
+    let input = build ?instr ctx cat group_source in
     let results = ref [] in
     let materialize () =
       input.op_open ();
@@ -156,13 +170,13 @@ let rec build ctx cat (p : P.t) : operator =
             Some r);
       close = ignore;
     }
-  | P.Sort (src, keys) -> build_sort ctx cat src keys
+  | P.Sort (src, keys) -> build_sort ?instr ctx cat src keys
   | P.Top_k { input; keys; limit } ->
     (* No bounded heap in the iterator model: full sort, then limit. *)
-    take_op ctx (build_sort ctx cat input keys) limit
-  | P.Limit (src, n) -> take_op ctx (build ctx cat src) n
+    take_op ctx (build_sort ?instr ctx cat input keys) limit
+  | P.Limit (src, n) -> take_op ctx (build ?instr ctx cat src) n
   | P.Offset (src, n) ->
-    let input = build ctx cat src in
+    let input = build ?instr ctx cat src in
     let skipped = ref false in
     {
       input with
@@ -181,7 +195,7 @@ let rec build ctx cat (p : P.t) : operator =
           input.next ());
     }
   | P.Distinct src ->
-    let input = build ctx cat src in
+    let input = build ?instr ctx cat src in
     let seen = Vtbl.create 256 in
     {
       input with
@@ -204,9 +218,9 @@ let rec build ctx cat (p : P.t) : operator =
           loop ());
     }
 
-and build_sort ctx cat src keys : operator =
+and build_sort ?instr ctx cat src keys : operator =
   let apply1 l v = Eval.apply ctx ~env:[] l [ v ] in
-  let input = build ctx cat src in
+  let input = build ?instr ctx cat src in
     let sorted = ref [] in
     {
       op_open =
@@ -278,7 +292,6 @@ let engine : Engine_intf.t =
     caps = { Engine_intf.caps_any with needs_flat_sources = true };
     prepare =
       (fun ?instr cat query ->
-        ignore instr;
         (* Interpreted engines generate no code: lowering to the shared
            plan is the whole of their preparation. *)
         (try
@@ -297,7 +310,7 @@ let engine : Engine_intf.t =
             (fun ?profile ~params () ->
               let run () =
                 let ctx = Catalog.eval_ctx cat ~params in
-                let root = build ctx cat plan in
+                let root = build ?instr ctx cat plan in
                 root.op_open ();
                 let acc = ref [] in
                 let rec loop () =

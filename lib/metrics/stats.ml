@@ -1,0 +1,16 @@
+let check name = function
+  | [] -> invalid_arg (Printf.sprintf "Stats.%s: empty list" name)
+  | xs -> xs
+
+let median xs =
+  let xs = check "median" xs in
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  if n land 1 = 1 then List.nth sorted (n / 2)
+  else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let mean xs =
+  let xs = check "mean" xs in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let minimum xs = List.fold_left Float.min Float.max_float (check "minimum" xs)

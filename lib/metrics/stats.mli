@@ -1,0 +1,16 @@
+(** Small order statistics over repeated measurements.
+
+    The wall-clock bench harness and the perf-CI scorer both reduce a
+    handful of repeated runs to one number; these helpers define that
+    reduction precisely (the previous ad-hoc median silently returned the
+    upper-middle element for even-length lists). *)
+
+val median : float list -> float
+(** Middle element for odd lengths, mean of the two middle elements for
+    even lengths. @raise Invalid_argument on the empty list. *)
+
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val minimum : float list -> float
+(** Smallest element. @raise Invalid_argument on the empty list. *)
