@@ -31,11 +31,19 @@ let find_query name =
 (* Every engine with a deterministic execution trace. compiled-c-parallel
    is excluded from the scored suite: its worker Domains interleave
    nondeterministically, so a shared cache-simulation trace (and with it
-   the score) would differ run to run. *)
+   the score) would differ run to run. compiled-c-jit is excluded for the
+   same reason (which tier serves depends on when the background cc run
+   lands) and because the dlopened object's reads bypass the simulator's
+   instrumentation entirely; it is benchmarked wall-clock instead
+   (bench/main.ml `jit`). *)
 let scored_engines : Engine_intf.t list =
   List.filter
     (fun (e : Engine_intf.t) ->
-      not (String.equal e.name Lq_core.Engines.compiled_c_parallel.name))
+      not
+        (List.exists (String.equal e.name)
+           [
+             Lq_core.Engines.compiled_c_parallel.name; Lq_core.Engines.compiled_c_jit.name;
+           ]))
     Lq_core.Engines.all
 
 let find_engine = Lq_core.Engines.by_name

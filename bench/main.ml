@@ -731,6 +731,40 @@ let trace_overhead () =
   Printf.printf "  warm query, untraced    %10.3f ms\n" untraced;
   Printf.printf "  warm query, traced      %10.3f ms\n%!" traced
 
+(* ------------------------------------------------------------------ *)
+(* native JIT: wall-clock only (excluded from the deterministic scored
+   suite — see Lq_bench.Suite.scored_engines) *)
+
+let jit () =
+  header "Native JIT: emitted C compiled by cc, dlopened (wall-clock)";
+  if not (Lq_jit.Backend.cc_available ()) then begin
+    note "SKIPPED: no C compiler on PATH (set LQ_CC to override)";
+    note "the compiled-c-jit engine serves its interpreted tier on this host"
+  end
+  else begin
+    (* Sync mode: the first prepare pays the cc run, so the jit tier is
+       measurable deterministically. *)
+    Unix.putenv "LQ_JIT_MODE" "sync";
+    let prov = Lazy.force provider in
+    let params = tpch_params @ Lq_tpch.Queries.extended_params in
+    note "\n-- interpreted native tier vs dlopened object (warm, per query) --";
+    List.iter
+      (fun (name, q) ->
+        let interp = time_query prov Lq_core.Engines.compiled_c q params in
+        let jitted = time_query prov Lq_core.Engines.compiled_c_jit q params in
+        Printf.printf "  %-8s interpreted %8.3f ms   jit %8.3f ms   (%.2fx)\n%!" name interp
+          jitted (interp /. jitted))
+      (Lq_tpch.Queries.all @ Lq_tpch.Queries.extended);
+    let c = Lq_metrics.Counters.count Lq_jit.Backend.counters in
+    note "\n-- tier counters --";
+    Printf.printf "  compiles %d, mem hits %d, disk hits %d, jit execs %d, interpreted execs %d\n%!"
+      (c "service/jit/compiles")
+      (c "service/jit/cache_hit_mem")
+      (c "service/jit/cache_hit_disk")
+      (c "service/jit/exec_jit")
+      (c "service/jit/exec_interpreted")
+  end
+
 let all_experiments =
   [
     ("fig7", fig7);
@@ -747,6 +781,7 @@ let all_experiments =
     ("extensions", extensions);
     ("bechamel", bechamel_micro);
     ("trace", trace_overhead);
+    ("jit", jit);
   ]
 
 let () =

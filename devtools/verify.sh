@@ -34,7 +34,8 @@ for q in Q1 Q2 Q2corr Q3 Q5 Q6 Q10 Q12 Q14; do
   for e in linq-to-objects compiled-csharp compiled-c \
     'hybrid-csharp-c[max]' 'hybrid-csharp-c[max,buffer]' \
     'hybrid-csharp-c[min]' 'hybrid-csharp-c[min,buffer]' \
-    sqlserver-interpreted sqlserver-native vectorwise compiled-c-parallel; do
+    sqlserver-interpreted sqlserver-native vectorwise compiled-c-parallel \
+    compiled-c-jit; do
     if ! out=$("$LQCG" explain -e "$e" -q "$q" --sf 0.001 2>&1); then
       echo "explain crashed for $q on $e:" >&2
       echo "$out" >&2
@@ -50,7 +51,7 @@ for q in Q1 Q2 Q2corr Q3 Q5 Q6 Q10 Q12 Q14; do
     esac
   done
 done
-echo "   ok: 9 queries x 11 engines, every verdict typed"
+echo "   ok: 9 queries x 12 engines, every verdict typed"
 
 # Chaos smoke: a seeded fault-injection run through the service must
 # terminate (no hung futures), keep request accounting exactly
@@ -98,7 +99,8 @@ trap 'rm -f "$TRACE_OUT"' EXIT
 for e in linq-to-objects compiled-csharp compiled-c \
   'hybrid-csharp-c[max]' 'hybrid-csharp-c[max,buffer]' \
   'hybrid-csharp-c[min]' 'hybrid-csharp-c[min,buffer]' \
-  sqlserver-interpreted sqlserver-native vectorwise compiled-c-parallel; do
+  sqlserver-interpreted sqlserver-native vectorwise compiled-c-parallel \
+  compiled-c-jit; do
   if ! out=$("$LQCG" trace Q1 -e "$e" --sf 0.001 --out "$TRACE_OUT" 2>&1); then
     echo "traced run failed for $e:" >&2
     echo "$out" >&2
@@ -110,7 +112,65 @@ for e in linq-to-objects compiled-csharp compiled-c \
     exit 1
   fi
 done
-echo "   ok: 11 engines traced, every export well-formed"
+echo "   ok: 12 engines traced, every export well-formed"
+
+# Codegen smoke: every extended-TPC-H emission must be real C — pushed
+# through `cc -fsyntax-only` (loud skip without a compiler; the stage
+# below exercises the full compile+dlopen path).
+echo "== codegen smoke (emitted C through cc -fsyntax-only) =="
+_build/default/devtools/codegen_smoke.exe
+
+# JIT smoke: one pair end to end through the real tiers — compile the
+# emitted C with cc, dlopen it, and check the dlopened object's rows
+# against the reference interpreter. Needs a C compiler on PATH; skipped
+# loudly otherwise (LQ_BENCH_GATE=strict turns the skip into a failure).
+if command -v "${LQ_CC:-cc}" >/dev/null 2>&1; then
+  echo "== jit smoke (Q1 x compiled-c-jit vs linq-to-objects, sync cc) =="
+  JIT_CACHE="$(mktemp -d /tmp/lqcg_jit.XXXXXX)"
+  if ! jit_out=$(LQ_JIT_MODE=sync LQ_JIT_CACHE_DIR="$JIT_CACHE" \
+      "$LQCG" run -e compiled-c-jit -q Q1 --sf 0.01 2>&1); then
+    echo "jit run failed:" >&2
+    echo "$jit_out" >&2
+    rm -rf "$JIT_CACHE"
+    exit 1
+  fi
+  if ! ref_out=$("$LQCG" run -e linq-to-objects -q Q1 --sf 0.01 2>&1); then
+    echo "reference run failed:" >&2
+    echo "$ref_out" >&2
+    rm -rf "$JIT_CACHE"
+    exit 1
+  fi
+  jit_rows=$(printf '%s\n' "$jit_out" | grep '^{' || true)
+  ref_rows=$(printf '%s\n' "$ref_out" | grep '^{' || true)
+  if [ -z "$jit_rows" ] || [ "$jit_rows" != "$ref_rows" ]; then
+    echo "jit rows diverge from the reference interpreter:" >&2
+    echo "--- jit ---" >&2
+    echo "$jit_rows" >&2
+    echo "--- reference ---" >&2
+    echo "$ref_rows" >&2
+    rm -rf "$JIT_CACHE"
+    exit 1
+  fi
+  case "$jit_out" in
+    *"service/jit/exec_jit"*) ;;
+    *)
+      echo "jit run never reached the jit tier (no service/jit/exec_jit counter):" >&2
+      echo "$jit_out" >&2
+      rm -rf "$JIT_CACHE"
+      exit 1
+      ;;
+  esac
+  rm -rf "$JIT_CACHE"
+  echo "   ok: dlopened object served Q1 with reference-identical rows"
+else
+  if [ "${LQ_BENCH_GATE:-}" = "strict" ]; then
+    echo "== jit smoke: no C compiler on PATH and LQ_BENCH_GATE=strict — failing ==" >&2
+    exit 1
+  fi
+  echo "== jit smoke SKIPPED: no C compiler on PATH =="
+  echo "   *** the native JIT (compile + dlopen + tier swap) is UNVERIFIED on this machine ***"
+  echo "   (install cc or set LQ_CC, or set LQ_BENCH_GATE=strict to make this fatal)"
+fi
 
 # Overhead guard: with no trace live, every span point must cost one
 # atomic load — a mutex or allocation on the disabled path fails this.

@@ -9,6 +9,7 @@ let hybrid_min_buffered =
   Lq_hybrid.Hybrid_engine.make ~buffered:true ~construction:Lq_hybrid.Hybrid_engine.Min ()
 
 let compiled_c_parallel = Lq_parallel.Parallel_engine.engine
+let compiled_c_jit = Lq_jit.Jit_engine.engine
 let sqlserver_interpreted = Lq_volcano.Volcano_engine.engine
 let sqlserver_native = Lq_native.Native_engine.engine_dbms
 let vectorwise = Lq_vector.Vector_engine.engine
@@ -29,6 +30,7 @@ let all =
     sqlserver_native;
     vectorwise;
     compiled_c_parallel;
+    compiled_c_jit;
   ]
 
 let by_name name =

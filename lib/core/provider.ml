@@ -187,6 +187,14 @@ let report t =
          rstats.Result_cache.hits rstats.Result_cache.misses
          rstats.Result_cache.evictions rstats.Result_cache.invalidations));
   Buffer.add_string buf (Lq_metrics.Counters.to_string (Query_cache.counters t.cache));
+  (* Tier counters of the native JIT (compiles, cache hits, per-tier
+     executions) — process-global, one block for all providers. *)
+  (match Lq_metrics.Counters.to_string Lq_jit.Backend.counters with
+  | "" -> ()
+  | jit ->
+    if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '\n' then
+      Buffer.add_char buf '\n';
+    Buffer.add_string buf jit);
   (match Trace.Ring.report Trace.slow_log with
   | "" -> ()
   | slow ->

@@ -20,14 +20,18 @@ let make ~name ~describe : Engine_intf.t =
       (fun ?instr cat query ->
         let trace = Option.map (fun (i : Lq_catalog.Instr.t) -> i.Lq_catalog.Instr.trace) instr in
         let start = Profile.now_ms () in
-        let plan =
-          try Nplan.compile ?trace cat query with
+        (* Lower once; the interpreted program and the C listing share
+           the same physical plan (and the JIT compiles that listing). *)
+        let plan, source =
+          try
+            let lowered = Lq_plan.Lower.lower cat query in
+            (Nplan.compile_lowered ?trace cat lowered, Codegen_c.emit_lowered cat lowered)
+          with
           | Catalog.Not_flat table ->
             Engine_intf.unsupported
               "source %S is not an array of structs (flat schema required, §5)" table
           | Lq_expr.Typecheck.Type_error msg -> Engine_intf.unsupported "%s" msg
         in
-        let source = Codegen_c.emit cat query in
         let codegen_ms = Profile.now_ms () -. start in
         {
           Engine_intf.execute =

@@ -117,8 +117,8 @@ let rec rewrite_gkey gvar (e : Ast.expr) : Ast.expr =
   | Ast.Record_of fields ->
     Ast.Record_of (List.map (fun (n, e) -> (n, rewrite_gkey gvar e)) fields)
 
-let compile ?(options = Lq_plan.Options.default) ?trace
-    ?(override = fun _ -> None) cat (query : Ast.query) : t =
+let compile_lowered ?trace ?(override = fun _ -> None) cat
+    (lowered : Lq_plan.Plan.t) : t =
   let nctx = Nexpr.ctx ?trace ~dict:(Catalog.dict cat) () in
   let fillers = ref [] in
   let tenv = Catalog.tenv cat ~params:[] in
@@ -665,7 +665,7 @@ let compile ?(options = Lq_plan.Options.default) ?trace
             emit (Array.of_list (Lq_exec.Topk.to_sorted_list heap)));
     }
   in
-  let root = compile_plan (Lq_plan.Lower.lower ~options cat query) in
+  let root = compile_plan lowered in
   let emit = Nexpr.elem_to_value nctx root.elem in
   {
     nctx;
@@ -676,6 +676,10 @@ let compile ?(options = Lq_plan.Options.default) ?trace
     segments = root.segments;
     mu = Mutex.create ();
   }
+
+let compile ?(options = Lq_plan.Options.default) ?trace ?override cat
+    (query : Ast.query) : t =
+  compile_lowered ?trace ?override cat (Lq_plan.Lower.lower ~options cat query)
 
 (* A compiled plan is a bundle of closures over shared cursors, parameter
    cells and accumulator arrays — one execution at a time. The cache hands

@@ -1,0 +1,250 @@
+module Lru = Lq_lru.Lru
+module Counters = Lq_metrics.Counters
+module Profile = Lq_metrics.Profile
+module Codegen_c = Lq_native.Codegen_c
+
+let counters = Counters.create ()
+let cc () = Option.value (Sys.getenv_opt "LQ_CC") ~default:"cc"
+
+(* Memoized per command name so tests can point LQ_CC elsewhere. *)
+let cc_probe : (string * bool) option Atomic.t = Atomic.make None
+
+let cc_available () =
+  let name = cc () in
+  match Atomic.get cc_probe with
+  | Some (probed, ok) when String.equal probed name -> ok
+  | _ ->
+    let ok =
+      Sys.command (Printf.sprintf "command -v %s >/dev/null 2>&1" (Filename.quote name)) = 0
+    in
+    Atomic.set cc_probe (Some (name, ok));
+    ok
+
+let digest_of_program (p : Codegen_c.program) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (string_of_int Codegen_c.abi_version);
+  List.iter (fun t -> Buffer.add_string b ("\x01" ^ t)) p.scan_tables;
+  List.iter
+    (function
+      | Codegen_c.Named n -> Buffer.add_string b ("\x02" ^ n)
+      | Codegen_c.Str_const s -> Buffer.add_string b ("\x03" ^ s))
+    p.int_params;
+  List.iter (fun n -> Buffer.add_string b ("\x04" ^ n)) p.float_params;
+  List.iter
+    (fun (n, vt) -> Buffer.add_string b ("\x05" ^ n ^ ":" ^ Lq_value.Vtype.to_string vt))
+    p.out_fields;
+  Buffer.add_string b (if p.out_scalar then "\x06s" else "\x06r");
+  Buffer.add_string b p.c_source;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+type artifact = {
+  digest : string;
+  so_path : string;
+  handle : Dl.handle;
+  fn : Dl.symbol;
+}
+
+type state = {
+  dir : string;
+  disk : unit Lru.t;  (* key = .so basename, weight = file size in bytes *)
+  mem : artifact Lru.t;  (* key = digest *)
+  mutable graveyard : Dl.handle list;
+}
+
+let mu = Mutex.create ()
+let st : state option ref = ref None
+let seq = Atomic.make 0
+let graveyard_hooked = ref false
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> default)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rm_f path = try Sys.remove path with Sys_error _ -> ()
+
+let is_so name =
+  String.length name > 9
+  && String.sub name 0 6 = "lqjit-"
+  && Filename.check_suffix name ".so"
+
+let is_dropping name =
+  List.exists (Filename.check_suffix name) [ ".c"; ".o"; ".err"; ".tmp" ]
+
+(* Startup sweep: seed the disk LRU with surviving objects (oldest first,
+   so they are first in line for eviction) and clear stale build
+   droppings another process may have left behind. *)
+let sweep dir (disk : unit Lru.t) =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    let now = Unix.gettimeofday () in
+    let sos = ref [] in
+    Array.iter
+      (fun name ->
+        let path = Filename.concat dir name in
+        match Unix.stat path with
+        | exception Unix.Unix_error _ -> ()
+        | stat ->
+          if stat.Unix.st_kind <> Unix.S_REG then ()
+          else if is_so name then sos := (stat.Unix.st_mtime, name, stat.Unix.st_size) :: !sos
+          else if is_dropping name && now -. stat.Unix.st_mtime > 600. then rm_f path)
+      entries;
+    List.iter
+      (fun (_, name, size) ->
+        match Lru.add disk ~key:name ~weight:size () with
+        | Some evicted -> List.iter (fun (k, ()) -> rm_f (Filename.concat dir k)) evicted
+        | None -> rm_f (Filename.concat dir name))
+      (List.sort compare !sos)
+
+let init () =
+  let dir =
+    match Sys.getenv_opt "LQ_JIT_CACHE_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> Filename.concat (Filename.get_temp_dir_name ()) "lq-jit-cache"
+  in
+  mkdir_p dir;
+  let max_bytes =
+    match Sys.getenv_opt "LQ_JIT_CACHE_BYTES" with
+    | Some s when int_of_string_opt (String.trim s) <> None -> int_of_string (String.trim s)
+    | _ -> env_int "LQ_JIT_CACHE_MB" 256 * 1024 * 1024
+  in
+  let disk = Lru.create ~max_weight:max_bytes () in
+  sweep dir disk;
+  let mem = Lru.create ~max_entries:(env_int "LQ_JIT_MEM_ENTRIES" 128) () in
+  { dir; disk; mem; graveyard = [] }
+
+let state () =
+  Mutex.protect mu (fun () ->
+    match !st with
+    | Some s -> s
+    | None ->
+      let s = init () in
+      st := Some s;
+      if not !graveyard_hooked then begin
+        graveyard_hooked := true;
+        at_exit (fun () ->
+          Mutex.protect mu (fun () ->
+            match !st with
+            | None -> ()
+            | Some s ->
+              List.iter (fun h -> try Dl.dlclose h with _ -> ()) s.graveyard;
+              s.graveyard <- []))
+      end;
+      s)
+
+let reset_for_tests () =
+  Mutex.protect mu (fun () -> st := None);
+  Atomic.set cc_probe None
+
+let read_truncated path limit =
+  match open_in_bin path with
+  | exception Sys_error _ -> ""
+  | ic ->
+    let n = min limit (in_channel_length ic) in
+    let s = really_input_string ic n in
+    close_in ic;
+    (if n < in_channel_length ic then s ^ "..." else s) |> String.trim
+
+(* Build (or find on disk) the shared object for [digest]. *)
+let build s ~digest ~source =
+  let key = "lqjit-" ^ digest ^ ".so" in
+  let final = Filename.concat s.dir key in
+  let disk_hit =
+    Mutex.protect mu (fun () ->
+      if Sys.file_exists final then begin
+        ignore (Lru.find s.disk key);
+        true
+      end
+      else false)
+  in
+  if disk_hit then begin
+    Counters.incr counters "service/jit/cache_hit_disk";
+    Ok final
+  end
+  else begin
+    Lq_fault.Inject.hit "jit/compile";
+    if not (cc_available ()) then Error (Printf.sprintf "no C compiler (%S not on PATH)" (cc ()))
+    else begin
+      let t0 = Profile.now_ms () in
+      let stamp = Printf.sprintf "%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add seq 1) in
+      let c_file = Filename.concat s.dir ("lqjit-" ^ digest ^ "." ^ stamp ^ ".c") in
+      let so_tmp = c_file ^ ".so.tmp" in
+      let err_file = c_file ^ ".err" in
+      let oc = open_out_bin c_file in
+      output_string oc source;
+      close_out oc;
+      let rc =
+        Sys.command
+          (Printf.sprintf "%s -O2 -std=c11 -shared -fPIC -o %s %s -lm 2> %s" (cc ())
+             (Filename.quote so_tmp) (Filename.quote c_file) (Filename.quote err_file))
+      in
+      if rc = 0 then begin
+        let size = (Unix.stat so_tmp).Unix.st_size in
+        Sys.rename so_tmp final;
+        rm_f c_file;
+        rm_f err_file;
+        Counters.incr counters "service/jit/compiles";
+        Counters.add_ms counters "service/jit/compile_ms" (Profile.now_ms () -. t0);
+        Mutex.protect mu (fun () ->
+          match Lru.add s.disk ~key ~weight:size () with
+          | Some evicted ->
+            List.iter
+              (fun (k, ()) ->
+                if not (String.equal k key) then begin
+                  Counters.incr counters "service/jit/evictions_disk";
+                  rm_f (Filename.concat s.dir k)
+                end)
+              evicted
+          | None -> ());
+        Ok final
+      end
+      else begin
+        let err = read_truncated err_file 2000 in
+        rm_f c_file;
+        rm_f err_file;
+        rm_f so_tmp;
+        Error (Printf.sprintf "%s exited %d: %s" (cc ()) rc err)
+      end
+    end
+  end
+
+let load ~digest so_path =
+  match Dl.dlopen so_path with
+  | exception Failure msg -> Error ("dlopen: " ^ msg)
+  | handle -> (
+    match Dl.dlsym handle "lq_query" with
+    | exception Failure msg ->
+      (try Dl.dlclose handle with _ -> ());
+      Error ("dlsym: " ^ msg)
+    | fn -> Ok { digest; so_path; handle; fn })
+
+let get ~digest ~source =
+  let s = state () in
+  match Mutex.protect mu (fun () -> Lru.find s.mem digest) with
+  | Some art ->
+    Counters.incr counters "service/jit/cache_hit_mem";
+    Ok art
+  | None -> (
+    match build s ~digest ~source with
+    | Error _ as e ->
+      Counters.incr counters "service/jit/compile_failures";
+      e
+    | Ok so_path -> (
+      match load ~digest so_path with
+      | Error _ as e ->
+        Counters.incr counters "service/jit/compile_failures";
+        e
+      | Ok art ->
+        Mutex.protect mu (fun () ->
+          match Lru.add s.mem ~key:digest art with
+          | Some evicted ->
+            List.iter (fun (_, (a : artifact)) -> s.graveyard <- a.handle :: s.graveyard) evicted
+          | None -> ());
+        Ok art))

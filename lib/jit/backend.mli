@@ -1,0 +1,54 @@
+(** JIT compilation backend: [cc] shell-out plus a two-level artifact
+    cache.
+
+    Artifacts are keyed by a digest of the generated program (ABI version,
+    C source, register/scan/output metadata — see {!digest_of_program}):
+    the same plan shape lowers to the same source, so a repeated prepare
+    hits the cache and never pays another [cc] run.
+
+    - {b memory}: digest → loaded artifact, entry-bounded LRU
+      ([LQ_JIT_MEM_ENTRIES], default 128). Evicted handles are never
+      [dlclose]d live — they park in a graveyard closed at exit.
+    - {b disk}: [lqjit-<digest>.so] under [LQ_JIT_CACHE_DIR] (default
+      a [lq-jit-cache] directory under the system temp dir), size-bounded
+      LRU ([LQ_JIT_CACHE_MB], default 256; [LQ_JIT_CACHE_BYTES]
+      overrides at byte granularity — a test hook). Initialization sweeps the
+      directory: surviving [.so]s seed the LRU in mtime order, stale
+      droppings ([.c]/[.o]/[.err]/[.tmp] older than 10 minutes) are
+      removed.
+
+    Compilation is [cc -O2 -shared -fPIC] ([LQ_CC] overrides the
+    compiler), built to a temporary name and atomically renamed in, with
+    the [.c]/[.err] droppings removed on success {e and} failure. Every
+    build attempt passes the ["jit/compile"] chaos injection point
+    first, so a fault spec can simulate a broken compiler. *)
+
+type artifact = {
+  digest : string;
+  so_path : string;
+  handle : Dl.handle;
+  fn : Dl.symbol;  (** the resolved [lq_query] entry point *)
+}
+
+val counters : Lq_metrics.Counters.t
+(** Process-global [jit/*] counters (compiles, failures, cache hits, tier
+    executions...); surfaced through [Provider.report]. *)
+
+val cc : unit -> string
+(** The compiler command ([LQ_CC] or ["cc"]). *)
+
+val cc_available : unit -> bool
+(** Whether {!cc} resolves on PATH (memoized per command name). *)
+
+val digest_of_program : Lq_native.Codegen_c.program -> string
+
+val get : digest:string -> source:string -> (artifact, string) result
+(** Memory hit, else disk hit + [dlopen], else compile + load. [Error]
+    carries the (truncated) compiler stderr or loader message.
+    @raise Lq_fault.Fault when the ["jit/compile"] injection point fires
+    on a build attempt. *)
+
+val reset_for_tests : unit -> unit
+(** Drops all cache state and re-reads the [LQ_JIT_*] environment on next
+    use. Loaded handles are leaked deliberately (prepared plans may still
+    hold them). Test hook only. *)

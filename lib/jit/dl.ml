@@ -1,0 +1,18 @@
+type handle = nativeint
+type symbol = nativeint
+
+external dlopen : string -> handle = "lq_jit_dlopen"
+external dlsym : handle -> string -> symbol = "lq_jit_dlsym"
+external dlclose : handle -> unit = "lq_jit_dlclose"
+
+external raw_call :
+  symbol ->
+  bytes array ->
+  int array ->
+  bytes ->
+  bytes ->
+  bytes ->
+  bytes ->
+  bytes ->
+  int ->
+  int = "lq_jit_call_bytecode" "lq_jit_call_native"

@@ -1,0 +1,67 @@
+type t =
+  | Interpreted
+  | Jit of Backend.artifact
+  | Failed of string
+
+let jit_enabled () =
+  match Sys.getenv_opt "LQ_JIT" with
+  | Some ("off" | "0" | "false") -> false
+  | _ -> true
+
+let mode () =
+  match Sys.getenv_opt "LQ_JIT_MODE" with
+  | Some "sync" -> `Sync
+  | _ -> `Async
+
+(* One compile worker for the whole process: cc runs are heavyweight and
+   serializing them keeps a storm of prepares from forking a compiler per
+   query. Spawned on demand; at exit the queue is abandoned and the
+   Domain joined. *)
+
+let q : (unit -> unit) Queue.t = Queue.create ()
+let qmu = Mutex.create ()
+let qcond = Condition.create ()
+let worker : unit Domain.t option ref = ref None
+let stopping = ref false
+let exit_hooked = ref false
+
+let rec worker_loop () =
+  let job =
+    Mutex.protect qmu (fun () ->
+      while Queue.is_empty q && not !stopping do
+        Condition.wait qcond qmu
+      done;
+      if !stopping then None else Some (Queue.pop q))
+  in
+  match job with
+  | None -> ()
+  | Some job ->
+    (try job () with _ -> ());
+    worker_loop ()
+
+let stop () =
+  let d =
+    Mutex.protect qmu (fun () ->
+      match !worker with
+      | None -> None
+      | Some d ->
+        stopping := true;
+        Condition.broadcast qcond;
+        worker := None;
+        Some d)
+  in
+  Option.iter Domain.join d;
+  Mutex.protect qmu (fun () -> stopping := false)
+
+let submit job =
+  Mutex.protect qmu (fun () ->
+    Queue.push job q;
+    (match !worker with
+    | Some _ -> ()
+    | None ->
+      worker := Some (Domain.spawn worker_loop);
+      if not !exit_hooked then begin
+        exit_hooked := true;
+        at_exit stop
+      end);
+    Condition.signal qcond)

@@ -1,0 +1,31 @@
+(** Tiering: per-prepared-plan execution state and the background
+    compile worker.
+
+    Each prepared plan carries a {!t} in an [Atomic.t]. It starts
+    [Interpreted]; when the background [cc] run finishes the slot is
+    atomically swapped to [Jit] and subsequent executions take the native
+    path — in-flight interpreted executions are unaffected (the swap is a
+    single atomic store of an immutable value). A failed compile parks
+    the slot at [Failed] (sticky: the failure is deterministic, retrying
+    would pay [cc] again for the same diagnostics). *)
+
+type t =
+  | Interpreted  (** serving from the interpreted native program *)
+  | Jit of Backend.artifact  (** serving from the dlopened object *)
+  | Failed of string  (** compile failed; interpreted permanently *)
+
+val jit_enabled : unit -> bool
+(** [false] when [LQ_JIT] is ["off"]/["0"]/["false"] — the engine then
+    serves every shape interpreted and never spawns a compile. *)
+
+val mode : unit -> [ `Async | `Sync ]
+(** [`Sync] when [LQ_JIT_MODE=sync]: compile inside [prepare] and fail
+    it (typed [Codegen_error]) if [cc] fails — the mode differential
+    tests and the chaos ladder drive. Default [`Async]: [prepare]
+    returns immediately and the compile runs on the worker Domain. *)
+
+val submit : (unit -> unit) -> unit
+(** Enqueues a job on the single process-wide compile worker Domain
+    (spawned on first use, stopped and joined at exit; jobs still queued
+    at exit are dropped). Jobs must not raise — exceptions are swallowed
+    to keep the worker alive. *)

@@ -1,0 +1,124 @@
+type 'a node = {
+  key : string;
+  value : 'a;
+  weight : int;
+  mutable prev : 'a node option;  (** towards MRU *)
+  mutable next : 'a node option;  (** towards LRU *)
+}
+
+type 'a t = {
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (** MRU *)
+  mutable tail : 'a node option;  (** LRU *)
+  mutable max_entries : int;
+  mutable max_weight : int;
+  mutable total_weight : int;
+}
+
+let create ?(max_entries = -1) ?(max_weight = -1) () =
+  {
+    tbl = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    max_entries;
+    max_weight;
+    total_weight = 0;
+  }
+
+let disabled t = t.max_entries = 0 || t.max_weight = 0
+let length t = Hashtbl.length t.tbl
+let total_weight t = t.total_weight
+let max_entries t = t.max_entries
+let max_weight t = t.max_weight
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with
+  | Some h -> h.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let peek t key = Option.map (fun n -> n.value) (Hashtbl.find_opt t.tbl key)
+let mem t key = Hashtbl.mem t.tbl key
+let peek_lru t = Option.map (fun n -> (n.key, n.value)) t.tail
+
+let remove_node t node =
+  unlink t node;
+  Hashtbl.remove t.tbl node.key;
+  t.total_weight <- t.total_weight - node.weight
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some node ->
+    remove_node t node;
+    Some node.value
+
+let pop_lru t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+    remove_node t node;
+    Some (node.key, node.value)
+
+let over_capacity t =
+  (t.max_entries >= 0 && length t > t.max_entries)
+  || (t.max_weight >= 0 && t.total_weight > t.max_weight)
+
+let add t ~key ?(weight = 1) value =
+  if disabled t || (t.max_weight >= 0 && weight > t.max_weight) then None
+  else begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some old -> remove_node t old
+    | None -> ());
+    let node = { key; value; weight; prev = None; next = None } in
+    Hashtbl.replace t.tbl key node;
+    push_front t node;
+    t.total_weight <- t.total_weight + weight;
+    let evicted = ref [] in
+    while over_capacity t do
+      match pop_lru t with
+      | Some kv -> evicted := kv :: !evicted
+      | None -> assert false
+    done;
+    Some (List.rev !evicted)
+  end
+
+let drop_where t pred =
+  let victims =
+    Hashtbl.fold (fun _ node acc -> if pred node.key node.value then node :: acc else acc)
+      t.tbl []
+  in
+  List.iter (remove_node t) victims;
+  List.length victims
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.total_weight <- 0
+
+let to_alist t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go ((node.key, node.value) :: acc) node.next
+  in
+  go [] t.head

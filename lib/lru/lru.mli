@@ -1,0 +1,50 @@
+(** A bounded, weighted, string-keyed LRU store.
+
+    The shared eviction substrate of the caching layer: {!Query_cache}
+    bounds by entry count, {!Result_cache} by entry count *and* by total
+    weight (cached rows). Recency order is maintained with an intrusive
+    doubly-linked list, so every operation is O(1) in the number of
+    entries ({!drop_where} excepted).
+
+    Capacity semantics: a negative bound means unlimited, [0] disables
+    the store entirely (nothing is ever admitted), and a positive bound
+    is enforced by evicting least-recently-used entries.
+
+    Not synchronized — callers (the caches) hold their own mutex. *)
+
+type 'a t
+
+val create : ?max_entries:int -> ?max_weight:int -> unit -> 'a t
+(** Both bounds default to [-1] (unlimited). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup that promotes the entry to most-recently-used. *)
+
+val peek : 'a t -> string -> 'a option
+(** Lookup without touching recency order. *)
+
+val mem : 'a t -> string -> bool
+
+val add : 'a t -> key:string -> ?weight:int -> 'a -> (string * 'a) list option
+(** Inserts (or replaces) an entry of the given weight (default 1).
+    Returns [Some evicted] — the entries displaced to restore the bounds,
+    least-recently-used first — or [None] when the entry was not admitted
+    at all (store disabled, or the entry alone exceeds [max_weight]). *)
+
+val remove : 'a t -> string -> 'a option
+val peek_lru : 'a t -> (string * 'a) option
+(** The entry next in line for eviction. *)
+
+val pop_lru : 'a t -> (string * 'a) option
+
+val drop_where : 'a t -> (string -> 'a -> bool) -> int
+(** Removes every entry matching the predicate; returns how many. O(n). *)
+
+val length : 'a t -> int
+val total_weight : 'a t -> int
+val max_entries : 'a t -> int
+val max_weight : 'a t -> int
+val clear : 'a t -> unit
+
+val to_alist : 'a t -> (string * 'a) list
+(** Entries most-recently-used first. *)

@@ -250,8 +250,9 @@ let test_generated_sources () =
   let prepared_c, _ = Lq_core.Provider.prepare_only prov ~engine:Lq_core.Engines.compiled_c q in
   match prepared_c.Engine_intf.source with
   | Some src ->
-    check_bool "C listing has context" true (contains src "Context");
-    check_bool "C listing has EvaluateQuery" true (contains src "EvaluateQuery");
+    check_bool "C listing exports the ABI entry point" true
+      (contains src "lq_query(");
+    check_bool "C listing names its scans" true (contains src "scans [sales]");
     check_bool "C listing declares structs" true (contains src "typedef struct")
   | None -> Alcotest.fail "no C source"
 
