@@ -765,6 +765,32 @@ let jit () =
       (c "service/jit/exec_interpreted")
   end
 
+(* ------------------------------------------------------------------ *)
+(* morsel scheduling vs the static contiguous split (wall-clock) *)
+
+let morsel () =
+  header "Morsel-driven scheduling vs static contiguous split (wall-clock)";
+  let prov = Lazy.force provider in
+  let w = Lq_tpch.Workloads.aggregation in
+  let params = Lq_tpch.Workloads.params ~sel:1.0 in
+  let seq = time_query prov Lq_core.Engines.compiled_c w params in
+  Printf.printf "  sequential C                           %8.1f ms\n" seq;
+  Printf.printf "  (morsel size: %s rows; override with LQ_MORSEL_SIZE)\n%!"
+    (match Sys.getenv_opt "LQ_MORSEL_SIZE" with
+    | Some s when s <> "" -> s
+    | _ -> string_of_int Lq_parallel.Parallel_engine.default_morsel_size);
+  List.iter
+    (fun domains ->
+      let time mode =
+        time_query prov (Lq_parallel.Parallel_engine.make ~mode ~domains ()) w params
+      in
+      let static = time Lq_parallel.Parallel_engine.Static in
+      let morsels = time Lq_parallel.Parallel_engine.Morsel in
+      Printf.printf
+        "  %d domain(s)   static %8.1f ms   morsel %8.1f ms   (%.2fx / %.2fx vs seq)\n%!"
+        domains static morsels (seq /. static) (seq /. morsels))
+    [ 1; 2; 4 ]
+
 let all_experiments =
   [
     ("fig7", fig7);
@@ -782,6 +808,7 @@ let all_experiments =
     ("bechamel", bechamel_micro);
     ("trace", trace_overhead);
     ("jit", jit);
+    ("morsel", morsel);
   ]
 
 let () =

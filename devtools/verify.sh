@@ -88,6 +88,40 @@ case "$out" in
 esac
 echo "   ok: chaos run terminated, accounting conserved, injection armed"
 
+# Morsel smoke: the parallel engine's shared-queue scheduler driven at a
+# deliberately tiny morsel size — thousands of work units per query.
+# Rows must be byte-identical across repeated runs (results reassemble
+# in morsel order, so scheduling is invisible in the output) and the
+# scheduler's counters must surface in the report.
+echo "== morsel smoke (compiled-c-parallel at LQ_MORSEL_SIZE=7) =="
+for q in Q1 Q6; do
+  if ! out1=$(LQ_MORSEL_SIZE=7 "$LQCG" run -e compiled-c-parallel -q "$q" --sf 0.002 2>&1); then
+    echo "morsel run failed for $q:" >&2
+    echo "$out1" >&2
+    exit 1
+  fi
+  case "$out1" in
+    *"parallel/morsels"*) ;;
+    *)
+      echo "morsel run for $q surfaced no parallel/morsels counter:" >&2
+      echo "$out1" >&2
+      exit 1
+      ;;
+  esac
+  out2=$(LQ_MORSEL_SIZE=7 "$LQCG" run -e compiled-c-parallel -q "$q" --sf 0.002 2>&1)
+  rows1=$(printf '%s\n' "$out1" | grep '^{' || true)
+  rows2=$(printf '%s\n' "$out2" | grep '^{' || true)
+  if [ -z "$rows1" ] || [ "$rows1" != "$rows2" ]; then
+    echo "tiny-morsel rows not deterministic for $q:" >&2
+    echo "--- first ---" >&2
+    echo "$rows1" >&2
+    echo "--- second ---" >&2
+    echo "$rows2" >&2
+    exit 1
+  fi
+done
+echo "   ok: tiny-morsel runs deterministic, scheduler counters live"
+
 # Trace smoke: one traced query per engine, exported as Chrome JSON and
 # re-validated by the standalone well-formedness checker — the span tree
 # must hold for every engine's execute path, not just the ones the unit

@@ -112,6 +112,7 @@ let is_flat table = schema_is_flat table.schema
 let store table = force_store table table.flat
 
 let cols table = force_store table table.columns
+let column_encodings table = Lq_storage.Colstore.encodings (cols table)
 let heap_addrs table = force_store table table.heap_addrs
 
 let eval_ctx t ~params =

@@ -68,6 +68,11 @@ val store : table -> Lq_storage.Rowstore.t
 val cols : table -> Lq_storage.Colstore.t
 (** @raise Not_flat likewise. *)
 
+val column_encodings : table -> (string * string) list
+(** [(field, encoding)] of the columnar decomposition in layout order
+    (encodings: plain / dict8 / dict16 / rle). Forces {!cols}.
+    @raise Not_flat likewise. *)
+
 val heap_addrs : table -> int array
 (** Modelled heap base address of each boxed row (allocated on first use,
     in row order). *)

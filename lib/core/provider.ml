@@ -195,6 +195,14 @@ let report t =
     if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '\n' then
       Buffer.add_char buf '\n';
     Buffer.add_string buf jit);
+  (* Morsel-scheduler counters of the parallel engine (work units run,
+     executions) — process-global, one block for all providers. *)
+  (match Lq_metrics.Counters.to_string Lq_parallel.Parallel_engine.counters with
+  | "" -> ()
+  | par ->
+    if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '\n' then
+      Buffer.add_char buf '\n';
+    Buffer.add_string buf par);
   (match Trace.Ring.report Trace.slow_log with
   | "" -> ()
   | slow ->

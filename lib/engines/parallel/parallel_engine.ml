@@ -194,7 +194,41 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-let make ?name ~domains () : Engine_intf.t =
+(* ------------------------------------------------------------------ *)
+(* Morsel-driven scheduling.
+
+   The static split hands each Domain one contiguous [nrows/workers]
+   range at prepare time, so one slow partition gates the query. Morsel
+   mode instead cuts the scan into small fixed-size work units that
+   worker Domains *pull* from a shared atomic counter: a worker that
+   drew cheap rows simply pulls more morsels. Results are keyed by
+   morsel id and reassembled in morsel order, so the merged output is
+   byte-identical to a sequential scan regardless of which Domain ran
+   which unit (and of the Domain count). Each morsel is also a
+   typed-fault / cancellation checkpoint: a chaos-injected or crashed
+   unit flips a shared abort flag that every worker polls between
+   pulls, and the coordinator joins every Domain before surfacing the
+   fault. *)
+
+type mode =
+  | Static  (** one contiguous range per Domain, fixed at prepare *)
+  | Morsel  (** shared-queue work units of [LQ_MORSEL_SIZE] rows *)
+
+(* Process-global scheduler counters, surfaced by [Provider.report]. *)
+let counters = Lq_metrics.Counters.create ()
+
+let default_morsel_size = 4096
+
+(* Read per execute, so tests and operators can re-tune a live process. *)
+let morsel_size () =
+  match Sys.getenv_opt "LQ_MORSEL_SIZE" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> default_morsel_size)
+  | None -> default_morsel_size
+
+let make ?name ?(mode = Morsel) ~domains () : Engine_intf.t =
   let prepare ?instr cat (query : Ast.query) =
     ignore instr;
     let start = Lq_metrics.Profile.now_ms () in
@@ -244,11 +278,13 @@ let make ?name ~domains () : Engine_intf.t =
     let store = Catalog.store (Catalog.table cat source_name) in
     let nrows = Rowstore.length store in
     let workers = max 1 (min domains (max 1 nrows)) in
-    (* One independent compiled plan per domain, scanning a contiguous
-       row range of the shared flat store. *)
-    let plans =
-      List.init workers (fun d ->
-          let lo = d * nrows / workers and hi = (d + 1) * nrows / workers in
+    (* One independent compiled plan per worker Domain, scanning whatever
+       row range its mutable cell holds when it executes: static mode
+       pins the cells once to the contiguous split, morsel mode re-aims
+       them at each pulled work unit. *)
+    let wplans =
+      List.init workers (fun _ ->
+          let range = ref (0, 0) in
           let override name =
             if String.equal name source_name then
               Some
@@ -256,70 +292,128 @@ let make ?name ~domains () : Engine_intf.t =
                   Nplan.ext_store = store;
                   ext_drive =
                     (fun emit ->
+                      let lo, hi = !range in
                       for row = lo to hi - 1 do
                         emit row
                       done);
                 }
             else None
           in
-          Nplan.compile ~override cat pipeline)
+          (Nplan.compile ~override cat pipeline, range))
     in
     let codegen_ms = Lq_metrics.Profile.now_ms () -. start in
+    (* The range cells and the shared morsel counter are per-execution
+       scratch: concurrent executes of one cached prepared plan must not
+       interleave on them. *)
+    let exec_mu = Mutex.create () in
     let execute ?profile ~params () =
       let run () =
-        let results =
-          match plans with
-          | [ only ] -> [ Nplan.execute only ~params () ]
-          | first :: rest ->
-            (* Pre-intern string parameters on the coordinating domain:
-               the workers' own bindings then only *read* the dictionary,
-               which is safe. *)
-            List.iter
-              (fun (_, v) ->
-                match v with
-                | Value.Str s ->
-                  ignore (Lq_storage.Dict.intern (Catalog.dict cat) s : int)
-                | _ -> ())
-              params;
-            (* Hand the ambient trace context (if any) to the partition
-               Domains: each re-installs it with its own span buffer, so
-               partition spans land in the submitting request's trace
-               without contending on the coordinator's buffer. *)
-            let tctx = Lq_trace.Trace.current () in
-            let handles =
-              List.mapi
-                (fun i plan ->
-                  Domain.spawn (fun () ->
-                      Lq_trace.Trace.with_context tctx (fun () ->
-                          Lq_trace.Trace.with_span Lq_trace.Trace.Partition
-                            (Printf.sprintf "partition-%d" (i + 1))
-                            (fun () -> Nplan.execute plan ~params ()))))
-                rest
+        Mutex.lock exec_mu;
+        Fun.protect ~finally:(fun () -> Mutex.unlock exec_mu) @@ fun () ->
+        (* Pre-intern string parameters on the coordinating domain: the
+           workers' own bindings then only *read* the dictionary, which
+           is safe. *)
+        List.iter
+          (fun (_, v) ->
+            match v with
+            | Value.Str s -> ignore (Lq_storage.Dict.intern (Catalog.dict cat) s : int)
+            | _ -> ())
+          params;
+        let range_of, nmorsels =
+          match mode with
+          | Static ->
+            ((fun m -> (m * nrows / workers, (m + 1) * nrows / workers)), workers)
+          | Morsel ->
+            (* Clamped so even a small table fans out across the workers. *)
+            let unit_rows =
+              max 1 (min (morsel_size ()) ((nrows + workers - 1) / workers))
             in
-            (* Join every partition before surfacing any failure — a
-               crashed partition must not leak still-running Domains —
-               and surface it as a typed fault. *)
-            let mine =
-              try
-                Ok
-                  (Lq_trace.Trace.with_span Lq_trace.Trace.Partition "partition-0"
-                     (fun () -> Nplan.execute first ~params ()))
-              with exn -> Error exn
-            in
-            let others =
-              List.map (fun h -> try Ok (Domain.join h) with exn -> Error exn) handles
-            in
-            List.map
-              (function
-                | Ok rows -> rows
-                | Error exn ->
-                  raise
-                    (Lq_fault.Fault
-                       (Lq_fault.classify ~stage:"execute" ~default:Lq_fault.Internal
-                          exn)))
-              (mine :: others)
-          | [] -> []
+            let n = if nrows = 0 then 0 else (nrows + unit_rows - 1) / unit_rows in
+            ((fun m -> (m * unit_rows, min nrows ((m + 1) * unit_rows))), n)
         in
+        let next = Atomic.make 0 in
+        let abort : exn option Atomic.t = Atomic.make None in
+        let results = Array.make (max 1 nmorsels) [] in
+        (* One work unit: a typed-fault / cancellation checkpoint, its
+           own trace span, one compiled-plan pass over the range. *)
+        let run_morsel (plan, range) m =
+          let lo, hi = range_of m in
+          match
+            Lq_trace.Trace.with_span
+              ~attrs:[ ("rows", string_of_int (max 0 (hi - lo))) ]
+              Lq_trace.Trace.Morsel
+              (Printf.sprintf "morsel-%d" m)
+              (fun () ->
+                Lq_fault.Inject.hit "parallel/morsel";
+                range := (lo, hi);
+                Nplan.execute plan ~params ())
+          with
+          | rows ->
+            results.(m) <- rows;
+            Lq_metrics.Counters.incr counters "parallel/morsels";
+            true
+          | exception exn ->
+            ignore (Atomic.compare_and_set abort None (Some exn) : bool);
+            false
+        in
+        let worker wid wp =
+          Lq_trace.Trace.with_span Lq_trace.Trace.Partition
+            (Printf.sprintf "partition-%d" wid)
+            (fun () ->
+              let processed = ref 0 in
+              (match mode with
+              | Static ->
+                if wid < nmorsels && nrows > 0 && run_morsel wp wid then
+                  incr processed
+              | Morsel ->
+                let continue = ref true in
+                while !continue do
+                  if Atomic.get abort <> None then continue := false
+                  else begin
+                    let m = Atomic.fetch_and_add next 1 in
+                    if m >= nmorsels then continue := false
+                    else if run_morsel wp m then incr processed
+                    else continue := false
+                  end
+                done);
+              Lq_trace.Trace.span_attr "morsels" (string_of_int !processed))
+        in
+        (match wplans with
+        | [ only ] -> worker 0 only
+        | first :: rest ->
+          (* Hand the ambient trace context (if any) to the worker
+             Domains: each re-installs it with its own span buffer, so
+             partition spans land in the submitting request's trace
+             without contending on the coordinator's buffer. *)
+          let tctx = Lq_trace.Trace.current () in
+          let handles =
+            List.mapi
+              (fun i wp ->
+                Domain.spawn (fun () ->
+                    Lq_trace.Trace.with_context tctx (fun () -> worker (i + 1) wp)))
+              rest
+          in
+          worker 0 first;
+          (* Join every worker before surfacing any failure — a crashed
+             morsel must not leak still-running Domains. *)
+          List.iter
+            (fun h ->
+              match Domain.join h with
+              | () -> ()
+              | exception exn ->
+                ignore (Atomic.compare_and_set abort None (Some exn) : bool))
+            handles
+        | [] -> ());
+        (match Atomic.get abort with
+        | Some exn ->
+          raise
+            (Lq_fault.Fault
+               (Lq_fault.classify ~stage:"execute" ~default:Lq_fault.Internal exn))
+        | None -> ());
+        Lq_metrics.Counters.incr counters "parallel/executions";
+        (* Morsel-ordered reassembly: identical to the sequential row
+           order however the units were scheduled. *)
+        let results = Array.to_list results in
         let merged =
           match merge_kind with
           | `Concat -> List.concat results
@@ -376,7 +470,8 @@ let make ?name ~domains () : Engine_intf.t =
       | None -> run ()
       | Some p ->
         Lq_metrics.Profile.time p
-          (Printf.sprintf "Parallel scan+aggregate (%d domains)" workers)
+          (Printf.sprintf "Parallel scan+aggregate (%d domains, %s)" workers
+             (match mode with Static -> "static split" | Morsel -> "morsels"))
           run
     in
     { Engine_intf.execute; codegen_ms; source = None }
@@ -386,7 +481,14 @@ let make ?name ~domains () : Engine_intf.t =
       (match name with
       | Some n -> n
       | None -> Printf.sprintf "compiled-c-parallel[%d]" domains);
-    describe = "extension: domain-parallel native scans with partial-aggregate merge";
+    describe =
+      (match mode with
+      | Morsel ->
+        "extension: morsel-driven domain-parallel native scans with \
+         partial-aggregate merge"
+      | Static ->
+        "extension: statically partitioned domain-parallel native scans with \
+         partial-aggregate merge");
     (* Partitioned scans only parallelize single-source pipelines whose
        aggregates merge; strings crossing Domains would need interning. *)
     caps =

@@ -14,13 +14,41 @@
     - whatever sits above the aggregation (sorting, take) runs sequentially
       on the merged groups.
 
+    Scheduling is {!Morsel} by default: the scan is cut into small
+    fixed-size work units (the [LQ_MORSEL_SIZE] knob, clamped so small
+    tables still fan out) that worker Domains pull from a shared atomic
+    counter, so a Domain that drew cheap rows simply pulls more units
+    and one slow partition no longer gates the query. Results are
+    reassembled in morsel order — byte-identical to a sequential scan
+    whatever the Domain count. Every morsel is a typed-fault /
+    cancellation checkpoint (chaos point ["parallel/morsel"]) and
+    records a [Morsel] trace span under its worker's [Partition] span.
+    {!Static} keeps the old one-contiguous-range-per-Domain split, for
+    comparison benchmarks.
+
     Restrictions: single-source pipelines with at most one grouping — no
     joins, sub-queries or runtime string interning ([Lower]/[Upper]) —
     and float aggregates may differ from sequential results in the last
-    bits (partial sums are combined in a different order). *)
+    bits (partial sums are combined in a different order; the morsel
+    combination order itself is deterministic). *)
+
+type mode =
+  | Static  (** one contiguous range per Domain, fixed at prepare *)
+  | Morsel  (** shared-queue work units of [LQ_MORSEL_SIZE] rows *)
+
+val make :
+  ?name:string -> ?mode:mode -> domains:int -> unit -> Lq_catalog.Engine_intf.t
+(** [mode] defaults to {!Morsel}; [name] defaults to
+    ["compiled-c-parallel[<domains>]"]. *)
 
 val engine : Lq_catalog.Engine_intf.t
 
 val engine_with : domains:int -> Lq_catalog.Engine_intf.t
 (** Fixed worker count (the default uses
-    [Domain.recommended_domain_count], capped at 8). *)
+    [Domain.recommended_domain_count], capped at 8); morsel scheduling. *)
+
+val counters : Lq_metrics.Counters.t
+(** Process-global scheduler counters ([parallel/morsels],
+    [parallel/executions]), surfaced by [Provider.report]. *)
+
+val default_morsel_size : int

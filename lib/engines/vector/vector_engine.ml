@@ -4,6 +4,8 @@ module Eval = Lq_expr.Eval
 module Catalog = Lq_catalog.Catalog
 module Engine_intf = Lq_catalog.Engine_intf
 module Colstore = Lq_storage.Colstore
+module Rowstore = Lq_storage.Rowstore
+module Selvec = Lq_storage.Selvec
 module Layout = Lq_storage.Layout
 module Dict = Lq_storage.Dict
 module P = Lq_plan.Plan
@@ -12,36 +14,70 @@ let unsupported = Engine_intf.unsupported
 let vector_size = 1024
 
 (* Dense typed vectors; integer vectors carry the host type they decode to
-   (int / date / bool / dictionary-coded string). *)
+   (int / date / bool / dictionary-coded string). Scan-resident columns
+   stay *encoded* ([CE]) until an operator gathers them: predicates probe
+   the encoding directly (once per dictionary entry / RLE run) and only
+   the surviving rows are ever decoded. The [plain] cell memoizes a full
+   decode within one execution (the dataset is per-execute, so the
+   mutation is Domain-safe). *)
 type col =
   | CI of int array * Vtype.t
   | CF of float array
+  | CE of ecol
 
+and ecol = {
+  data : Colstore.data;
+  ty : Vtype.t;
+  mutable plain : col option;
+}
 
 (* A named-column relation plus an optional selection vector. *)
 type rel = { n : int; cols : (string * col) list }
 
-type dataset = { rel : rel; sel : int array option }
+type dataset = { rel : rel; sel : Selvec.t option }
 
-let ds_len ds = match ds.sel with Some s -> Array.length s | None -> ds.rel.n
+let ds_len ds = match ds.sel with Some s -> Selvec.length s | None -> ds.rel.n
 
-let gather c sel =
+let decode_full (e : ecol) : col =
+  match e.plain with
+  | Some c -> c
+  | None ->
+    let c =
+      match e.data with
+      | Colstore.Floats _ | Colstore.Dict_floats _ ->
+        CF (Colstore.decode_floats e.data)
+      | _ -> CI (Colstore.decode_ints e.data, e.ty)
+    in
+    e.plain <- Some c;
+    c
+
+let rec gather c (sel : Selvec.t option) =
   match (c, sel) with
+  | CE e, None -> decode_full e
+  | CE ({ plain = Some c; _ }), Some _ -> gather c sel
+  | CE e, Some s -> (
+    match e.data with
+    | Colstore.Floats _ | Colstore.Dict_floats _ ->
+      CF (Array.map (Colstore.get_float_at e.data) (Selvec.to_array s))
+    | _ -> CI (Array.map (Colstore.get_int_at e.data) (Selvec.to_array s), e.ty))
   | _, None -> c
-  | CI (a, ty), Some s -> CI (Array.map (fun i -> a.(i)) s, ty)
-  | CF a, Some s -> CF (Array.map (fun i -> a.(i)) s)
+  | CI (a, ty), Some s -> CI (Array.map (fun i -> a.(i)) (Selvec.to_array s), ty)
+  | CF a, Some s -> CF (Array.map (fun i -> a.(i)) (Selvec.to_array s))
 
-let rel_of_colstore cs =
+let rel_of_colstore ?(fields = None) cs =
   let layout = Colstore.layout cs in
   {
     n = Colstore.length cs;
     cols =
       Array.to_list (Layout.fields layout)
-      |> List.mapi (fun i (f : Layout.field) ->
+      |> List.filteri (fun _ (f : Layout.field) ->
+             match fields with
+             | None -> true
+             | Some fs -> List.mem f.Layout.name fs)
+      |> List.map (fun (f : Layout.field) ->
+             let i = Layout.field_index_exn layout f.Layout.name in
              ( f.Layout.name,
-               match Colstore.column cs i with
-               | Colstore.Ints a -> CI (a, f.Layout.vty)
-               | Colstore.Floats a -> CF a ));
+               CE { data = Colstore.column cs i; ty = f.Layout.vty; plain = None } ));
   }
 
 let find_col rel name =
@@ -71,10 +107,11 @@ let broadcast vc n v =
   | `I (i, ty) -> CI (Array.make n i, ty)
   | `F f -> CF (Array.make n f)
 
-let to_float_arr = function
+let rec to_float_arr = function
   | CF a -> a
   | CI (a, Vtype.Int) -> Array.map float_of_int a
   | CI (_, ty) -> unsupported "vectorized: %s as float" (Vtype.to_string ty)
+  | CE e -> to_float_arr (decode_full e)
 
 let bool_arr = function
   | CI (a, Vtype.Bool) -> a
@@ -239,7 +276,8 @@ and call vc f args n =
 
 (* A float's 64 bits do not fit one 63-bit int, so float key columns
    contribute two integer image columns. *)
-let key_images = function
+let rec key_images = function
+  | CE e -> key_images (decode_full e)
   | CI (a, _) -> [ a ]
   | CF a ->
     [
@@ -289,14 +327,10 @@ let scalar_field = "__val"
 let rec run vc cat (p : P.t) : dataset =
   match p.P.op with
   | P.Scan s ->
-    let rel = rel_of_colstore (Catalog.cols (Catalog.table cat s.P.table)) in
+    (* Implicit projection from the shared demand analysis: expose only
+       the columns downstream operators read, still encoded. *)
     let rel =
-      match s.P.fields with
-      | None -> rel
-      | Some fs ->
-        (* Implicit projection from the shared demand analysis: expose only
-           the columns downstream operators read. *)
-        { rel with cols = List.filter (fun (name, _) -> List.mem name fs) rel.cols }
+      rel_of_colstore ~fields:s.P.fields (Catalog.cols (Catalog.table cat s.P.table))
     in
     { rel; sel = None }
   | P.Filter (input, preds) ->
@@ -353,11 +387,7 @@ let rec run vc cat (p : P.t) : dataset =
     done;
     let lpos = Array.of_list (List.rev !lpos) in
     let rpos = Array.of_list (List.rev !rpos) in
-    let compose ds pos =
-      match ds.sel with
-      | None -> pos
-      | Some s -> Array.map (fun i -> s.(i)) pos
-    in
+    let compose ds pos = Selvec.compose ds.sel (Selvec.of_array pos) in
     let ldsel = { rel = lds.rel; sel = Some (compose lds lpos) } in
     let rdsel = { rel = rds.rel; sel = Some (compose rds rpos) } in
     let n = Array.length lpos in
@@ -412,7 +442,7 @@ let rec run vc cat (p : P.t) : dataset =
         n = ngroups;
         cols =
           List.map
-            (fun (fname, c) -> (fname, gather c (Some first)))
+            (fun (fname, c) -> (fname, gather c (Some (Selvec.of_array first))))
             key_fields;
       }
     in
@@ -508,6 +538,7 @@ let rec run vc cat (p : P.t) : dataset =
               done;
               CF acc
             | Ast.Sum, _ -> unsupported "vectorized Sum over non-numeric"
+            | _, CE _ -> assert false (* veval materializes *)
     in
     let accs =
       Array.init (P.Registry.length reg) (fun i ->
@@ -552,8 +583,8 @@ let rec run vc cat (p : P.t) : dataset =
     let k = Value.to_int (Eval.expr vc.eval_ctx ~env:[] k) in
     let k = max 0 (min k n) in
     let sel =
-      Array.init (n - k) (fun i ->
-          match ds.sel with Some s -> s.(i + k) | None -> i + k)
+      Selvec.init (n - k) (fun i ->
+          match ds.sel with Some s -> Selvec.get s (i + k) | None -> i + k)
     in
     { rel = ds.rel; sel = Some sel }
   | P.Distinct input ->
@@ -572,36 +603,99 @@ let rec run vc cat (p : P.t) : dataset =
       end
     done;
     let sel =
-      Array.of_list
-        (List.rev_map
-           (fun i -> match ds.sel with Some s -> s.(i) | None -> i)
-           !keep)
+      Selvec.of_array
+        (Array.of_list
+           (List.rev_map
+              (fun i -> match ds.sel with Some s -> Selvec.get s i | None -> i)
+              !keep))
     in
     { rel = ds.rel; sel = Some sel }
 
 and apply_pred vc ds (pred : P.pred) =
-  let n = ds_len ds in
-  match pred.P.lambda.Ast.params with
-  | [ p ] ->
-    let mask = bool_arr (veval vc ~env:[ (p, ds) ] ~n pred.P.lambda.Ast.body) in
-    let hits = ref 0 in
-    Array.iter (fun b -> if b <> 0 then incr hits) mask;
-    let out = Array.make !hits 0 in
-    let j = ref 0 in
-    for i = 0 to n - 1 do
-      if mask.(i) <> 0 then begin
-        out.(!j) <- (match ds.sel with Some s -> s.(i) | None -> i);
-        incr j
-      end
-    done;
-    { rel = ds.rel; sel = Some out }
-  | _ -> unsupported "vectorized filter arity"
+  match probe_pred vc ds pred with
+  | Some sel -> { rel = ds.rel; sel = Some sel }
+  | None -> (
+    let n = ds_len ds in
+    match pred.P.lambda.Ast.params with
+    | [ p ] ->
+      let mask = bool_arr (veval vc ~env:[ (p, ds) ] ~n pred.P.lambda.Ast.body) in
+      { rel = ds.rel; sel = Some (Selvec.of_mask ?base:ds.sel mask) }
+    | _ -> unsupported "vectorized filter arity")
+
+(* Encoding-aware predicate pushdown. A single-column predicate over a
+   dictionary-encoded column is evaluated once per *distinct value* (a
+   K-row mini-dataset through the ordinary vectorized kernels), then the
+   packed code vector is scanned against the kept-code mask; over an RLE
+   column it is evaluated once per *run*, and unselected scans emit the
+   kept runs as whole ranges. Either way no decoded column of length n
+   is ever materialized. *)
+and probe_pred vc ds (pred : P.pred) : Selvec.t option =
+  let single_field (l : Ast.lambda) =
+    match l.Ast.params with
+    | [ p ] -> (
+      let paths = Lq_expr.Paths.of_expr ~var:p l.Ast.body in
+      match paths with
+      | [] -> None
+      | _ -> (
+        match List.sort_uniq compare paths with
+        | [ [ f ] ] -> Some (p, f)
+        | _ -> None))
+    | _ -> None
+  in
+  match single_field pred.P.lambda with
+  | None -> None
+  | Some (p, f) -> (
+    match List.assoc_opt f ds.rel.cols with
+    | Some (CE ({ plain = None; _ } as e)) -> (
+      let body = pred.P.lambda.Ast.body in
+      (* Evaluate the predicate over a K-row dataset holding only the
+         distinct values, reusing the ordinary kernels. *)
+      let keep_mask (values : col) k =
+        let mini = { rel = { n = k; cols = [ (f, values) ] }; sel = None } in
+        bool_arr (veval vc ~env:[ (p, mini) ] ~n:k body)
+      in
+      match e.data with
+      | Colstore.Dict_ints { codes; values } ->
+        let mask = keep_mask (CI (values, e.ty)) (Array.length values) in
+        let keep row = mask.(Colstore.code_get codes row) <> 0 in
+        Some
+          (match ds.sel with
+          | Some s -> Selvec.of_pred ~base:s ~n:(Selvec.length s) keep
+          | None -> Selvec.of_pred ~n:ds.rel.n keep)
+      | Colstore.Dict_floats { codes; values } ->
+        let mask = keep_mask (CF values) (Array.length values) in
+        let keep row = mask.(Colstore.code_get codes row) <> 0 in
+        Some
+          (match ds.sel with
+          | Some s -> Selvec.of_pred ~base:s ~n:(Selvec.length s) keep
+          | None -> Selvec.of_pred ~n:ds.rel.n keep)
+      | Colstore.Rle_ints { starts; values; nrows } ->
+        let runs = Array.length starts in
+        let mask = keep_mask (CI (values, e.ty)) runs in
+        Some
+          (match ds.sel with
+          | Some s ->
+            Selvec.of_pred ~base:s ~n:(Selvec.length s) (fun row ->
+                mask.(Colstore.run_of_row starts row) <> 0)
+          | None ->
+            let ranges = ref [] in
+            for r = runs - 1 downto 0 do
+              if mask.(r) <> 0 then begin
+                let hi = if r + 1 < runs then starts.(r + 1) else nrows in
+                ranges := (starts.(r), hi) :: !ranges
+              end
+            done;
+            Selvec.of_ranges !ranges)
+      | Colstore.Ints _ | Colstore.Floats _ -> None)
+    | _ -> None)
 
 and take vc ds k =
   let n = ds_len ds in
   let k = Value.to_int (Eval.expr vc.eval_ctx ~env:[] k) in
   let k = max 0 (min k n) in
-  let sel = Array.init k (fun i -> match ds.sel with Some s -> s.(i) | None -> i) in
+  let sel =
+    Selvec.init k (fun i -> match ds.sel with Some s -> Selvec.get s i | None -> i)
+  in
   { rel = ds.rel; sel = Some sel }
 
 and sort_ds vc cat input keys =
@@ -619,7 +713,8 @@ and sort_ds vc cat input keys =
                 sign
                 * String.compare (Dict.get vc.dict a.(i)) (Dict.get vc.dict a.(j))
             | CI (a, _) -> fun i j -> sign * Int.compare a.(i) a.(j)
-            | CF a -> fun i j -> sign * Float.compare a.(i) a.(j))
+            | CF a -> fun i j -> sign * Float.compare a.(i) a.(j)
+            | CE _ -> assert false (* veval materializes *))
           | _ -> unsupported "vectorized sort key arity")
         keys
     in
@@ -634,14 +729,19 @@ and sort_ds vc cat input keys =
       go cmps
     in
     Lq_exec.Quicksort.indices_by ~cmp idx;
-    let base = Array.map (fun i -> match ds.sel with Some s -> s.(i) | None -> i) idx in
+    let base =
+      Selvec.of_array
+        (Array.map
+           (fun i -> match ds.sel with Some s -> Selvec.get s i | None -> i)
+           idx)
+    in
     { rel = ds.rel; sel = Some base }
 
 (* ---------- Boxing the final dataset ---------- *)
 
 let box_dataset vc ds =
   let n = ds_len ds in
-  let decode (c : col) i =
+  let rec decode (c : col) i =
     match c with
     | CF a -> Value.Float a.(i)
     | CI (a, Vtype.Int) -> Value.Int a.(i)
@@ -649,6 +749,7 @@ let box_dataset vc ds =
     | CI (a, Vtype.Bool) -> Value.Bool (a.(i) <> 0)
     | CI (a, Vtype.String) -> Value.Str (Dict.get vc.dict a.(i))
     | CI (a, _) -> Value.Int a.(i)
+    | CE e -> decode (decode_full e) i
   in
   let cols =
     List.map (fun (name, c) -> (name, gather c ds.sel)) ds.rel.cols
@@ -660,31 +761,39 @@ let box_dataset vc ds =
         Value.Record
           (Array.of_list (List.map (fun (name, c) -> (name, decode c i)) cols)))
 
-(* Instrumented runs model this engine's memory traffic as its scans: one
-   sequential pass over each demanded column (8-byte elements), which is
-   the columnar access pattern the stand-in exists to exhibit. Vector
-   intermediates (selection vectors, primitive outputs) are small and
-   cache-resident by design, so they are not traced. *)
+(* Instrumented runs model this engine's memory traffic as its scans,
+   following the plan's per-scan storage choice: column-routed scans pay
+   one sequential pass over each demanded column at its *encoded* width
+   (packed 1–2-byte dictionary codes, two run-indexed arrays for RLE —
+   see [Colstore.trace_column]); row-routed scans (the element escapes
+   whole) pay the rowstore's row-major traffic, every field of every
+   row. Vector intermediates (selection vectors, primitive outputs) are
+   small and cache-resident by design, so they are not traced. *)
 let trace_scan_traffic (instr : Lq_catalog.Instr.t) cat plan =
+  let trace = instr.Lq_catalog.Instr.trace in
   let rec go (p : P.t) =
     (match p.P.op with
-    | P.Scan s ->
-      let cs = Catalog.cols (Catalog.table cat s.P.table) in
-      let n = Colstore.length cs in
-      Array.iteri
-        (fun i (f : Layout.field) ->
-          let demanded =
-            match s.P.fields with
-            | None -> true
-            | Some fs -> List.mem f.Layout.name fs
-          in
-          if demanded then begin
-            let base = Colstore.base_addr cs i in
-            for row = 0 to n - 1 do
-              instr.Lq_catalog.Instr.trace (base + (8 * row))
-            done
-          end)
-        (Layout.fields (Colstore.layout cs))
+    | P.Scan s when s.P.known -> (
+      match s.P.storage with
+      | P.Column _ ->
+        let cs = Catalog.cols (Catalog.table cat s.P.table) in
+        Array.iteri
+          (fun i (f : Layout.field) ->
+            let demanded =
+              match s.P.fields with
+              | None -> true
+              | Some fs -> List.mem f.Layout.name fs
+            in
+            if demanded then Colstore.trace_column cs i trace)
+          (Layout.fields (Colstore.layout cs))
+      | P.Row ->
+        let rs = Catalog.store (Catalog.table cat s.P.table) in
+        let arity = Layout.arity (Rowstore.layout rs) in
+        for row = 0 to Rowstore.length rs - 1 do
+          for col = 0 to arity - 1 do
+            trace (Rowstore.addr rs ~row ~col)
+          done
+        done)
     | _ -> ());
     List.iter go (P.children p)
   in

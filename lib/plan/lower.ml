@@ -137,10 +137,23 @@ let param_roots (l : Ast.lambda) i : string list option =
 
 (* Top-down demand propagation: [wanted] is the set of root fields the
    consumers read of this node's output element ([None] = whole element).
-   Scans record the final demand as their implicit projection. *)
-let rec demand (wanted : string list option) (p : P.t) : P.t =
+   Scans record the final demand as their implicit projection, and the
+   demand also decides the storage backend: a scan whose element escapes
+   whole ([wanted = None]) reconstructs rows and routes to the rowstore;
+   a scan read field-by-field routes to the encoded column store.
+   [annotate] is the [lookup] used to fill in the per-column encodings
+   (it needs the catalog, which only [lower] holds). *)
+let rec demand annotate (wanted : string list option) (p : P.t) : P.t =
+  let demand = demand annotate in
   match p.P.op with
-  | P.Scan s -> { p with P.op = P.Scan { s with P.fields = wanted } }
+  | P.Scan s ->
+    let storage : P.storage =
+      match wanted with
+      | Some fields when s.P.known && s.P.flat ->
+        P.Column (annotate s.P.table fields)
+      | _ -> P.Row
+    in
+    { p with P.op = P.Scan { s with P.fields = wanted; storage } }
   | P.Filter (i, preds) ->
     let w =
       List.fold_left (fun acc pr -> union acc (lambda_roots pr.P.lambda)) wanted preds
@@ -201,6 +214,7 @@ let lower ?(options = Options.default) cat (q : Ast.query) : P.t =
               known = true;
               flat = Catalog.is_flat table;
               fields = None;
+              storage = P.Row;
             };
         rows = Float.max 1.0 (float_of_int (Catalog.row_count table));
       }
@@ -208,7 +222,16 @@ let lower ?(options = Options.default) cat (q : Ast.query) : P.t =
       (* Occurrence renames (hybrid staging) and synthetic sources resolve
          at execution time; assume a flat mid-sized input. *)
       {
-        P.op = P.Scan { P.table = name; occ; known = false; flat = true; fields = None };
+        P.op =
+          P.Scan
+            {
+              P.table = name;
+              occ;
+              known = false;
+              flat = true;
+              fields = None;
+              storage = P.Row;
+            };
         rows = 1000.0;
       }
   in
@@ -313,4 +336,14 @@ let lower ?(options = Options.default) cat (q : Ast.query) : P.t =
       let input = go src in
       { P.op = P.Distinct input; rows = Float.max 1.0 (input.P.rows *. 0.5) }
   in
-  demand None (go q)
+  (* Encoding annotation forces the table's (cached, Domain-safe) columnar
+     decomposition; catalog invalidation drops any plan cached over it. *)
+  let annotate table fields =
+    match Catalog.table cat table with
+    | t ->
+      List.filter
+        (fun (f, _) -> List.mem f fields)
+        (Catalog.column_encodings t)
+    | exception Lq_expr.Eval.Unbound_source _ -> []
+  in
+  demand annotate None (go q)

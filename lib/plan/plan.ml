@@ -19,6 +19,13 @@ type agg_spec = {
   sel : Ast.lambda option;  (** element selector; [None] counts elements *)
 }
 
+type storage =
+  | Row  (** fixed-width array-of-structs rowstore scan *)
+  | Column of (string * string) list
+      (** encoded columnar scan; the [(field, encoding)] pairs cover the
+          demanded fields, filled from catalog stats by the lowering
+          annotate pass (encodings: plain / dict8 / dict16 / rle) *)
+
 type scan = {
   table : string;
   occ : string;
@@ -29,6 +36,9 @@ type scan = {
   fields : string list option;
       (** implicit projection: root fields of the element the rest of the
           plan reads; [None] when the whole element is needed *)
+  storage : storage;
+      (** per-scan backend choice, recorded once here so all engines see
+          one decision; rendered by [explain] but not by [shape_key] *)
 }
 
 type t = {
@@ -301,13 +311,24 @@ let render ~hide_consts ~with_rows (p : t) : string =
     let line =
       match p.op with
       | Scan s ->
-        Printf.sprintf "scan %s%s%s%s" s.table
+        Printf.sprintf "scan %s%s%s%s%s" s.table
           (if not s.known then " (unbound)"
            else if s.flat then ""
            else " (nested)")
           (match s.fields with
           | None -> ""
           | Some fs -> Printf.sprintf " [%s]" (String.concat ", " fs))
+          ((* the storage choice is explain-only detail: [shape_key] must
+              stay byte-stable across catalogs with different stats *)
+           if not with_rows then ""
+           else
+             match s.storage with
+             | Row -> " storage=row"
+             | Column [] -> " storage=column"
+             | Column encs ->
+               Printf.sprintf " storage=column(%s)"
+                 (String.concat ", "
+                    (List.map (fun (f, e) -> f ^ ":" ^ e) encs)))
           (if with_rows then "" else Printf.sprintf " as %s" s.occ)
       | Filter (_, preds) ->
         Printf.sprintf "filter %s"

@@ -1,8 +1,47 @@
 open Lq_value
 
+(* Packed per-row code vector of a dictionary-encoded column: unsigned
+   little-endian codes, 1 or 2 bytes each. The packing is real — the
+   codes live in a [Bytes.t] — so the compression shows up in the
+   process as well as in the synthetic traffic model. *)
+type codes = {
+  packed : Bytes.t;
+  cwidth : int;  (* bytes per code: 1 or 2 *)
+}
+
+let code_get c row =
+  match c.cwidth with
+  | 1 -> Char.code (Bytes.unsafe_get c.packed row)
+  | _ ->
+    let lo = Char.code (Bytes.unsafe_get c.packed (2 * row)) in
+    let hi = Char.code (Bytes.unsafe_get c.packed ((2 * row) + 1)) in
+    lo lor (hi lsl 8)
+
+let code_set c row v =
+  match c.cwidth with
+  | 1 -> Bytes.unsafe_set c.packed row (Char.unsafe_chr (v land 0xFF))
+  | _ ->
+    Bytes.unsafe_set c.packed (2 * row) (Char.unsafe_chr (v land 0xFF));
+    Bytes.unsafe_set c.packed ((2 * row) + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+
+let codes_length c = Bytes.length c.packed / c.cwidth
+
 type data =
   | Ints of int array
   | Floats of float array
+  | Dict_ints of {
+      codes : codes;
+      values : int array;  (* code -> value, first-occurrence order *)
+    }
+  | Dict_floats of {
+      codes : codes;
+      values : float array;
+    }
+  | Rle_ints of {
+      starts : int array;  (* run r covers rows [starts.(r), starts.(r+1 <) ) *)
+      values : int array;
+      nrows : int;
+    }
 
 type t = {
   layout : Layout.t;
@@ -12,6 +51,142 @@ type t = {
   nrows : int;
 }
 
+(* --- encoding choice, by one stats pass per column ------------------ *)
+
+(* Encodings only pay off past a handful of rows; below this the plain
+   array wins on simplicity and the choice stays predictable in tests. *)
+let min_encoded_rows = 16
+
+let max_dict16 = 65536
+
+let run_count a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let runs = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then incr runs
+    done;
+    !runs
+  end
+
+(* Distinct values in first-occurrence order, or [None] past the u16
+   code-space bound (the column is then not dictionary-encodable). *)
+let distinct_of (type v) (module H : Hashtbl.S with type key = v) (a : v array) :
+    v list option =
+  let seen = H.create 256 in
+  let order = ref [] in
+  let n = Array.length a in
+  let i = ref 0 in
+  let ok = ref true in
+  while !ok && !i < n do
+    let x = a.(!i) in
+    if not (H.mem seen x) then begin
+      if H.length seen >= max_dict16 then ok := false
+      else begin
+        H.add seen x x;
+        order := x :: !order
+      end
+    end;
+    incr i
+  done;
+  if !ok then Some (List.rev !order) else None
+
+module Int_h = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+module Float_h = Hashtbl.Make (struct
+  type t = float
+
+  let equal (a : float) b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  let hash f = Hashtbl.hash (Int64.bits_of_float f)
+end)
+
+let dict_codes (type v) (module H : Hashtbl.S with type key = v) (a : v array)
+    (values : v list) =
+  let k = List.length values in
+  let cwidth = if k <= 256 then 1 else 2 in
+  let n = Array.length a in
+  let codes = { packed = Bytes.make (n * cwidth) '\000'; cwidth } in
+  let index = H.create (2 * k) in
+  List.iteri (fun c v -> H.replace index v c) values;
+  Array.iteri (fun row v -> code_set codes row (H.find index v)) a;
+  codes
+
+(* Candidate footprints in bytes; the smallest eligible wins. *)
+let plain_bytes n = 8 * n
+let rle_bytes runs = 16 * runs
+let dict_bytes n k = (n * if k <= 256 then 1 else 2) + (8 * k)
+
+let encode_ints (a : int array) : data =
+  let n = Array.length a in
+  if n < min_encoded_rows then Ints a
+  else begin
+    let runs = run_count a in
+    let dict = distinct_of (module Int_h) a in
+    let candidates =
+      (plain_bytes n, `Plain)
+      :: (rle_bytes runs, `Rle)
+      ::
+      (match dict with
+      | Some values -> [ (dict_bytes n (List.length values), `Dict values) ]
+      | None -> [])
+    in
+    let best =
+      List.fold_left (fun acc c -> if fst c < fst acc then c else acc)
+        (List.hd candidates) (List.tl candidates)
+    in
+    match snd best with
+    | `Plain -> Ints a
+    | `Rle ->
+      let starts = Array.make runs 0 in
+      let values = Array.make runs 0 in
+      let r = ref (-1) in
+      Array.iteri
+        (fun i v ->
+          if i = 0 || v <> a.(i - 1) then begin
+            incr r;
+            starts.(!r) <- i;
+            values.(!r) <- v
+          end)
+        a;
+      Rle_ints { starts; values; nrows = n }
+    | `Dict values ->
+      Dict_ints
+        {
+          codes = dict_codes (module Int_h) a values;
+          values = Array.of_list values;
+        }
+  end
+
+let encode_floats (a : float array) : data =
+  let n = Array.length a in
+  if n < min_encoded_rows then Floats a
+  else
+    match distinct_of (module Float_h) a with
+    | Some values when dict_bytes n (List.length values) < plain_bytes n ->
+      Dict_floats
+        {
+          codes = dict_codes (module Float_h) a values;
+          values = Array.of_list values;
+        }
+    | _ -> Floats a
+
+(* --- construction --------------------------------------------------- *)
+
+let encoded_bytes_of = function
+  | Ints a -> plain_bytes (Array.length a)
+  | Floats a -> plain_bytes (Array.length a)
+  | Dict_ints { codes; values } ->
+    Bytes.length codes.packed + (8 * Array.length values)
+  | Dict_floats { codes; values } ->
+    Bytes.length codes.packed + (8 * Array.length values)
+  | Rle_ints { starts; _ } -> rle_bytes (Array.length starts)
+
 let of_rowstore rs =
   let layout = Rowstore.layout rs in
   let n = Rowstore.length rs in
@@ -19,12 +194,15 @@ let of_rowstore rs =
     Array.mapi
       (fun col (f : Layout.field) ->
         match f.Layout.ftype with
-        | Ftype.F64 -> Floats (Array.init n (fun row -> Rowstore.get_float rs ~row ~col))
+        | Ftype.F64 ->
+          encode_floats (Array.init n (fun row -> Rowstore.get_float rs ~row ~col))
         | Ftype.Bool8 | Ftype.I32 | Ftype.I64 | Ftype.Date32 | Ftype.Str32 ->
-          Ints (Array.init n (fun row -> Rowstore.get_int rs ~row ~col)))
+          encode_ints (Array.init n (fun row -> Rowstore.get_int rs ~row ~col)))
       (Layout.fields layout)
   in
-  let bases = Array.map (fun _ -> Addr_space.alloc (8 * max n 1)) columns in
+  let bases =
+    Array.map (fun d -> Addr_space.alloc (max 8 (encoded_bytes_of d))) columns
+  in
   { layout; dict = Rowstore.dict rs; columns; bases; nrows = n }
 
 let length t = t.nrows
@@ -33,27 +211,127 @@ let dict t = t.dict
 let column t i = t.columns.(i)
 let column_by_name t name = t.columns.(Layout.field_index_exn t.layout name)
 
-let ints t i =
-  match t.columns.(i) with
+(* --- per-row access over encoded data ------------------------------- *)
+
+(* Run index of [row]: the greatest r with starts.(r) <= row. *)
+let run_of_row starts row =
+  let lo = ref 0 and hi = ref (Array.length starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if starts.(mid) <= row then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let get_int_at (d : data) row =
+  match d with
+  | Ints a -> a.(row)
+  | Dict_ints { codes; values } -> values.(code_get codes row)
+  | Rle_ints { starts; values; _ } -> values.(run_of_row starts row)
+  | Floats _ | Dict_floats _ -> invalid_arg "Colstore: float column"
+
+let get_float_at (d : data) row =
+  match d with
+  | Floats a -> a.(row)
+  | Dict_floats { codes; values } -> values.(code_get codes row)
+  | Ints _ | Dict_ints _ | Rle_ints _ -> invalid_arg "Colstore: integer column"
+
+(* --- decoded (materializing) accessors ------------------------------ *)
+
+let decode_ints (d : data) : int array =
+  match d with
   | Ints a -> a
-  | Floats _ -> invalid_arg "Colstore.ints: float column"
+  | Dict_ints { codes; values } ->
+    Array.init (codes_length codes) (fun row -> values.(code_get codes row))
+  | Rle_ints { starts; values; nrows } ->
+    let out = Array.make nrows 0 in
+    let runs = Array.length starts in
+    for r = 0 to runs - 1 do
+      let hi = if r + 1 < runs then starts.(r + 1) else nrows in
+      Array.fill out starts.(r) (hi - starts.(r)) values.(r)
+    done;
+    out
+  | Floats _ | Dict_floats _ -> invalid_arg "Colstore.ints: float column"
 
-let floats t i =
-  match t.columns.(i) with
+let decode_floats (d : data) : float array =
+  match d with
   | Floats a -> a
-  | Ints _ -> invalid_arg "Colstore.floats: integer column"
+  | Dict_floats { codes; values } ->
+    Array.init (codes_length codes) (fun row -> values.(code_get codes row))
+  | Ints _ | Dict_ints _ | Rle_ints _ -> invalid_arg "Colstore.floats: integer column"
 
+let ints t i = decode_ints t.columns.(i)
+let floats t i = decode_floats t.columns.(i)
+
+(* --- encoding metadata ---------------------------------------------- *)
+
+let encoding_name = function
+  | Ints _ | Floats _ -> "plain"
+  | Dict_ints { codes; _ } | Dict_floats { codes; _ } ->
+    if codes.cwidth = 1 then "dict8" else "dict16"
+  | Rle_ints _ -> "rle"
+
+let encoding t i = encoding_name t.columns.(i)
+
+let encodings t =
+  Array.to_list
+    (Array.mapi
+       (fun i (f : Layout.field) -> (f.Layout.name, encoding t i))
+       (Layout.fields t.layout))
+
+let encoded_bytes t i = encoded_bytes_of t.columns.(i)
 let base_addr t i = t.bases.(i)
+
+(* One full sequential scan of column [i], as synthetic addresses: the
+   access pattern a columnar operator pays, with the encoded widths —
+   packed codes advance 1–2 bytes per row, run-length columns touch two
+   run-indexed arrays, dictionaries are read once. The cache simulator
+   turns these into the line traffic Fig. 14 models. *)
+let trace_column t i trace =
+  let base = t.bases.(i) in
+  match t.columns.(i) with
+  | Ints a ->
+    for row = 0 to Array.length a - 1 do
+      trace (base + (8 * row))
+    done
+  | Floats a ->
+    for row = 0 to Array.length a - 1 do
+      trace (base + (8 * row))
+    done
+  | Dict_ints { codes; values } ->
+    for row = 0 to codes_length codes - 1 do
+      trace (base + (codes.cwidth * row))
+    done;
+    let vbase = base + Bytes.length codes.packed in
+    for k = 0 to Array.length values - 1 do
+      trace (vbase + (8 * k))
+    done
+  | Dict_floats { codes; values } ->
+    for row = 0 to codes_length codes - 1 do
+      trace (base + (codes.cwidth * row))
+    done;
+    let vbase = base + Bytes.length codes.packed in
+    for k = 0 to Array.length values - 1 do
+      trace (vbase + (8 * k))
+    done
+  | Rle_ints { starts; values; _ } ->
+    let vbase = base + (8 * Array.length starts) in
+    for r = 0 to Array.length starts - 1 do
+      trace (base + (8 * r));
+      trace (vbase + (8 * r));
+      ignore values
+    done
+
+(* --- boxed access --------------------------------------------------- *)
 
 let get_value t ~row ~col =
   let f = Layout.field_at t.layout col in
   match (t.columns.(col), f.Layout.ftype) with
-  | Floats a, _ -> Value.Float a.(row)
-  | Ints a, Ftype.Bool8 -> Value.Bool (a.(row) <> 0)
-  | Ints a, Ftype.Date32 -> Value.Date a.(row)
-  | Ints a, Ftype.Str32 -> Value.Str (Dict.get t.dict a.(row))
-  | Ints a, (Ftype.I32 | Ftype.I64) -> Value.Int a.(row)
-  | Ints _, Ftype.F64 -> assert false
+  | (Floats _ | Dict_floats _), _ -> Value.Float (get_float_at t.columns.(col) row)
+  | d, Ftype.Bool8 -> Value.Bool (get_int_at d row <> 0)
+  | d, Ftype.Date32 -> Value.Date (get_int_at d row)
+  | d, Ftype.Str32 -> Value.Str (Dict.get t.dict (get_int_at d row))
+  | d, (Ftype.I32 | Ftype.I64) -> Value.Int (get_int_at d row)
+  | (Ints _ | Dict_ints _ | Rle_ints _), Ftype.F64 -> assert false
 
 let row_value t row =
   Value.Record

@@ -1,0 +1,70 @@
+(* Selection vectors: sorted row-index vectors that stand in for the
+   rows a filter kept, so operators downstream of a predicate read
+   *through* the vector instead of materializing a narrowed copy of
+   every column (the VectorWise execution model, §4). *)
+
+type t = int array
+
+let of_array a = a
+let to_array t = t
+let length = Array.length
+let get (t : t) i = t.(i)
+let init = Array.init
+let identity n = Array.init n Fun.id
+let iter = Array.iter
+
+(* [compose base inner]: [inner] selects positions *within* [base]
+   (or within the unselected relation when [base] is [None]). *)
+let compose (base : t option) (inner : t) : t =
+  match base with
+  | None -> inner
+  | Some b -> Array.map (fun i -> b.(i)) inner
+
+(* Build from a 0/1 mask of length n over the current selection:
+   position [i] of the mask refers to [base.(i)] (or row [i] bare). *)
+let of_mask ?base (mask : int array) : t =
+  let n = Array.length mask in
+  let hits = ref 0 in
+  Array.iter (fun b -> if b <> 0 then incr hits) mask;
+  let out = Array.make !hits 0 in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if mask.(i) <> 0 then begin
+      out.(!j) <- (match base with Some (b : t) -> b.(i) | None -> i);
+      incr j
+    end
+  done;
+  out
+
+(* Keep the base-space indices whose *predicate on the index* holds —
+   the shape dictionary- and run-probes produce. *)
+let of_pred ?base ~n (keep : int -> bool) : t =
+  let resolve i = match base with Some (b : t) -> b.(i) | None -> i in
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    if keep (resolve i) then incr hits
+  done;
+  let out = Array.make !hits 0 in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let r = resolve i in
+    if keep r then begin
+      out.(!j) <- r;
+      incr j
+    end
+  done;
+  out
+
+(* Concatenated [lo, hi) ranges, in order — the run-probe output shape. *)
+let of_ranges (ranges : (int * int) list) : t =
+  let total = List.fold_left (fun acc (lo, hi) -> acc + max 0 (hi - lo)) 0 ranges in
+  let out = Array.make total 0 in
+  let j = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      for r = lo to hi - 1 do
+        out.(!j) <- r;
+        incr j
+      done)
+    ranges;
+  out

@@ -1,0 +1,30 @@
+(** Selection vectors (sorted row-index vectors).
+
+    A filter over a columnar relation produces one of these instead of a
+    narrowed copy of every column; downstream operators gather through
+    it. Composition keeps the flow single-level: a selection over an
+    already-selected dataset resolves to base-relation indices. *)
+
+type t
+
+val of_array : int array -> t
+val to_array : t -> int array
+val length : t -> int
+val get : t -> int -> int
+val init : int -> (int -> int) -> t
+val identity : int -> t
+val iter : (int -> unit) -> t -> unit
+
+val compose : t option -> t -> t
+(** [compose base inner] resolves [inner] (positions within [base], or
+    within the bare relation when [base] is [None]) to base indices. *)
+
+val of_mask : ?base:t -> int array -> t
+(** Rows whose 0/1 mask entry is set; entry [i] refers to [base.(i)]. *)
+
+val of_pred : ?base:t -> n:int -> (int -> bool) -> t
+(** Base-space rows (as selected by [base], length [n]) satisfying a
+    predicate on the base index — the dictionary-probe output shape. *)
+
+val of_ranges : (int * int) list -> t
+(** Concatenated [\[lo, hi)] index ranges — the run-probe output shape. *)

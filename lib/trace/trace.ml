@@ -37,6 +37,7 @@ type kind =
   | Fallback_hop
   | Breaker_event
   | Partition
+  | Morsel
   | Jit_compile
 
 let kind_to_string = function
@@ -54,13 +55,14 @@ let kind_to_string = function
   | Fallback_hop -> "fallback-hop"
   | Breaker_event -> "breaker-event"
   | Partition -> "partition"
+  | Morsel -> "morsel"
   | Jit_compile -> "jit-compile"
 
 let all_kinds =
   [
     Request; Queue; Cache_lookup; Optimize; Lower; Codegen; Execute; Staging;
     Native_op; Return_result; Retry_attempt; Fallback_hop; Breaker_event; Partition;
-    Jit_compile;
+    Morsel; Jit_compile;
   ]
 
 type span = {

@@ -32,6 +32,7 @@ type kind =
   | Fallback_hop  (** one rung of the degradation ladder *)
   | Breaker_event  (** opened / reclosed / fast-fail, as instant spans *)
   | Partition  (** one parallel-engine partition Domain *)
+  | Morsel  (** one morsel-sized work unit pulled by a worker Domain *)
   | Jit_compile  (** one native-JIT [cc] run (sync: in-request; async: standalone) *)
 
 val kind_to_string : kind -> string

@@ -145,6 +145,70 @@ let test_concurrent_clear_is_safe () =
   Domain.join clearer;
   check_int "clears racing runs never corrupt results" 0 mismatches
 
+(* --- cold-start forcing of the derived stores ----------------------- *)
+
+(* Regression guard for the catalog's lazy decomposition: the first
+   access to a table's flat/columnar stores forces lazy thunks, and a
+   concurrent [Lazy.force] of one thunk from two Domains raises
+   [CamlinternalLazy.Undefined]. The per-table mutex must serialize that
+   first force, so many Domains hitting a *cold* table at once — the
+   encoding-annotation path in [Lower.lower] does exactly this — all get
+   the same decomposition and never an exception. *)
+let test_cold_start_forcing () =
+  let num_forcers = 6 in
+  for round = 0 to 4 do
+    (* a fresh catalog per round: forcing only races while cold *)
+    let cat = Lq_testkit.sales_catalog ~n:300 ~seed:(50 + round) () in
+    let t = Lq_catalog.Catalog.table cat "sales" in
+    let probe d =
+      (* alternate the access order so rowstore-first and colstore-first
+         forcing interleave across Domains *)
+      if d mod 2 = 0 then (
+        let encs = Lq_catalog.Catalog.column_encodings t in
+        let nrows = Lq_storage.Rowstore.length (Lq_catalog.Catalog.store t) in
+        let ncols = Lq_storage.Colstore.length (Lq_catalog.Catalog.cols t) in
+        (encs, nrows, ncols))
+      else (
+        let nrows = Lq_storage.Rowstore.length (Lq_catalog.Catalog.store t) in
+        let ncols = Lq_storage.Colstore.length (Lq_catalog.Catalog.cols t) in
+        let encs = Lq_catalog.Catalog.column_encodings t in
+        (encs, nrows, ncols))
+    in
+    let go = Atomic.make false in
+    let results = Array.make num_forcers None in
+    let domains =
+      List.init num_forcers (fun d ->
+          Domain.spawn (fun () ->
+              while not (Atomic.get go) do
+                Domain.cpu_relax ()
+              done;
+              results.(d) <-
+                Some
+                  (match probe d with
+                  | r -> Ok r
+                  | exception e -> Error (Printexc.to_string e))))
+    in
+    Atomic.set go true;
+    List.iter Domain.join domains;
+    let first =
+      match results.(0) with
+      | Some (Ok r) -> r
+      | Some (Error msg) -> Alcotest.fail ("cold-start force raised: " ^ msg)
+      | None -> Alcotest.fail "forcer recorded no result"
+    in
+    Array.iteri
+      (fun d r ->
+        match r with
+        | Some (Ok got) ->
+          check_bool (Printf.sprintf "round %d: domain %d agrees" round d) true
+            (got = first)
+        | Some (Error msg) ->
+          Alcotest.fail
+            (Printf.sprintf "round %d: domain %d raised %s" round d msg)
+        | None -> Alcotest.fail "forcer recorded no result")
+      results
+  done
+
 let () =
   Alcotest.run "cache_concurrency"
     [
@@ -156,4 +220,6 @@ let () =
             test_bounded_caches_under_storm;
           Alcotest.test_case "concurrent clear" `Quick test_concurrent_clear_is_safe;
         ] );
+      ( "catalog",
+        [ Alcotest.test_case "cold-start forcing" `Quick test_cold_start_forcing ] );
     ]

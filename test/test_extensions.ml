@@ -176,6 +176,57 @@ let test_parallel_unsupported () =
     | exception Engine_intf.Unsupported _ -> true
     | _ -> false)
 
+(* Morsel-scheduler determinism: results are reassembled in morsel order,
+   so with a fixed morsel size the rows — float partial sums included —
+   are bit-identical whatever the Domain count, and identical to the
+   static contiguous split. Which Domain ran which morsel must not show. *)
+let test_morsel_determinism () =
+  Unix.putenv "LQ_MORSEL_SIZE" "7";
+  Fun.protect ~finally:(fun () -> Unix.putenv "LQ_MORSEL_SIZE" "") @@ fun () ->
+  let cat = Lq_testkit.sales_catalog ~n:500 ~seed:3 () in
+  let prov = Provider.create cat in
+  let pipeline =
+    source "sales"
+    |> where "s" (v "s" $. "qty" >: int 15)
+    |> select "s" (record [ ("id", v "s" $. "id"); ("p", v "s" $. "price") ])
+  in
+  let aggregate =
+    source "sales"
+    |> group_by
+         ~key:("s", v "s" $. "city")
+         ~result:
+           ( "g",
+             record
+               [
+                 ("city", v "g" $. "Key");
+                 ("revenue", sum (v "g") "x" (v "x" $. "price"));
+                 ("avg_price", avg (v "g") "x" (v "x" $. "price"));
+               ] )
+  in
+  List.iter
+    (fun (qname, q) ->
+      let run engine = Provider.run prov ~engine q in
+      let base = run (Lq_parallel.Parallel_engine.engine_with ~domains:1) in
+      List.iter
+        (fun d ->
+          check_bool
+            (Printf.sprintf "%s: %d domains bit-identical to 1" qname d)
+            true
+            (Lq_testkit.rows_equal base
+               (run (Lq_parallel.Parallel_engine.engine_with ~domains:d))))
+        [ 2; 4 ];
+      check_bool
+        (Printf.sprintf "%s: static split agrees (tolerant)" qname)
+        true
+        (Lq_testkit.rows_close base
+           (run (Lq_parallel.Parallel_engine.make ~mode:Lq_parallel.Parallel_engine.Static
+                   ~domains:4 ()))))
+    [ ("pipeline", pipeline); ("aggregate", aggregate) ];
+  (* the scheduler actually ran morsels, and counted them *)
+  check_bool "morsel counter moved" true
+    (Lq_metrics.Counters.count Lq_parallel.Parallel_engine.counters "parallel/morsels"
+    > 0)
+
 let prop_parallel_differential =
   Lq_testkit.qtest ~count:80 "parallel: agrees with reference (tolerant)"
     Lq_testkit.gen_query (fun q ->
@@ -202,6 +253,7 @@ let () =
           Alcotest.test_case "pipeline" `Quick test_parallel_pipeline;
           Alcotest.test_case "aggregation" `Quick test_parallel_aggregation;
           Alcotest.test_case "TPC-H Q1" `Quick test_parallel_q1;
+          Alcotest.test_case "morsel determinism" `Quick test_morsel_determinism;
           Alcotest.test_case "unsupported" `Quick test_parallel_unsupported;
           prop_parallel_differential;
         ] );

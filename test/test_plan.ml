@@ -136,6 +136,44 @@ let test_lowering_annotations () =
        (Lq_core.Provider.plan_check prov ~engine:vectorwise
           (List.assoc "Q1" Lq_tpch.Queries.all)))
 
+(* --- storage routing surfaces in explain, never in the shape key ---- *)
+
+let test_explain_storage () =
+  let has_sub sub s = Lq_expr.Scalar.like_match ~pattern:("%" ^ sub ^ "%") s in
+  let open Lq_expr.Dsl in
+  (* Field-wise demand routes the scan to the encoded column store, and
+     explain names each demanded column's encoding (the sales fixture's
+     low-cardinality city/qty columns dictionary-encode). *)
+  let colq =
+    source "sales"
+    |> where "s" (v "s" $. "qty" >: int 10)
+    |> select "s" (record [ ("city", v "s" $. "city"); ("qty", v "s" $. "qty") ])
+  in
+  let col_plan = Lower.lower test_cat (Lq_core.Optimizer.run colq) in
+  let rendered = Plan.explain col_plan in
+  check_bool "column-routed scan renders" true (has_sub "storage=column(" rendered);
+  check_bool "city encoding named" true (has_sub "city:dict8" rendered);
+  check_bool "qty encoding named" true (has_sub "qty:dict8" rendered);
+  (* A whole-element scan reconstructs rows and stays on the rowstore. *)
+  let rowq = source "sales" |> where "s" (v "s" $. "qty" >: int 10) in
+  let row_plan = Lower.lower test_cat (Lq_core.Optimizer.run rowq) in
+  check_bool "row-routed scan renders" true
+    (has_sub "storage=row" (Plan.explain row_plan));
+  check_bool "row plan claims no columns" false
+    (has_sub "storage=column" (Plan.explain row_plan));
+  (* The storage choice is stats-dependent, explain-only detail: the
+     query-cache key must never see it. *)
+  check_bool "shape key is storage-blind (column)" false
+    (has_sub "storage=" (Plan.shape_key col_plan));
+  check_bool "shape key is storage-blind (row)" false
+    (has_sub "storage=" (Plan.shape_key row_plan));
+  (* The provider surfaces the same annotation end to end. *)
+  let rendered_prov, _ =
+    Lq_core.Provider.explain prov ~engine:(List.hd engines) Lq_tpch.Queries.q6
+  in
+  check_bool "Provider.explain shows Q6 column routing" true
+    (has_sub "storage=column(" rendered_prov)
+
 (* --- shape-key stability under parameter rebinding ------------------ *)
 
 (* Rewrites every literal constant to a different value of the same type:
@@ -219,6 +257,7 @@ let () =
         [
           Alcotest.test_case "total over queries x engines" `Quick test_explain_total;
           Alcotest.test_case "lowering annotations" `Quick test_lowering_annotations;
+          Alcotest.test_case "storage routing" `Quick test_explain_storage;
         ] );
       ( "shape key",
         [ prop_shape_stable; prop_shape_deterministic ] );

@@ -187,6 +187,199 @@ let test_colstore () =
       check_bool "row reconstruction" true (Value.equal expected (Colstore.row_value cols i)))
     rows
 
+(* --- colstore encodings --- *)
+
+let int_column_store ints =
+  let schema = Schema.make [ ("x", Vtype.Int) ] in
+  Rowstore.of_records ~layout:(Layout.of_schema schema) ~dict:(Dict.create ())
+    (List.map (fun x -> Schema.row schema [ Value.Int x ]) ints)
+
+let test_colstore_encoding_choice () =
+  let enc ints = Colstore.encoding (Colstore.of_rowstore (int_column_store ints)) 0 in
+  check_str "long runs pick rle" "rle" (enc (List.init 400 (fun i -> i / 100)));
+  check_str "low cardinality picks dict8" "dict8"
+    (enc (List.init 400 (fun i -> i * 7 mod 11)));
+  check_str "mid cardinality picks dict16" "dict16"
+    (enc (List.init 4000 (fun i -> i * 37 mod 700)));
+  check_str "high cardinality stays plain" "plain"
+    (enc (List.init 400 (fun i -> i * 1_000_003)));
+  check_str "tiny stores stay plain" "plain" (enc (List.init 8 (fun i -> i mod 2)));
+  (* float columns dictionary-encode too *)
+  let fschema = Schema.make [ ("y", Vtype.Float) ] in
+  let fstore =
+    Rowstore.of_records ~layout:(Layout.of_schema fschema) ~dict:(Dict.create ())
+      (List.init 400 (fun i -> Schema.row fschema [ Value.Float (float_of_int (i mod 5)) ]))
+  in
+  let fcols = Colstore.of_rowstore fstore in
+  check_str "float dict" "dict8" (Colstore.encoding fcols 0);
+  Alcotest.(check (float 0.0)) "float decode" 3.0 (Colstore.floats fcols 0).(3)
+
+let gen_int_column : int list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* style = int_range 0 2 in
+  match style with
+  | 0 ->
+    (* low cardinality: dictionary territory *)
+    let* n = int_range 0 600 in
+    list_size (return n) (int_range (-5) 5)
+  | 1 ->
+    (* run shaped: a few values each repeated a random run length *)
+    let* runs =
+      list_size (int_range 0 40) (pair (int_range (-3) 3) (int_range 1 50))
+    in
+    return (List.concat_map (fun (v, len) -> List.init len (fun _ -> v)) runs)
+  | _ ->
+    (* arbitrary: usually stays plain *)
+    let* n = int_range 0 600 in
+    list_size (return n) int
+
+let prop_colstore_roundtrip =
+  Lq_testkit.qtest ~count:200 "colstore: every encoding decodes to its source"
+    gen_int_column (fun ints ->
+      let cols = Colstore.of_rowstore (int_column_store ints) in
+      let expected = Array.of_list ints in
+      let n = Array.length expected in
+      let col = Colstore.column cols 0 in
+      Colstore.ints cols 0 = expected
+      && Array.for_all Fun.id (Array.init n (fun i -> Colstore.get_int_at col i = expected.(i)))
+      (* plain is always a candidate, so encoding never loses *)
+      && Colstore.encoded_bytes cols 0 <= 8 * n)
+
+(* --- selvec --- *)
+
+let test_selvec () =
+  let sv = Selvec.of_array [| 2; 5; 9 |] in
+  check_int "length" 3 (Selvec.length sv);
+  check_int "get" 5 (Selvec.get sv 1);
+  let inner = Selvec.of_array [| 0; 2 |] in
+  Alcotest.(check (array int)) "compose resolves to base indices" [| 2; 9 |]
+    (Selvec.to_array (Selvec.compose (Some sv) inner));
+  Alcotest.(check (array int)) "compose without base is identity" [| 0; 2 |]
+    (Selvec.to_array (Selvec.compose None inner));
+  Alcotest.(check (array int)) "of_mask through a base" [| 2; 9 |]
+    (Selvec.to_array (Selvec.of_mask ~base:sv [| 1; 0; 1 |]));
+  Alcotest.(check (array int)) "of_mask bare" [| 0; 2 |]
+    (Selvec.to_array (Selvec.of_mask [| 1; 0; 1 |]));
+  Alcotest.(check (array int)) "of_pred keeps base-space rows" [| 5; 9 |]
+    (Selvec.to_array (Selvec.of_pred ~base:sv ~n:3 (fun row -> row > 2)));
+  Alcotest.(check (array int)) "of_ranges concatenates" [| 1; 2; 7 |]
+    (Selvec.to_array (Selvec.of_ranges [ (1, 3); (7, 8) ]))
+
+(* --- encoded-column differential (vectorwise vs the oracle) --- *)
+
+(* A fixture whose columns provably land on every encoding, so random
+   filters/aggregates through the vector engine exercise the dictionary-
+   and run-probe pushdown paths as well as the mask fallback. *)
+let enc_schema =
+  Schema.make
+    [
+      ("id", Vtype.Int);
+      ("run", Vtype.Int);
+      ("grp", Vtype.Int);
+      ("price", Vtype.Float);
+      ("city", Vtype.String);
+    ]
+
+let enc_catalog ?(n = 400) ~seed () =
+  let rng = Lq_exec.Prng.create seed in
+  let cities = [| "a"; "b"; "c" |] in
+  let rows =
+    List.init n (fun i ->
+        Schema.row enc_schema
+          [
+            Value.Int i;
+            Value.Int (i / 40);
+            Value.Int (Lq_exec.Prng.int rng 7);
+            Value.Float (float_of_int (Lq_exec.Prng.int rng 9));
+            Value.Str cities.(Lq_exec.Prng.int rng (Array.length cities));
+          ])
+  in
+  let cat = Lq_catalog.Catalog.create () in
+  Lq_catalog.Catalog.add cat ~name:"enc" ~schema:enc_schema rows;
+  cat
+
+let test_enc_fixture_encodings () =
+  let cat = enc_catalog ~seed:1 () in
+  let encs =
+    Lq_catalog.Catalog.column_encodings (Lq_catalog.Catalog.table cat "enc")
+  in
+  Alcotest.(check (list (pair string string)))
+    "fixture covers every encoding"
+    [
+      ("id", "plain");
+      ("run", "rle");
+      ("grp", "dict8");
+      ("price", "dict8");
+      ("city", "dict8");
+    ]
+    encs
+
+let gen_enc_query =
+  let open QCheck2.Gen in
+  let open Lq_expr.Dsl in
+  let pred =
+    oneof
+      [
+        (* single-field predicates: the probe-pushdown shapes *)
+        (let* k = int_range 0 12 in
+         return (v "s" $. "run" =: int k));
+        (let* k = int_range 0 12 in
+         return (v "s" $. "run" <: int k));
+        (let* k = int_range 0 8 in
+         return (v "s" $. "grp" =: int k));
+        (let* k = int_range 0 8 in
+         return (v "s" $. "grp" >=: int k));
+        (let* x = float_range 0.0 10.0 in
+         return (v "s" $. "price" <: float x));
+        (let* c = oneofl [ "a"; "b"; "z" ] in
+         return (v "s" $. "city" =: str c));
+        (* two-field compound: must fall back to the mask path *)
+        (let* k = int_range 0 8 and* j = int_range 0 12 in
+         return ((v "s" $. "grp" =: int k) ||: (v "s" $. "run" >: int j)));
+      ]
+  in
+  let* p1 = pred in
+  let base = source "enc" |> where "s" p1 in
+  let* shape = int_range 0 3 in
+  match shape with
+  | 0 -> return base
+  | 1 ->
+    return
+      (base |> select "s" (record [ ("g", v "s" $. "grp"); ("p", v "s" $. "price") ]))
+  | 2 ->
+    (* stacked filters: the second probe composes through the selection *)
+    let* p2 = pred in
+    return (base |> where "s" p2 |> select "s" (v "s" $. "id"))
+  | _ ->
+    return
+      (base
+      |> group_by
+           ~key:("s", v "s" $. "grp")
+           ~result:
+             ( "g",
+               record
+                 [
+                   ("k", v "g" $. "Key");
+                   ("n", count (v "g"));
+                   ("total", sum (v "g") "x" (v "x" $. "run"));
+                   ("avg_price", avg (v "g") "x" (v "x" $. "price"));
+                 ] ))
+
+let enc_cat = lazy (enc_catalog ~seed:5 ())
+let enc_prov = lazy (Lq_core.Provider.create (Lazy.force enc_cat))
+
+let prop_encoded_differential =
+  Lq_testkit.qtest ~count:150
+    "vectorwise over encoded columns agrees with the oracle" gen_enc_query
+    (fun q ->
+      match
+        Lq_testkit.engine_agrees_with_reference
+          ~provider:(Lazy.force enc_prov) (Lazy.force enc_cat)
+          Lq_vector.Vector_engine.engine q
+      with
+      | `Agree | `Unsupported -> true
+      | `Disagree _ -> false)
+
 (* --- pagelist --- *)
 
 let test_pagelist_staged () =
@@ -328,7 +521,18 @@ let () =
           Alcotest.test_case "readers" `Quick test_rowstore_readers;
           Alcotest.test_case "write/clear/growth" `Quick test_rowstore_write_clear;
         ] );
-      ("colstore", [ Alcotest.test_case "decompose" `Quick test_colstore ]);
+      ( "colstore",
+        [
+          Alcotest.test_case "decompose" `Quick test_colstore;
+          Alcotest.test_case "encoding choice" `Quick test_colstore_encoding_choice;
+          prop_colstore_roundtrip;
+        ] );
+      ("selvec", [ Alcotest.test_case "construction and composition" `Quick test_selvec ]);
+      ( "encoded differential",
+        [
+          Alcotest.test_case "fixture encodings" `Quick test_enc_fixture_encodings;
+          prop_encoded_differential;
+        ] );
       ( "pagelist",
         [
           Alcotest.test_case "staged" `Quick test_pagelist_staged;
