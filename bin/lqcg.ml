@@ -92,6 +92,16 @@ let tables_cmd =
 let run_cmd =
   let doc = "Run a TPC-H query on an engine." in
   let run sf engine_name query_name =
+    (match Sys.getenv_opt "LQ_FAULT_SPEC" with
+    | None -> ()
+    | Some s -> (
+      match Lq_fault.Inject.parse_spec s with
+      | Ok spec ->
+        Lq_fault.Inject.enable spec;
+        Printf.printf "fault injection armed: %s\n%!" (Lq_fault.Inject.spec_to_string spec)
+      | Error msg ->
+        Printf.eprintf "bad fault spec: %s\n" msg;
+        exit 2));
     let _, provider = load sf in
     let engine = resolve_engine engine_name in
     let query = resolve_query query_name in

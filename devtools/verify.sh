@@ -196,6 +196,108 @@ if command -v "${LQ_CC:-cc}" >/dev/null 2>&1; then
   esac
   rm -rf "$JIT_CACHE"
   echo "   ok: dlopened object served Q1 with reference-identical rows"
+
+  # Guarded-tiering smoke 1: arm the jit/validate chaos point so the
+  # sandboxed first execution of the freshly compiled artifact crashes.
+  # The service must stay up, answer Q1 with reference-identical rows
+  # from the interpreted tier, and never promote the artifact.
+  echo "== guarded jit smoke (chaos-crashed validation stays interpreted) =="
+  JIT_CACHE="$(mktemp -d /tmp/lqcg_jitg.XXXXXX)"
+  if ! chaos_out=$(LQ_JIT_MODE=sync LQ_JIT_CACHE_DIR="$JIT_CACHE" \
+      LQ_FAULT_SPEC='seed=5;jit/validate=1:internal' \
+      "$LQCG" run -e compiled-c-jit -q Q1 --sf 0.01 2>&1); then
+    echo "chaos-validated jit run failed (service must survive a crashing artifact):" >&2
+    echo "$chaos_out" >&2
+    rm -rf "$JIT_CACHE"
+    exit 1
+  fi
+  chaos_rows=$(printf '%s\n' "$chaos_out" | grep '^{' || true)
+  if [ -z "$chaos_rows" ] || [ "$chaos_rows" != "$ref_rows" ]; then
+    echo "interpreted fallback rows diverge from the reference under validation chaos:" >&2
+    echo "$chaos_out" >&2
+    rm -rf "$JIT_CACHE"
+    exit 1
+  fi
+  case "$chaos_out" in
+    *"service/jit/validation_failures"*) ;;
+    *)
+      echo "validation chaos armed but no service/jit/validation_failures counter:" >&2
+      echo "$chaos_out" >&2
+      rm -rf "$JIT_CACHE"
+      exit 1
+      ;;
+  esac
+  case "$chaos_out" in
+    *"service/jit/exec_jit"*)
+      echo "crashing artifact was promoted anyway (service/jit/exec_jit present):" >&2
+      echo "$chaos_out" >&2
+      rm -rf "$JIT_CACHE"
+      exit 1
+      ;;
+    *) ;;
+  esac
+  rm -rf "$JIT_CACHE"
+  echo "   ok: artifact crashed in the sandbox, query served interpreted"
+
+  # Guarded-tiering smoke 2: corrupt the cached .so on disk between two
+  # processes. The integrity manifest must catch it before dlopen, evict
+  # the damaged artifact, recompile, and still serve correct rows.
+  echo "== guarded jit smoke (corrupt cached artifact evicted + recompiled) =="
+  JIT_CACHE="$(mktemp -d /tmp/lqcg_jitc.XXXXXX)"
+  if ! warm_out=$(LQ_JIT_MODE=sync LQ_JIT_CACHE_DIR="$JIT_CACHE" \
+      "$LQCG" run -e compiled-c-jit -q Q1 --sf 0.01 2>&1); then
+    echo "cache-populating jit run failed:" >&2
+    echo "$warm_out" >&2
+    rm -rf "$JIT_CACHE"
+    exit 1
+  fi
+  corrupted=0
+  for so in "$JIT_CACHE"/lqjit-*.so; do
+    [ -e "$so" ] || continue
+    # Replace, never truncate in place: an in-place truncation of a
+    # mapped .so SIGBUSes any process that still has it loaded.
+    head -c 100 "$so" > "$so.trunc" && mv "$so.trunc" "$so"
+    corrupted=$((corrupted + 1))
+  done
+  if [ "$corrupted" -eq 0 ]; then
+    echo "no cached lqjit-*.so found to corrupt in $JIT_CACHE" >&2
+    rm -rf "$JIT_CACHE"
+    exit 1
+  fi
+  if ! repair_out=$(LQ_JIT_MODE=sync LQ_JIT_CACHE_DIR="$JIT_CACHE" \
+      "$LQCG" run -e compiled-c-jit -q Q1 --sf 0.01 2>&1); then
+    echo "jit run over a corrupted cache failed (must evict + recompile):" >&2
+    echo "$repair_out" >&2
+    rm -rf "$JIT_CACHE"
+    exit 1
+  fi
+  repair_rows=$(printf '%s\n' "$repair_out" | grep '^{' || true)
+  if [ -z "$repair_rows" ] || [ "$repair_rows" != "$ref_rows" ]; then
+    echo "rows diverge after cache-corruption recovery:" >&2
+    echo "$repair_out" >&2
+    rm -rf "$JIT_CACHE"
+    exit 1
+  fi
+  case "$repair_out" in
+    *"service/jit/cache_corrupt"*) ;;
+    *)
+      echo "corrupt cached artifact not detected (no service/jit/cache_corrupt counter):" >&2
+      echo "$repair_out" >&2
+      rm -rf "$JIT_CACHE"
+      exit 1
+      ;;
+  esac
+  case "$repair_out" in
+    *"service/jit/exec_jit"*) ;;
+    *)
+      echo "recompiled artifact never served (no service/jit/exec_jit after recovery):" >&2
+      echo "$repair_out" >&2
+      rm -rf "$JIT_CACHE"
+      exit 1
+      ;;
+  esac
+  rm -rf "$JIT_CACHE"
+  echo "   ok: truncated .so caught by manifest, evicted, recompiled, rows correct"
 else
   if [ "${LQ_BENCH_GATE:-}" = "strict" ]; then
     echo "== jit smoke: no C compiler on PATH and LQ_BENCH_GATE=strict — failing ==" >&2

@@ -1,5 +1,5 @@
-(** JIT compilation backend: [cc] shell-out plus a two-level artifact
-    cache.
+(** JIT compilation backend: a guarded [cc] shell-out plus a two-level
+    artifact cache with integrity manifests.
 
     Artifacts are keyed by a digest of the generated program (ABI version,
     C source, register/scan/output metadata — see {!digest_of_program}):
@@ -13,15 +13,36 @@
       a [lq-jit-cache] directory under the system temp dir), size-bounded
       LRU ([LQ_JIT_CACHE_MB], default 256; [LQ_JIT_CACHE_BYTES]
       overrides at byte granularity — a test hook). Initialization sweeps the
-      directory: surviving [.so]s seed the LRU in mtime order, stale
-      droppings ([.c]/[.o]/[.err]/[.tmp] older than 10 minutes) are
-      removed.
+      directory: surviving [.so]s seed the LRU in mtime order, orphaned
+      manifests and stale droppings ([.c]/[.o]/[.err]/[.tmp] older than
+      10 minutes) are removed.
 
-    Compilation is [cc -O2 -shared -fPIC] ([LQ_CC] overrides the
-    compiler), built to a temporary name and atomically renamed in, with
-    the [.c]/[.err] droppings removed on success {e and} failure. Every
-    build attempt passes the ["jit/compile"] chaos injection point
-    first, so a fault spec can simulate a broken compiler. *)
+    {b Compile watchdog.} Compilation is [cc -O2 -shared -fPIC] ([LQ_CC]
+    overrides the compiler) run as a supervised child ({!Subproc.run})
+    under a deadline ([LQ_JIT_CC_TIMEOUT_MS], default 60000) and an
+    address-space rlimit ([LQ_JIT_CC_RLIMIT_MB], default 4096). A hung or
+    runaway compiler is SIGKILLed and reaped; the attempt fails with a
+    typed error and bumps [service/jit/cc_timeouts]. Droppings are removed
+    on every path — success, failure, timeout, exception.
+
+    {b Artifact integrity.} Each cached object gets a sidecar
+    [<so>.manifest] recording [v1 md5=<hex> size=<bytes> abi=<n>],
+    written (tmp + rename) at cache-insert. Every disk hit re-verifies
+    size and content digest {e before} the object reaches [dlopen]; a
+    truncated, poisoned, manifestless or ABI-mismatched object bumps
+    [service/jit/cache_corrupt], is evicted (object + manifest + LRU
+    entry) and transparently recompiled.
+
+    Every build attempt passes the ["jit/compile"] chaos injection point
+    first (simulating a broken compiler); every disk hit passes
+    ["jit/cache"], which corrupts the cached object in place so the
+    integrity machinery is exercised end to end.
+
+    {b Concurrency.} The whole miss path (disk check → verify → build →
+    load → insert) is serialized per digest: two Domains racing the same
+    plan shape produce one compile and one loaded handle (the second
+    waiter re-checks the memory LRU and hits). Different digests still
+    build in parallel. *)
 
 type artifact = {
   digest : string;
@@ -32,7 +53,8 @@ type artifact = {
 
 val counters : Lq_metrics.Counters.t
 (** Process-global [jit/*] counters (compiles, failures, cache hits, tier
-    executions...); surfaced through [Provider.report]. *)
+    executions, validations, cc timeouts, cache corruption...); surfaced
+    through [Provider.report]. *)
 
 val cc : unit -> string
 (** The compiler command ([LQ_CC] or ["cc"]). *)
@@ -40,13 +62,25 @@ val cc : unit -> string
 val cc_available : unit -> bool
 (** Whether {!cc} resolves on PATH (memoized per command name). *)
 
+val cache_dir : unit -> string
+(** The active artifact cache directory (forces initialization). The
+    validation sandbox builds its runner executable here. *)
+
+val run_cc : string list -> err_file:string -> (unit, string) result
+(** One watchdogged compiler invocation: spawns {!cc} with the given
+    arguments under the [LQ_JIT_CC_TIMEOUT_MS] deadline and
+    [LQ_JIT_CC_RLIMIT_MB] address-space bound, stdout+stderr captured to
+    [err_file]. Timeouts kill + reap the child and bump
+    [service/jit/cc_timeouts]. Shared with the validation-runner build. *)
+
 val digest_of_program : Lq_native.Codegen_c.program -> string
 
 val get : digest:string -> source:string -> (artifact, string) result
-(** Memory hit, else disk hit + [dlopen], else compile + load. [Error]
-    carries the (truncated) compiler stderr or loader message.
+(** Memory hit, else verified disk hit + [dlopen], else compile + load.
+    [Error] carries the (truncated) compiler stderr or loader message.
     @raise Lq_fault.Fault when the ["jit/compile"] injection point fires
-    on a build attempt. *)
+    on a build attempt (the ["jit/cache"] point never escapes — it
+    corrupts the cached file and lets integrity recovery run). *)
 
 val reset_for_tests : unit -> unit
 (** Drops all cache state and re-reads the [LQ_JIT_*] environment on next

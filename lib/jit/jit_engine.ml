@@ -114,10 +114,14 @@ let decode_rows ~out_scalar out_layout dict buf total =
   done;
   !rows
 
+let short_digest d = if String.length d > 12 then String.sub d 0 12 else d
+
 (* --- the native call --------------------------------------------------- *)
 
-let run_jit (art : Backend.artifact) (prog : Codegen_c.program) stores out_layout snap dict
-    ~params =
+(* Everything the entry point consumes, in one place: the in-process
+   trampoline and the validation sandbox must see byte-identical inputs
+   or the differential check would compare different executions. *)
+let pack (prog : Codegen_c.program) stores out_layout snap dict ~params : Validate.input =
   let ip = pack_int_params dict params prog.Codegen_c.int_params in
   let fp = pack_float_params params prog.Codegen_c.float_params in
   (* Snapshot after interning: parameter strings must be in the snapshot. *)
@@ -125,24 +129,120 @@ let run_jit (art : Backend.artifact) (prog : Codegen_c.program) stores out_layou
     if prog.Codegen_c.needs_dict then snapshot snap dict else (Bytes.empty, Bytes.empty)
   in
   (* Row pages re-fetched per execution: appends re-allocate the buffer. *)
-  let srcs = Array.map Rowstore.data stores in
-  let nrows = Array.map Rowstore.length stores in
-  let width = Layout.row_width out_layout in
-  (* The object returns the total row count even past [cap]: one retry
-     with an exact-size buffer suffices (sources cannot change mid-call). *)
+  {
+    Validate.srcs = Array.map Rowstore.data stores;
+    nrows = Array.map Rowstore.length stores;
+    ip;
+    fp;
+    db;
+    dofs;
+    width = Layout.row_width out_layout;
+  }
+
+(* The object returns the total row count even past [cap]: one retry
+   with an exact-size buffer suffices (sources cannot change mid-call). *)
+let call_native (art : Backend.artifact) (inp : Validate.input) =
+  let width = inp.Validate.width in
   let rec call cap =
     let out = Bytes.create (max width (cap * width)) in
-    let total = Dl.raw_call art.Backend.fn srcs nrows ip fp db dofs out cap in
+    let total =
+      Dl.raw_call art.Backend.fn inp.Validate.srcs inp.Validate.nrows inp.Validate.ip
+        inp.Validate.fp inp.Validate.db inp.Validate.dofs out cap
+    in
     if total < 0 then Engine_intf.execution_failed "jit: native arena out of memory"
     else if total > cap then call total
     else (out, total)
   in
-  let out, total = call 1024 in
+  call 1024
+
+let run_jit (art : Backend.artifact) (prog : Codegen_c.program) stores out_layout snap dict
+    ~params =
+  let inp = pack prog stores out_layout snap dict ~params in
+  let out, total = call_native art inp in
   decode_rows ~out_scalar:prog.Codegen_c.out_scalar out_layout dict out total
+
+(* --- sandboxed validation ---------------------------------------------- *)
+
+(* Row equality with a relative tolerance on floats (same policy as the
+   differential tests): the sandbox runs the identical object on the
+   identical bytes, but the *reference* is the interpreter, whose float
+   folds may differ in the last bits. *)
+let rec value_close a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+    x = y
+    || Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | Value.Record fa, Value.Record fb ->
+    Array.length fa = Array.length fb
+    && Array.for_all2
+         (fun (na, va) (nb, vb) -> String.equal na nb && value_close va vb)
+         fa fb
+  | Value.List xa, Value.List xb ->
+    List.length xa = List.length xb && List.for_all2 value_close xa xb
+  | _ -> Value.equal a b
+
+let rows_close expected got =
+  List.length expected = List.length got && List.for_all2 value_close expected got
+
+(* The "jit/validate" chaos point simulates the three ways a bad artifact
+   can fail its sandboxed first run; the armed fault's kind picks which:
+   [internal] crashes the child (SIGSEGV), [transient] wedges it until
+   the deadline kill, anything else simulates silently wrong rows. *)
+let validation_chaos () =
+  match Lq_fault.Inject.hit "jit/validate" with
+  | () -> (Validate.No_chaos, false)
+  | exception Lq_fault.Fault f -> (
+    match f.Lq_fault.kind with
+    | Lq_fault.Internal -> (Validate.Chaos_crash, false)
+    | Lq_fault.Transient -> (Validate.Chaos_hang, false)
+    | _ -> (Validate.No_chaos, true))
+
+let poison_rows = function
+  | [] -> [ Value.Int max_int ]
+  | row :: rest -> Value.Int max_int :: row :: rest
+
+(* One sandboxed validation of [art]: execute it in the runner child on
+   the exact bytes an in-process call would see, diff the decoded rows
+   against the interpreter. Returns [Ok oracle_rows] (promote; the rows
+   double as this request's answer) or [Error (msg, oracle_rows)] (park
+   at Failed; serve the rows interpreted). Never lets the artifact run
+   in-process before it has passed. *)
+let validate_artifact (art : Backend.artifact) (prog : Codegen_c.program) stores out_layout
+    snap dict nplan ~params =
+  let chaos, diverge = validation_chaos () in
+  let oracle = Nplan.execute nplan ~params () in
+  let inp = pack prog stores out_layout snap dict ~params in
+  Counters.incr counters "service/jit/validations";
+  Trace.with_span Trace.Jit_validate ("validate " ^ short_digest art.Backend.digest)
+    (fun () ->
+      let fail outcome msg =
+        Trace.span_attr "outcome" outcome;
+        Counters.incr counters "service/jit/validation_failures";
+        Error (msg, oracle)
+      in
+      match Validate.run ~so_path:art.Backend.so_path ~chaos inp with
+      | Validate.Crashed signal ->
+        fail "crashed"
+          (Printf.sprintf "validation: artifact killed the sandbox (%s)" signal)
+      | Validate.Timed_out ms ->
+        fail "timeout" (Printf.sprintf "validation: artifact wedged; killed after %.0f ms" ms)
+      | Validate.Child_failed msg -> fail "error" ("validation: " ^ msg)
+      | Validate.Pass (buf, total) ->
+        let rows = decode_rows ~out_scalar:prog.Codegen_c.out_scalar out_layout dict buf total in
+        let rows = if diverge then poison_rows rows else rows in
+        if rows_close oracle rows then begin
+          Trace.span_attr "outcome" "passed";
+          Counters.incr counters "service/jit/validations_passed";
+          Ok oracle
+        end
+        else
+          fail "divergent"
+            (Printf.sprintf "validation: rows diverge from interpreter (%d vs %d rows)"
+               (List.length rows) (List.length oracle)))
 
 (* --- the engine -------------------------------------------------------- *)
 
-let short_digest d = if String.length d > 12 then String.sub d 0 12 else d
+let promoted art = if Tier.validate_enabled () then Tier.Pending art else Tier.Jit art
 
 let schedule_compile slot (prog : Codegen_c.program) =
   let digest = Backend.digest_of_program prog in
@@ -152,7 +252,7 @@ let schedule_compile slot (prog : Codegen_c.program) =
     if Backend.cc_available () then
       Trace.with_span Trace.Jit_compile name (fun () ->
         match Backend.get ~digest ~source:prog.Codegen_c.c_source with
-        | Ok art -> Atomic.set slot (Tier.Jit art)
+        | Ok art -> Atomic.set slot (promoted art)
         | Error msg -> Engine_intf.codegen_failed "jit compile failed: %s" msg)
   | `Async ->
     Tier.submit (fun () ->
@@ -162,7 +262,7 @@ let schedule_compile slot (prog : Codegen_c.program) =
           Trace.with_trace tr (fun () ->
             Trace.with_span Trace.Jit_compile name (fun () ->
               match Backend.get ~digest ~source:prog.Codegen_c.c_source with
-              | Ok art -> Tier.Jit art
+              | Ok art -> promoted art
               | Error msg -> Tier.Failed msg
               | exception exn ->
                 Counters.incr counters "service/jit/compile_failures";
@@ -209,7 +309,7 @@ let engine : Engine_intf.t =
         in
         let slot = Atomic.make Tier.Interpreted in
         let dict = Catalog.dict cat in
-        let jit_exec =
+        let jit_ctx =
           Option.map
             (fun (p : Codegen_c.program) ->
               let stores =
@@ -218,7 +318,7 @@ let engine : Engine_intf.t =
               in
               let out_layout = Layout.make p.out_fields in
               let snap = Atomic.make None in
-              fun art ~params -> run_jit art p stores out_layout snap dict ~params)
+              (p, stores, out_layout, snap))
             prog
         in
         let source =
@@ -233,16 +333,69 @@ let engine : Engine_intf.t =
         {
           Engine_intf.execute =
             (fun ?profile ~params () ->
-              match (Atomic.get slot, jit_exec) with
-              | Tier.Jit art, Some run ->
+              let serve_jit art (p, stores, out_layout, snap) =
                 ignore (profile : Profile.t option);
                 Trace.span_attr "tier" "jit";
                 Counters.incr counters "service/jit/exec_jit";
-                run art ~params
-              | _ ->
+                run_jit art p stores out_layout snap dict ~params
+              in
+              let serve_interpreted () =
                 Trace.span_attr "tier" "interpreted";
                 Counters.incr counters "service/jit/exec_interpreted";
-                Nplan.execute nplan ?profile ~params ());
+                Nplan.execute nplan ?profile ~params ()
+              in
+              match (Atomic.get slot, jit_ctx) with
+              | Tier.Jit art, Some ctx -> serve_jit art ctx
+              | (Tier.Pending art as seen), Some ((p, stores, out_layout, snap) as ctx)
+                when Atomic.compare_and_set slot seen (Tier.Validating art) -> (
+                (* This execution claimed the sandboxed validation. *)
+                match Tier.mode () with
+                | `Sync -> (
+                  match
+                    validate_artifact art p stores out_layout snap dict nplan ~params
+                  with
+                  | Ok _ ->
+                    Atomic.set slot (Tier.Jit art);
+                    serve_jit art ctx
+                  | Error (msg, oracle) ->
+                    (* sticky: a bad artifact stays quarantined *)
+                    Atomic.set slot (Tier.Failed msg);
+                    Trace.span_attr "tier" "interpreted";
+                    Counters.incr counters "service/jit/exec_interpreted";
+                    oracle
+                  | exception exn ->
+                    (* The oracle itself failed — a request problem, not
+                       the artifact's: surrender the claim so a later
+                       execution revalidates, and fail this request the
+                       way the interpreter would have. *)
+                    Atomic.set slot (Tier.Pending art);
+                    raise exn)
+                | `Async ->
+                  (* Validate on the worker Domain; this request (and any
+                     until the verdict) serves interpreted. *)
+                  Tier.submit (fun () ->
+                    let tr =
+                      Trace.start
+                        ~label:("jit-validate " ^ short_digest art.Backend.digest)
+                        ()
+                    in
+                    let outcome =
+                      Trace.with_trace tr (fun () ->
+                        match
+                          validate_artifact art p stores out_layout snap dict nplan
+                            ~params
+                        with
+                        | Ok _ -> Tier.Jit art
+                        | Error (msg, _) -> Tier.Failed msg
+                        | exception exn ->
+                          Counters.incr counters "service/jit/validation_failures";
+                          Tier.Failed (Printexc.to_string exn))
+                    in
+                    Trace.finish tr;
+                    Trace.Ring.note Trace.slow_log tr;
+                    Atomic.set slot outcome);
+                  serve_interpreted ())
+              | _ -> serve_interpreted ());
           codegen_ms;
           source = Some source;
         });

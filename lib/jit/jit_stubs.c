@@ -6,6 +6,11 @@
  * cannot move or reclaim them. The cost is that other Domains' minor
  * collections may have to wait out one query execution — acceptable at
  * the scale factors this engine serves, and documented in DESIGN.md §9.
+ *
+ * These wrappers only ever see artifacts that have already cleared the
+ * guarded tiering pipeline: integrity-verified against their manifest
+ * before dlopen, and executed once in an isolated child process before
+ * the trampoline is allowed to call them in-process (DESIGN.md §11).
  */
 
 #include <stdint.h>

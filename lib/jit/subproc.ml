@@ -1,0 +1,80 @@
+(* Child-process supervision for the JIT: spawn, bound, kill, reap.
+
+   Everything here goes through [Unix.create_process] (posix_spawn on
+   Linux), never [Unix.fork]: the OCaml 5 runtime forbids fork once a
+   second Domain exists, and both the compile worker and the service
+   workers are Domains. The address-space bound is applied by wrapping
+   the command in [sh -c 'ulimit -v N; exec "$0" "$@"'] — the [exec]
+   replaces the shell, so the spawned pid IS the bounded program and a
+   SIGKILL on deadline hits it directly, leaving no intermediary to
+   reap. *)
+
+type outcome =
+  | Exited of int
+  | Signaled of string
+  | Timed_out of float  (* the deadline that was enforced, in ms *)
+
+let signal_name n =
+  if n = Sys.sigsegv then "SIGSEGV"
+  else if n = Sys.sigbus then "SIGBUS"
+  else if n = Sys.sigill then "SIGILL"
+  else if n = Sys.sigfpe then "SIGFPE"
+  else if n = Sys.sigabrt then "SIGABRT"
+  else if n = Sys.sigkill then "SIGKILL"
+  else if n = Sys.sigterm then "SIGTERM"
+  else Printf.sprintf "signal %d" n
+
+(* Poll-based waitpid with a deadline: blocking waitpid would wedge the
+   calling Domain on a hung child, which is exactly the failure mode the
+   watchdog exists to contain. 5 ms polls bound the reap latency without
+   measurable cost next to a compile or a query execution. *)
+let wait_deadline pid ~timeout_ms =
+  let t0 = Unix.gettimeofday () in
+  let rec reap () =
+    match Unix.waitpid [] pid with
+    | _, status -> status
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+  in
+  let rec loop () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | 0, _ ->
+      if (Unix.gettimeofday () -. t0) *. 1000.0 > timeout_ms then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (reap ());
+        Timed_out timeout_ms
+      end
+      else begin
+        Unix.sleepf 0.005;
+        loop ()
+      end
+    | _, Unix.WEXITED code -> Exited code
+    | _, Unix.WSIGNALED n -> Signaled (signal_name n)
+    | _, Unix.WSTOPPED _ ->
+      (* only possible under WUNTRACED, which we do not pass *)
+      loop ()
+  in
+  loop ()
+
+let run ?(timeout_ms = 60_000.0) ?(rlimit_mb = 0) ?output_file prog args =
+  let argv =
+    if rlimit_mb > 0 then
+      (* best effort: some shells lack ulimit -v; the deadline still holds *)
+      let script =
+        Printf.sprintf "ulimit -v %d 2>/dev/null; exec \"$0\" \"$@\"" (rlimit_mb * 1024)
+      in
+      Array.of_list ("/bin/sh" :: "-c" :: script :: prog :: args)
+    else Array.of_list (prog :: args)
+  in
+  let out_fd =
+    match output_file with
+    | None -> Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0
+    | Some path -> Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close out_fd)
+    (fun () ->
+      match Unix.create_process argv.(0) argv Unix.stdin out_fd out_fd with
+      | exception Unix.Unix_error (err, _, _) ->
+        Exited (if err = Unix.ENOENT then 127 else 126)
+      | pid -> wait_deadline pid ~timeout_ms)

@@ -1,0 +1,37 @@
+(** Deadline- and rlimit-guarded child processes for the JIT pipeline.
+
+    The compile watchdog and the validation sandbox both need the same
+    primitive: spawn an external program, bound its address space, wait
+    for it under a deadline, and SIGKILL + reap it on overrun so the
+    calling Domain can never be wedged by a hung child. Spawning uses
+    [Unix.create_process] (posix_spawn), never [Unix.fork] — OCaml 5
+    forbids fork once other Domains exist, which is always the case
+    here. *)
+
+type outcome =
+  | Exited of int  (** normal termination; 127 = program not found *)
+  | Signaled of string  (** killed by a signal, named ("SIGSEGV", ...) *)
+  | Timed_out of float
+      (** deadline overrun: the child was SIGKILLed and reaped; carries
+          the enforced deadline in ms *)
+
+val signal_name : int -> string
+(** Human name for an OCaml [Sys] signal number. *)
+
+val wait_deadline : int -> timeout_ms:float -> outcome
+(** Poll-waits on a pid; on deadline overrun kills (SIGKILL) and reaps
+    it. Never blocks longer than [timeout_ms] plus one poll interval. *)
+
+val run :
+  ?timeout_ms:float ->
+  ?rlimit_mb:int ->
+  ?output_file:string ->
+  string ->
+  string list ->
+  outcome
+(** [run prog args] spawns [prog] (PATH-resolved) and waits under the
+    deadline (default 60 s). [rlimit_mb > 0] caps the child's address
+    space via a [ulimit -v]+[exec] shell wrapper (best effort — the exec
+    keeps the spawned pid identical to the bounded program, so the
+    deadline kill needs no process-group games). [output_file] receives
+    the child's stdout+stderr; without it both go to [/dev/null]. *)

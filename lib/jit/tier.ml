@@ -1,10 +1,17 @@
 type t =
   | Interpreted
+  | Pending of Backend.artifact
+  | Validating of Backend.artifact
   | Jit of Backend.artifact
   | Failed of string
 
 let jit_enabled () =
   match Sys.getenv_opt "LQ_JIT" with
+  | Some ("off" | "0" | "false") -> false
+  | _ -> true
+
+let validate_enabled () =
+  match Sys.getenv_opt "LQ_JIT_VALIDATE" with
   | Some ("off" | "0" | "false") -> false
   | _ -> true
 

@@ -2,21 +2,35 @@
     compile worker.
 
     Each prepared plan carries a {!t} in an [Atomic.t]. It starts
-    [Interpreted]; when the background [cc] run finishes the slot is
-    atomically swapped to [Jit] and subsequent executions take the native
-    path — in-flight interpreted executions are unaffected (the swap is a
-    single atomic store of an immutable value). A failed compile parks
-    the slot at [Failed] (sticky: the failure is deterministic, retrying
-    would pay [cc] again for the same diagnostics). *)
+    [Interpreted]; a finished [cc] run parks the artifact at [Pending];
+    the first execution to CAS [Pending → Validating] owns the sandboxed
+    validation ({!Validate}) and, on a pass, swaps the slot to [Jit] —
+    subsequent executions take the native path, in-flight interpreted
+    executions are unaffected (every transition is a single atomic
+    operation on an immutable value). Executions that see [Pending] and
+    lose the CAS, or see [Validating], serve interpreted and retry the
+    slot next time. A failed compile {e or} failed validation parks the
+    slot at [Failed] (sticky: the failure is deterministic, retrying
+    would pay [cc] — or risk the process — again for the same answer).
+    With validation disabled ([LQ_JIT_VALIDATE=off]) a compile promotes
+    straight to [Jit], the pre-guard behavior. *)
 
 type t =
   | Interpreted  (** serving from the interpreted native program *)
-  | Jit of Backend.artifact  (** serving from the dlopened object *)
-  | Failed of string  (** compile failed; interpreted permanently *)
+  | Pending of Backend.artifact
+      (** compiled and loaded, awaiting sandboxed validation *)
+  | Validating of Backend.artifact
+      (** one execution claimed the validation; others serve interpreted *)
+  | Jit of Backend.artifact  (** validated; serving from the dlopened object *)
+  | Failed of string  (** compile/validation failed; interpreted permanently *)
 
 val jit_enabled : unit -> bool
 (** [false] when [LQ_JIT] is ["off"]/["0"]/["false"] — the engine then
     serves every shape interpreted and never spawns a compile. *)
+
+val validate_enabled : unit -> bool
+(** [false] when [LQ_JIT_VALIDATE] is ["off"]/["0"]/["false"] — artifacts
+    then promote straight to [Jit] without the sandboxed first run. *)
 
 val mode : unit -> [ `Async | `Sync ]
 (** [`Sync] when [LQ_JIT_MODE=sync]: compile inside [prepare] and fail

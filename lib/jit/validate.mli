@@ -1,0 +1,46 @@
+(** Sandboxed first execution of a freshly compiled artifact.
+
+    Before an artifact is promoted to the serving tier, it is executed
+    exactly once in an isolated child process against the same inputs the
+    in-process call would receive; the caller ({!Jit_engine}) diffs the
+    returned rows against the interpreter's answer. A miscompiled object
+    that segfaults, wedges or answers wrongly is caught here — the
+    serving process never runs an unvalidated [fn].
+
+    The sandbox is a small C runner (source embedded below, built once
+    per cache directory with the watchdogged [cc] and content-addressed
+    as [lqjit-runner-<digest>.exe]) spawned via [Unix.create_process] —
+    {e not} [Unix.fork], which OCaml 5 forbids once other Domains exist.
+    Inputs and results cross over files in the cache directory; the child
+    runs under [LQ_JIT_VALIDATE_TIMEOUT_MS] (default 10000) and
+    [LQ_JIT_VALIDATE_RLIMIT_MB] (default 4096) and is SIGKILLed + reaped
+    on overrun. *)
+
+type input = {
+  srcs : Bytes.t array;  (** row pages, one per scanned table *)
+  nrows : int array;
+  ip : Bytes.t;  (** packed int registers *)
+  fp : Bytes.t;  (** packed float registers *)
+  db : Bytes.t;  (** dictionary bytes snapshot *)
+  dofs : Bytes.t;  (** dictionary offsets *)
+  width : int;  (** output row width in bytes *)
+}
+
+type verdict =
+  | Pass of Bytes.t * int  (** raw result buffer + row count, to be decoded *)
+  | Crashed of string  (** the artifact killed the sandbox (signal name) *)
+  | Timed_out of float  (** wedged; killed at the deadline (ms) *)
+  | Child_failed of string  (** sandbox-level failure (dlopen, io, oom...) *)
+
+type chaos = No_chaos | Chaos_crash | Chaos_hang
+(** Fault-drill modes forwarded to the runner: [Chaos_crash] raises
+    SIGSEGV in the child, [Chaos_hang] pauses forever (exercising the
+    deadline kill). Driven by the ["jit/validate"] injection point. *)
+
+val run : so_path:string -> ?chaos:chaos -> input -> verdict
+(** One sandboxed execution. [Timed_out] bumps
+    [service/jit/validation_timeouts]; outcome classification beyond that
+    is the caller's job. Never raises on child misbehavior. *)
+
+val reset_for_tests : unit -> unit
+(** Forgets memoized runner builds (pair with [Backend.reset_for_tests]). *)

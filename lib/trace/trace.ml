@@ -39,6 +39,7 @@ type kind =
   | Partition
   | Morsel
   | Jit_compile
+  | Jit_validate
 
 let kind_to_string = function
   | Request -> "request"
@@ -57,12 +58,13 @@ let kind_to_string = function
   | Partition -> "partition"
   | Morsel -> "morsel"
   | Jit_compile -> "jit-compile"
+  | Jit_validate -> "jit-validate"
 
 let all_kinds =
   [
     Request; Queue; Cache_lookup; Optimize; Lower; Codegen; Execute; Staging;
     Native_op; Return_result; Retry_attempt; Fallback_hop; Breaker_event; Partition;
-    Morsel; Jit_compile;
+    Morsel; Jit_compile; Jit_validate;
   ]
 
 type span = {

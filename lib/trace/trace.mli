@@ -34,6 +34,9 @@ type kind =
   | Partition  (** one parallel-engine partition Domain *)
   | Morsel  (** one morsel-sized work unit pulled by a worker Domain *)
   | Jit_compile  (** one native-JIT [cc] run (sync: in-request; async: standalone) *)
+  | Jit_validate
+      (** one sandboxed validation of a freshly compiled artifact (attr
+          ["outcome"]: passed / crashed / timeout / divergent / error) *)
 
 val kind_to_string : kind -> string
 val all_kinds : kind list

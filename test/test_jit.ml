@@ -104,10 +104,18 @@ let test_cache_hits () =
     check_int "disk-cached prepare: no new cc run" (compiles0 + 1) (count "service/jit/compiles");
     check_bool "disk hit recorded" true (count "service/jit/cache_hit_disk" > disk0);
     check_bool "disk artifact rows agree" true (rows_equal r1 r3);
+    (* Only durable cache inhabitants may remain: artifacts, their
+       integrity manifests, and the validation runner — no .c/.err/.tmp
+       droppings from the compile or the sandbox. *)
     check_bool "no build droppings left behind" true
       (Array.for_all
-         (fun f -> Filename.check_suffix f ".so")
-         (Sys.readdir dir)))
+         (fun f ->
+           Filename.check_suffix f ".so"
+           || Filename.check_suffix f ".so.manifest"
+           || Filename.check_suffix f ".exe")
+         (Sys.readdir dir));
+    check_bool "integrity manifest written at cache-insert" true
+      (Array.exists (fun f -> Filename.check_suffix f ".so.manifest") (Sys.readdir dir)))
 
 (* --- tiering: async hot-swap under a 4-Domain execution storm ---------- *)
 
@@ -151,6 +159,18 @@ let test_hot_swap_storm () =
 (* --- chaos: injected compiler failure --------------------------------- *)
 
 let inject_spec = "seed=7;jit/compile=1:codegen"
+
+let with_injection spec f =
+  match Lq_fault.Inject.parse_spec spec with
+  | Error msg -> Alcotest.fail msg
+  | Ok s ->
+    Lq_fault.Inject.enable s;
+    Fun.protect ~finally:Lq_fault.Inject.disable f
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
 
 let test_chaos_sync_typed_failure () =
   with_env [ ("LQ_JIT_MODE", "sync"); ("LQ_JIT", "on") ] (fun () ->
@@ -276,6 +296,252 @@ let test_disk_cache_eviction () =
     prepare Lq_tpch.Queries.q1;
     check_bool "stale dropping swept at startup" false (Sys.file_exists stale))
 
+(* --- guarded tiering: sandboxed validation before promotion ------------ *)
+
+let test_validation_promotes () =
+  with_env [ ("LQ_JIT_MODE", "sync"); ("LQ_JIT", "on") ] (fun () ->
+    ignore (fresh_cache_dir ());
+    let cat = oracle_cat () in
+    let prov = Lq_core.Provider.create cat in
+    let params = Lq_tpch.Queries.default_params in
+    let q = Lq_tpch.Queries.q1 in
+    let expected = Lq_core.Provider.reference prov ~params q in
+    let v0 = count "service/jit/validations" in
+    let p0 = count "service/jit/validations_passed" in
+    let jit0 = count "service/jit/exec_jit" in
+    let prepared = jit.Engine_intf.prepare cat q in
+    let rows = prepared.Engine_intf.execute ~params () in
+    check_bool "validated rows = reference" true (rows_equal expected rows);
+    check_int "exactly one sandboxed validation" (v0 + 1) (count "service/jit/validations");
+    check_int "the validation passed" (p0 + 1) (count "service/jit/validations_passed");
+    check_bool "promoted: served from the jit tier" true (count "service/jit/exec_jit" > jit0);
+    (* Promotion is once per prepared plan: the next execution goes
+       straight to the jit tier without another sandbox run. *)
+    ignore (prepared.Engine_intf.execute ~params ());
+    check_int "no revalidation after promotion" (v0 + 1) (count "service/jit/validations"))
+
+(* One helper for the three contained-failure drills: arm [spec], prepare
+   + execute once, and require (a) correct rows, (b) zero jit-tier
+   executions, (c) a sticky Failed slot (no revalidation on re-execute). *)
+let contained_failure_drill spec =
+  with_env [ ("LQ_JIT_MODE", "sync"); ("LQ_JIT", "on") ] (fun () ->
+    ignore (fresh_cache_dir ());
+    let cat = oracle_cat () in
+    let prov = Lq_core.Provider.create cat in
+    let params = Lq_tpch.Queries.default_params in
+    let q = Lq_tpch.Queries.q1 in
+    let expected = Lq_core.Provider.reference prov ~params q in
+    let fails0 = count "service/jit/validation_failures" in
+    let jit0 = count "service/jit/exec_jit" in
+    with_injection spec (fun () ->
+      let prepared = jit.Engine_intf.prepare cat q in
+      let rows = prepared.Engine_intf.execute ~params () in
+      check_bool "request completed with reference rows" true (rows_equal expected rows);
+      check_bool "validation failure recorded" true
+        (count "service/jit/validation_failures" > fails0);
+      check_int "unvalidated artifact never served in-process" jit0
+        (count "service/jit/exec_jit");
+      (* Sticky: the quarantined artifact is not retried. *)
+      let v1 = count "service/jit/validations" in
+      let rows2 = prepared.Engine_intf.execute ~params () in
+      check_bool "subsequent executions serve interpreted" true (rows_equal expected rows2);
+      check_int "no revalidation of a failed artifact" v1 (count "service/jit/validations");
+      check_int "still zero jit-tier executions" jit0 (count "service/jit/exec_jit")))
+
+let test_validation_crash_contained () =
+  (* internal → the runner child raises SIGSEGV while executing the
+     artifact; the parent must survive and serve interpreted. *)
+  contained_failure_drill "seed=3;jit/validate=1:internal"
+
+let test_validation_divergence_contained () =
+  (* codegen → the sandboxed rows diverge from the interpreter's. *)
+  contained_failure_drill "seed=4;jit/validate=1:codegen"
+
+let test_validation_timeout_contained () =
+  (* transient → the runner child wedges; the deadline kill must fire
+     well inside the test budget and count a validation timeout. *)
+  with_env [ ("LQ_JIT_VALIDATE_TIMEOUT_MS", "300") ] (fun () ->
+    let to0 = count "service/jit/validation_timeouts" in
+    let t0 = Unix.gettimeofday () in
+    contained_failure_drill "seed=5;jit/validate=1:transient";
+    check_bool "wedged sandbox killed within the deadline" true
+      (Unix.gettimeofday () -. t0 < 20.);
+    check_bool "validation timeout counted" true
+      (count "service/jit/validation_timeouts" > to0))
+
+let test_validate_off_promotes_directly () =
+  with_env [ ("LQ_JIT_MODE", "sync"); ("LQ_JIT", "on"); ("LQ_JIT_VALIDATE", "off") ]
+    (fun () ->
+      ignore (fresh_cache_dir ());
+      let cat = oracle_cat () in
+      let prov = Lq_core.Provider.create cat in
+      let params = Lq_tpch.Queries.default_params in
+      let q = Lq_tpch.Queries.q1 in
+      let expected = Lq_core.Provider.reference prov ~params q in
+      let v0 = count "service/jit/validations" in
+      let jit0 = count "service/jit/exec_jit" in
+      let prepared = jit.Engine_intf.prepare cat q in
+      let rows = prepared.Engine_intf.execute ~params () in
+      check_bool "rows = reference" true (rows_equal expected rows);
+      check_int "no sandbox run with LQ_JIT_VALIDATE=off" v0 (count "service/jit/validations");
+      check_bool "served from the jit tier immediately" true
+        (count "service/jit/exec_jit" > jit0))
+
+(* --- compile watchdog: a hung cc is killed, not waited out -------------- *)
+
+let test_cc_watchdog () =
+  with_env [ ("LQ_JIT_MODE", "sync"); ("LQ_JIT", "on") ] (fun () ->
+    ignore (fresh_cache_dir ());
+    let script = Filename.temp_file "lq_slow_cc" ".sh" in
+    let oc = open_out script in
+    output_string oc "#!/bin/sh\nsleep 30\n";
+    close_out oc;
+    Unix.chmod script 0o755;
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove script with Sys_error _ -> ())
+      (fun () ->
+        let cat = oracle_cat () in
+        with_env [ ("LQ_CC", script); ("LQ_JIT_CC_TIMEOUT_MS", "300") ] (fun () ->
+          Backend.reset_for_tests ();
+          let to0 = count "service/jit/cc_timeouts" in
+          let t0 = Unix.gettimeofday () in
+          (match jit.Engine_intf.prepare cat Lq_tpch.Queries.q1 with
+          | _ -> Alcotest.fail "prepare succeeded under a hung compiler"
+          | exception Lq_fault.Fault f ->
+            check_bool "typed Codegen_error" true (f.Lq_fault.kind = Lq_fault.Codegen_error);
+            check_bool "failure names the timeout" true (contains f.Lq_fault.detail "timed out")
+          | exception e -> Alcotest.failf "unexpected exception: %s" (Printexc.to_string e));
+          check_bool "hung compiler killed within the deadline" true
+            (Unix.gettimeofday () -. t0 < 10.);
+          check_bool "cc timeout counted" true (count "service/jit/cc_timeouts" > to0));
+        (* The pipeline is not wedged: with the real compiler restored the
+           same shape compiles, validates and serves. *)
+        Backend.reset_for_tests ();
+        let prov = Lq_core.Provider.create cat in
+        let params = Lq_tpch.Queries.default_params in
+        let expected = Lq_core.Provider.reference prov ~params Lq_tpch.Queries.q1 in
+        let prepared = jit.Engine_intf.prepare cat Lq_tpch.Queries.q1 in
+        let rows = prepared.Engine_intf.execute ~params () in
+        check_bool "next compile job succeeds after the kill" true (rows_equal expected rows)))
+
+(* --- artifact integrity: corruption detected before dlopen -------------- *)
+
+(* Corrupt by replacing the file with its truncated half through a
+   rename (fresh inode): an in-place ftruncate of a still-mapped .so
+   would SIGBUS this very process at exit-time finalization — the OS
+   hazard is real, but it is not the failure mode under test here. *)
+let truncate_file path =
+  let size = (Unix.stat path).Unix.st_size in
+  let ic = open_in_bin path in
+  let half = really_input_string ic (size / 2) in
+  close_in ic;
+  let tmp = path ^ ".trunc.tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc half;
+  close_out oc;
+  Sys.rename tmp path
+
+let test_corrupt_cache_detected () =
+  with_env [ ("LQ_JIT_MODE", "sync"); ("LQ_JIT", "on") ] (fun () ->
+    let dir = fresh_cache_dir () in
+    let cat = oracle_cat () in
+    let params = Lq_tpch.Queries.default_params in
+    let run () =
+      let p = jit.Engine_intf.prepare cat Lq_tpch.Queries.q1 in
+      p.Engine_intf.execute ~params ()
+    in
+    let r1 = run () in
+    let so =
+      match
+        Sys.readdir dir |> Array.to_list |> List.filter (fun f -> Filename.check_suffix f ".so")
+      with
+      | [ f ] -> Filename.concat dir f
+      | l -> Alcotest.failf "expected one artifact, got %d" (List.length l)
+    in
+    truncate_file so;
+    (* Re-open the cache: the disk hit must detect the truncation via the
+       manifest, evict, and transparently recompile. *)
+    Unix.putenv "LQ_JIT_CACHE_DIR" dir;
+    Backend.reset_for_tests ();
+    let corrupt0 = count "service/jit/cache_corrupt" in
+    let compiles0 = count "service/jit/compiles" in
+    let r2 = run () in
+    check_bool "recompiled artifact rows agree" true (rows_equal r1 r2);
+    check_int "corruption detected before dlopen" (corrupt0 + 1)
+      (count "service/jit/cache_corrupt");
+    check_int "exactly one recompile" (compiles0 + 1) (count "service/jit/compiles"))
+
+let test_chaos_cache_corruption () =
+  (* Same recovery, driven end-to-end by the "jit/cache" injection point
+     corrupting the object on the disk-hit path. *)
+  with_env [ ("LQ_JIT_MODE", "sync"); ("LQ_JIT", "on") ] (fun () ->
+    let dir = fresh_cache_dir () in
+    let cat = oracle_cat () in
+    let params = Lq_tpch.Queries.default_params in
+    let run () =
+      let p = jit.Engine_intf.prepare cat Lq_tpch.Queries.q1 in
+      p.Engine_intf.execute ~params ()
+    in
+    let r1 = run () in
+    Unix.putenv "LQ_JIT_CACHE_DIR" dir;
+    Backend.reset_for_tests ();
+    let corrupt0 = count "service/jit/cache_corrupt" in
+    with_injection "seed=11;jit/cache=1:internal" (fun () ->
+      let r2 = run () in
+      check_bool "rows survive injected cache corruption" true (rows_equal r1 r2);
+      check_bool "corruption counted" true (count "service/jit/cache_corrupt" > corrupt0)))
+
+(* --- per-digest serialization: one compile, one handle ------------------ *)
+
+let test_per_digest_race () =
+  ignore (fresh_cache_dir ());
+  let source =
+    "#include <stdint.h>\n\
+     int64_t lq_query(const unsigned char **srcs, const int64_t *nrows,\n\
+     \                 const int64_t *ip, const double *fp,\n\
+     \                 const unsigned char *db, const int32_t *dofs,\n\
+     \                 unsigned char *out, int64_t cap) {\n\
+     \  (void)srcs; (void)nrows; (void)ip; (void)fp;\n\
+     \  (void)db; (void)dofs; (void)out; (void)cap;\n\
+     \  return 0;\n\
+     }\n"
+  in
+  let digest = Digest.to_hex (Digest.string source) in
+  let compiles0 = count "service/jit/compiles" in
+  let errors = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun _ ->
+      Domain.spawn (fun () ->
+        for _ = 1 to 8 do
+          match Backend.get ~digest ~source with
+          | Ok _ -> ()
+          | Error _ -> Atomic.incr errors
+        done))
+  in
+  List.iter Domain.join domains;
+  check_int "no failed gets under the race" 0 (Atomic.get errors);
+  check_int "four racing Domains, one compile" (compiles0 + 1) (count "service/jit/compiles")
+
+(* --- fuzz: random plans x random data through the full guarded pipeline - *)
+
+let prop_validated_differential =
+  Lq_testkit.qtest ~count:100
+    "validated differential: sandboxed promotion preserves rows (sync)"
+    QCheck2.Gen.(pair (int_range 4 80) Lq_testkit.gen_query)
+    (fun (n, q) ->
+      if not (Backend.cc_available ()) then true
+      else
+        with_env
+          [ ("LQ_JIT_MODE", "sync"); ("LQ_JIT", "on"); ("LQ_JIT_VALIDATE", "on") ]
+          (fun () ->
+            let cat = Lq_testkit.sales_catalog ~n ~seed:((n * 7919) + 13) () in
+            let fails0 = count "service/jit/validation_failures" in
+            match Lq_testkit.engine_agrees_with_reference cat jit q with
+            | `Agree | `Unsupported ->
+              (* a legitimate artifact must never flunk its sandbox run *)
+              count "service/jit/validation_failures" = fails0
+            | `Disagree _ -> false))
+
 (* --- unsupported shapes serve interpreted, engine stays total ---------- *)
 
 let test_unsupported_serves_interpreted () =
@@ -319,6 +585,31 @@ let () =
             (requires_cc test_jit_off);
           Alcotest.test_case "unsupported shape serves interpreted" `Quick
             (requires_cc test_unsupported_serves_interpreted);
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "pass promotes to the jit tier" `Quick
+            (requires_cc test_validation_promotes);
+          Alcotest.test_case "sandbox crash is contained" `Quick
+            (requires_cc test_validation_crash_contained);
+          Alcotest.test_case "row divergence is contained" `Quick
+            (requires_cc test_validation_divergence_contained);
+          Alcotest.test_case "wedged sandbox is killed" `Quick
+            (requires_cc test_validation_timeout_contained);
+          Alcotest.test_case "LQ_JIT_VALIDATE=off promotes directly" `Quick
+            (requires_cc test_validate_off_promotes_directly);
+          prop_validated_differential;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "hung compiler killed by the watchdog" `Quick
+            (requires_cc test_cc_watchdog);
+          Alcotest.test_case "truncated artifact evicted and recompiled" `Quick
+            (requires_cc test_corrupt_cache_detected);
+          Alcotest.test_case "jit/cache chaos recovers end-to-end" `Quick
+            (requires_cc test_chaos_cache_corruption);
+          Alcotest.test_case "racing domains share one compile" `Quick
+            (requires_cc test_per_digest_race);
         ] );
       ( "chaos",
         [

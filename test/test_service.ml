@@ -701,6 +701,78 @@ let test_chaos_storm () =
       check_bool "faults were absorbed or typed, never dropped" true
         (Svc_metrics.completed m + Svc_metrics.failed m > 0))
 
+(* Guarded-JIT chaos storm: a seeded closed loop against compiled-c-jit
+   with the validation sandbox crashing under it (jit/validate armed) and
+   then, on a second wave over the same disk cache, artifacts being
+   poisoned on every hit (jit/cache armed). A crashing or divergent
+   artifact may never take the service down or fail a request — affected
+   plans park at Failed and serve interpreted; corrupted cache entries
+   are evicted and recompiled transparently. *)
+let jit_storm_env = [ ("LQ_JIT_MODE", "sync"); ("LQ_JIT", "on") ]
+
+let with_env pairs f =
+  let saved = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) pairs in
+  List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (k, old) -> Unix.putenv k (Option.value old ~default:"")) saved)
+    f
+
+let jit_storm_wave ~spec ~seed_base cat =
+  with_injection spec (fun () ->
+    let prov = Provider.create cat in
+    let config = { Service.default_config with domains = 4; queue_capacity = 64 } in
+    let svc = Service.create ~config prov in
+    let queries = Array.of_list (List.map q_qty [ 5; 15; 25; 35 ]) in
+    let submitters = 4 and per_submitter = 40 in
+    let hung = Atomic.make 0 in
+    let clients =
+      List.init submitters (fun s ->
+        Domain.spawn (fun () ->
+          let rng = Lq_exec.Prng.create (seed_base + s) in
+          for _ = 1 to per_submitter do
+            let q = queries.(Lq_exec.Prng.int rng (Array.length queries)) in
+            match Service.submit svc ~engine:Lq_core.Engines.compiled_c_jit q with
+            | Ok fut -> (
+              match Future.await_for ~timeout_ms:30_000.0 fut with
+              | None -> Atomic.incr hung
+              | Some _ -> ())
+            | Error (Service.Overloaded _) -> ()
+            | Error Service.Shutting_down -> Alcotest.fail "premature shutdown"
+          done))
+    in
+    List.iter Domain.join clients;
+    Service.shutdown svc;
+    let m = Service.metrics svc in
+    check_int "no hung futures" 0 (Atomic.get hung);
+    check_int "every submission seen" (submitters * per_submitter) (Svc_metrics.submitted m);
+    check_bool "conservation holds under jit chaos" true (Svc_metrics.conserved m);
+    check_int "zero failed requests: bad artifacts serve interpreted" 0 (Svc_metrics.failed m);
+    check_int "every request completed" (submitters * per_submitter) (Svc_metrics.completed m))
+
+let test_jit_guarded_chaos_storm () =
+  if not (Lq_jit.Backend.cc_available ()) then print_endline "SKIPPED: no C compiler on PATH"
+  else begin
+    let dir = Filename.temp_file "lq_svc_jit" ".cache" in
+    Sys.remove dir;
+    with_env (("LQ_JIT_CACHE_DIR", dir) :: jit_storm_env) (fun () ->
+      Lq_jit.Backend.reset_for_tests ();
+      let count name = Lq_metrics.Counters.count Lq_jit.Backend.counters name in
+      let cat = Lq_testkit.sales_catalog ~n:300 () in
+      (* Wave 1: most validations crash the sandbox. *)
+      let fails0 = count "service/jit/validation_failures" in
+      jit_storm_wave ~spec:"seed=2026;jit/validate=0.6:internal" ~seed_base:7100 cat;
+      check_bool "sandbox crashes were recorded" true
+        (count "service/jit/validation_failures" > fails0);
+      (* Wave 2: drop the in-memory tier so prepares hit the disk cache,
+         and poison a fraction of those hits. *)
+      Lq_jit.Backend.reset_for_tests ();
+      let corrupt0 = count "service/jit/cache_corrupt" in
+      jit_storm_wave ~spec:"seed=2027;jit/cache=0.5:internal" ~seed_base:7200 cat;
+      check_bool "poisoned cache entries were detected and recovered" true
+        (count "service/jit/cache_corrupt" > corrupt0))
+  end
+
 (* Traced chaos: with every request sampled, the breaker's state
    transitions are visible twice — once as service/breaker/* counters,
    once as Breaker_event spans inside whichever request triggered them.
@@ -826,6 +898,7 @@ let () =
             test_multi_domain_storm_conservation;
           Alcotest.test_case "loadgen closed loop" `Quick test_loadgen_closed_loop;
           Alcotest.test_case "seeded chaos" `Quick test_chaos_storm;
+          Alcotest.test_case "guarded jit chaos" `Quick test_jit_guarded_chaos_storm;
           Alcotest.test_case "breaker spans match counters" `Quick
             test_breaker_spans_match_counters;
         ] );
