@@ -21,7 +21,11 @@ let default_seed = 42
 let default_sf = 0.005
 
 let queries : (string * Lq_expr.Ast.query) list =
-  Lq_tpch.Queries.all @ Lq_tpch.Queries.extended
+  Lq_tpch.Queries.all
+  (* Q2 as naively written: scored to pin the decorrelation pass — its
+     numbers must track the hand-decorrelated Q2, not the avalanche. *)
+  @ [ ("Q2corr", Lq_tpch.Queries.q2_correlated) ]
+  @ Lq_tpch.Queries.extended
 
 let query_params = Lq_tpch.Queries.extended_params
 

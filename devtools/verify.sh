@@ -53,6 +53,42 @@ for q in Q1 Q2 Q2corr Q3 Q5 Q6 Q10 Q12 Q14; do
 done
 echo "   ok: 9 queries x 12 engines, every verdict typed"
 
+# Decorrelation smoke: Q2 as naively written (correlated min sub-query)
+# must run through the decorrelation pass and produce exactly the rows of
+# the hand-decorrelated Q2 on every engine; an engine that refuses one
+# for capability reasons must refuse both (refusal parity).
+echo "== decorrelation smoke (Q2corr rows == Q2 rows on every engine) =="
+for e in linq-to-objects compiled-csharp compiled-c \
+  'hybrid-csharp-c[max]' 'hybrid-csharp-c[max,buffer]' \
+  'hybrid-csharp-c[min]' 'hybrid-csharp-c[min,buffer]' \
+  sqlserver-interpreted sqlserver-native vectorwise compiled-c-parallel \
+  compiled-c-jit; do
+  out_q2=$("$LQCG" run -e "$e" -q Q2 --sf 0.002 2>&1) || true
+  out_corr=$("$LQCG" run -e "$e" -q Q2corr --sf 0.002 2>&1) || true
+  unsup_q2=no
+  case "$out_q2" in *unsupported*) unsup_q2=yes ;; esac
+  unsup_corr=no
+  case "$out_corr" in *unsupported*) unsup_corr=yes ;; esac
+  if [ "$unsup_q2" != "$unsup_corr" ]; then
+    echo "refusal parity broken on $e (Q2 unsupported=$unsup_q2, Q2corr unsupported=$unsup_corr):" >&2
+    echo "$out_corr" >&2
+    exit 1
+  fi
+  if [ "$unsup_q2" = "no" ]; then
+    rows_q2=$(printf '%s\n' "$out_q2" | grep '^{' || true)
+    rows_corr=$(printf '%s\n' "$out_corr" | grep '^{' || true)
+    if [ -z "$rows_q2" ] || [ "$rows_q2" != "$rows_corr" ]; then
+      echo "decorrelated Q2corr rows diverge from Q2 on $e:" >&2
+      echo "--- Q2 ---" >&2
+      echo "$rows_q2" >&2
+      echo "--- Q2corr ---" >&2
+      echo "$rows_corr" >&2
+      exit 1
+    fi
+  fi
+done
+echo "   ok: Q2corr differentially matches Q2 on all 12 engines"
+
 # Chaos smoke: a seeded fault-injection run through the service must
 # terminate (no hung futures), keep request accounting exactly
 # conserved, and surface every injected failure as a typed outcome.

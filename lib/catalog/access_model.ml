@@ -52,7 +52,11 @@ let rec member_roots names (e : Ast.expr) =
   | Ast.Agg (_, src, sel) ->
     member_roots names src;
     Option.iter (fun (l : Ast.lambda) -> member_roots names l.Ast.body) sel
-  | Ast.Subquery _ -> ()
+  | Ast.Subquery sq ->
+    (* Fields read only inside a nested sub-query still touch the source
+       objects: tables reached exclusively through a sub-query must stay
+       visible to slot narrowing and table-level cache invalidation. *)
+    iter_lambdas sq (fun (l : Ast.lambda) -> member_roots names l.Ast.body)
   | Ast.Record_of fields -> List.iter (fun (_, e) -> member_roots names e) fields
 
 let used_member_names q =
@@ -85,7 +89,10 @@ let group_agg_passes q =
       count_aggs b;
       count_aggs c
     | Ast.Call (_, args) -> List.iter count_aggs args
-    | Ast.Subquery _ -> ()
+    | Ast.Subquery sq ->
+      (* A sub-query inside a group result re-evaluates per group row;
+         every aggregate it contains is a pass of its own (§2.3). *)
+      iter_lambdas sq (fun (l : Ast.lambda) -> count_aggs l.Ast.body)
     | Ast.Record_of fields -> List.iter (fun (_, e) -> count_aggs e) fields
   in
   let rec go (q : Ast.query) =

@@ -4,18 +4,23 @@
 
 type options = {
   fold : bool;
+  decorrelate : bool;
   pushdown : bool;
   reorder : bool;
 }
 
-let default = { fold = true; pushdown = true; reorder = true }
-let none = { fold = false; pushdown = false; reorder = false }
+let default = { fold = true; decorrelate = true; pushdown = true; reorder = true }
+let none = { fold = false; decorrelate = false; pushdown = false; reorder = false }
 let predicate_cost = Lq_plan.Rewrite.predicate_cost
 let conjuncts = Lq_plan.Rewrite.conjuncts
 let simplify_expr = Lq_plan.Rewrite.simplify_expr
 
 let run ?(options = default) q =
   let q = if options.fold then Lq_expr.Fold.query q else q in
+  (* Decorrelation must see literals (its EXISTS-style safety check
+     constant-folds), so it runs here, before [Shape.parameterize];
+     [Lower.lower] re-applies it idempotently for direct callers. *)
+  let q = if options.decorrelate then Lq_plan.Decorrelate.rewrite q else q in
   let q = if options.pushdown then Lq_plan.Rewrite.pushdown q else q in
   let q = if options.reorder then Lq_plan.Rewrite.reorder q else q in
   q

@@ -7,16 +7,22 @@
     rewrites before code generation:
 
     - constant folding (the canonicalization of §3, via {!Lq_expr.Fold});
+    - automatic decorrelation ({!Lq_plan.Decorrelate}, DESIGN.md §12):
+      correlated aggregate sub-queries in filters become grouped sub-plans
+      joined back on their correlation keys — beating the paper, which
+      evaluates TPC-H Q2 only through a hand-optimized plan (§7.4);
     - selection push-down through [Select], [Join], [Order_by], [Distinct]
       and other [Where]s, splitting conjunctions as needed;
     - predicate reordering by estimated evaluation cost (string matching
       last, cheap comparisons first).
 
-    Automatic decorrelation is deliberately out of scope, as in the paper:
-    TPC-H Q2 is evaluated with a hand-optimized plan (§7.4). *)
+    Note that [Lower.lower] re-applies decorrelation idempotently, so
+    [decorrelate = false] only skips the pre-parameterization run (which
+    is the one whose EXISTS-style rewrites can see literal constants). *)
 
 type options = {
   fold : bool;
+  decorrelate : bool;
   pushdown : bool;
   reorder : bool;
 }

@@ -37,6 +37,9 @@ let cache_counters t = Query_cache.counters t.cache
 let clear_cache t = Query_cache.clear t.cache
 let optimized t q = Optimizer.run ~options:t.optimizer q
 
+let decorrelated t q =
+  Lq_plan.Decorrelate.notes_of_query (optimized t q) <> []
+
 (* Canonicalize + optimize, lower to the shared physical plan, then key
    the cache on the plan's shape; compiled plans always see parameters
    where the query had constants, so a cached plan can be re-run with new
@@ -114,7 +117,8 @@ let plan_check t ~(engine : Engine_intf.t) q =
 let explain t ~(engine : Engine_intf.t) q =
   let q = optimized t q in
   let plan = Lq_plan.Lower.lower t.cat q in
-  (Lq_plan.Plan.explain plan, Lq_plan.Plan.check engine.Engine_intf.caps plan)
+  let notes = Lq_plan.Decorrelate.notes_of_query q in
+  (Lq_plan.Plan.explain ~notes plan, Lq_plan.Plan.check engine.Engine_intf.caps plan)
 
 let prepare_only t ~engine q =
   let prepared, outcome, _, _ = prepare_internal t ~engine q in

@@ -122,3 +122,8 @@ val reference : t -> ?params:(string * Value.t) list -> Lq_expr.Ast.query -> Val
 
 val optimized : t -> Lq_expr.Ast.query -> Lq_expr.Ast.query
 (** The query after canonicalization and rewrites (for inspection). *)
+
+val decorrelated : t -> Lq_expr.Ast.query -> bool
+(** Whether the optimizer's decorrelation pass rewrote a correlated
+    sub-query in [q] — i.e. a query the compiled engines would have
+    refused wholesale before the rewrite. Routing observability only. *)

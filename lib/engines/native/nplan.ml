@@ -156,7 +156,8 @@ let compile_lowered ?trace ?(override = fun _ -> None) cat
   in
   let on_subquery q =
     if Ast.is_correlated q then
-      unsupported "correlated sub-query: not supported by the native backend"
+      unsupported
+        "correlated sub-query left by the decorrelation pass (native backend)"
     else scalar_cell (Ast.Subquery q)
   in
   let on_agg_outside kind src sel =

@@ -167,7 +167,7 @@ let rec veval vc ~(env : (string * dataset) list)
         broadcast vc n (Eval.expr vc.eval_ctx ~env:[] e)
       | _ -> unsupported "vectorized aggregate outside a group"))
   | Ast.Subquery q ->
-    if Ast.is_correlated q then unsupported "vectorized correlated sub-query"
+    if Ast.is_correlated q then unsupported "correlated sub-query left by the decorrelation pass (vectorwise)"
     else broadcast vc n (Eval.expr vc.eval_ctx ~env:[] (Ast.Subquery q))
   | Ast.Record_of _ -> unsupported "vectorized nested record construction"
 

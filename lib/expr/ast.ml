@@ -170,6 +170,44 @@ let map_query_children f = function
 let equal_expr (a : expr) (b : expr) = a = b
 let equal_query (a : query) (b : query) = a = b
 
+(* Generic existence scans. [pred] sees every sub-expression in pre-order,
+   including lambda bodies and the insides of nested sub-queries; a [true]
+   short-circuits. The decorrelation pass and the access model use these
+   instead of hand-rolling one traversal per question. *)
+
+let rec exists_expr pred (e : expr) =
+  pred e
+  ||
+  match e with
+  | Const _ | Param _ | Var _ -> false
+  | Member (e, _) | Unop (_, e) -> exists_expr pred e
+  | Binop (_, a, b) -> exists_expr pred a || exists_expr pred b
+  | If (a, b, c) -> exists_expr pred a || exists_expr pred b || exists_expr pred c
+  | Call (_, args) -> List.exists (exists_expr pred) args
+  | Agg (_, src, sel) -> (
+    exists_expr pred src
+    || match sel with None -> false | Some l -> exists_expr pred l.body)
+  | Subquery q -> exists_query pred q
+  | Record_of fields -> List.exists (fun (_, e) -> exists_expr pred e) fields
+
+and exists_query pred (q : query) =
+  match q with
+  | Source _ -> false
+  | Where (q, l) | Select (q, l) -> exists_query pred q || exists_expr pred l.body
+  | Join j ->
+    exists_query pred j.left || exists_query pred j.right
+    || exists_expr pred j.left_key.body
+    || exists_expr pred j.right_key.body
+    || exists_expr pred j.result.body
+  | Group_by g -> (
+    exists_query pred g.group_source
+    || exists_expr pred g.key.body
+    || match g.group_result with None -> false | Some l -> exists_expr pred l.body)
+  | Order_by (q, keys) ->
+    exists_query pred q || List.exists (fun k -> exists_expr pred k.by.body) keys
+  | Take (q, e) | Skip (q, e) -> exists_query pred q || exists_expr pred e
+  | Distinct q -> exists_query pred q
+
 let rec sources_acc acc = function
   | Source s -> Sset.add s acc
   | Where (q, l) | Select (q, l) -> sources_acc (sources_expr acc l.body) q

@@ -137,6 +137,13 @@ val map_query_children : (query -> query) -> query -> query
 val equal_expr : expr -> expr -> bool
 val equal_query : query -> query -> bool
 
+val exists_expr : (expr -> bool) -> expr -> bool
+(** Pre-order existence scan over every sub-expression, descending into
+    lambda bodies and nested sub-queries; short-circuits on [true]. *)
+
+val exists_query : (expr -> bool) -> query -> bool
+(** [exists_expr] over every expression position of the query. *)
+
 val sources_of_query : query -> string list
 (** Names of all source collections referenced, including in sub-queries
     (sorted, unique). *)

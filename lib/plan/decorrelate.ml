@@ -1,0 +1,438 @@
+(* Automatic decorrelation (ROADMAP item 3, à la "Effective Quotation" and
+   the Links normalizer): rewrite correlated scalar/EXISTS-style aggregate
+   sub-queries in filter predicates into grouped sub-plans joined back on
+   the correlation keys — exactly the shape hand-written Q2 already has.
+
+   The pass runs twice, idempotently: once in [Lq_core.Optimizer.run]
+   *before* [Shape.parameterize] (literals are still visible there, which
+   the EXISTS-style safety check needs), and once at the top of
+   [Lower.lower] so direct engine/lowering callers see the same canonical
+   input. All introduced names carry the reserved ["__dc"] prefix; a query
+   already containing that prefix is returned unchanged, which makes the
+   second application a structural no-op and keeps user bindings safe from
+   capture.
+
+   What rewrites (per conjunct of a single-parameter [Where (src, λf. …)],
+   with [A = Agg (kind, Subquery inner, sel)] the only correlated
+   aggregate in the conjunct, [sel] closed, and [inner] a chain of
+   single-parameter [Where]s over an uncorrelated base whose conjuncts are
+   either local to the element or equi-correlations with [f]):
+
+   - scalar case — [S = A] (either side) for [Min]/[Max]/[Avg] and an
+     aggregate-free [S] over [f]: group the inner base by its correlation
+     keys, aggregate per group, and hash-join [src] against the groups on
+     (correlation keys, [S] = aggregate value). Empty inner groups produce
+     no group row; the original compares [S] against [Null] there, which
+     is false for any non-[Null] [S], so the inner join drops exactly the
+     same rows. ([Eq] against [Count]/[Sum] is *not* taken here: an empty
+     group yields [Int 0], which a zero-valued [S] would match.)
+
+   - EXISTS case — the conjunct [C[A]] mentions [f] only through [A] and
+     constant-folds to [false] with [A] replaced by its empty-group value
+     ([Int 0] for [Count]/[Sum], [Null] for [Min]/[Max]/[Avg]): filter the
+     grouped sub-plan on [C] applied to the per-group value, then semijoin
+     on the correlation keys alone. The fold check is why this case only
+     fires pre-parameterization.
+
+   Everything else is refused — the conjunct stays put, [Plan.features]
+   still reports it correlated, and the capability check routes it to the
+   interpreted fallback, same as before this pass existed.
+
+   Soundness notes (also DESIGN.md §12): group keys are distinct, so each
+   outer row meets at most one group row — no duplication, and the hash
+   join preserves outer row order. Join-key equality is strict
+   [Value.equal] while predicate [=] coerces Int↔Float; the rewrite
+   therefore assumes type-aligned correlation equalities, the same
+   contract every hand-written hash join in this repo relies on. *)
+
+module Ast = Lq_expr.Ast
+module Value = Lq_value.Value
+
+let x_var = "__dc_x" (* normalized inner element *)
+let x_var' = "__dc_x2" (* …when the outer variable is itself [x_var] (depth 2) *)
+let g_var = "__dc_g" (* group variable of the introduced Group_by *)
+let m_var = "__dc_m" (* right-hand (group row) join variable *)
+let val_field = "__dc_val"
+let key_field i = Printf.sprintf "__dc_k%d" i
+let reserved name = String.length name >= 4 && String.equal (String.sub name 0 4) "__dc"
+
+(* --- reserved-name scan ------------------------------------------- *)
+
+(* Any occurrence of the reserved prefix — as a variable, a lambda
+   parameter, a member access, or a record field — marks the query as
+   already processed (or as deliberately poking at our namespace); either
+   way the rewrite must not touch it. *)
+let rec marked_expr (e : Ast.expr) =
+  match e with
+  | Ast.Const _ | Ast.Param _ -> false
+  | Ast.Var v -> reserved v
+  | Ast.Member (e, f) -> reserved f || marked_expr e
+  | Ast.Unop (_, e) -> marked_expr e
+  | Ast.Binop (_, a, b) -> marked_expr a || marked_expr b
+  | Ast.If (a, b, c) -> marked_expr a || marked_expr b || marked_expr c
+  | Ast.Call (_, args) -> List.exists marked_expr args
+  | Ast.Agg (_, src, sel) -> (
+    marked_expr src || match sel with None -> false | Some l -> marked_lambda l)
+  | Ast.Subquery q -> marked_query q
+  | Ast.Record_of fields ->
+    List.exists (fun (n, e) -> reserved n || marked_expr e) fields
+
+and marked_lambda (l : Ast.lambda) =
+  List.exists reserved l.Ast.params || marked_expr l.Ast.body
+
+and marked_query (q : Ast.query) =
+  match q with
+  | Ast.Source _ -> false
+  | Ast.Where (q, l) | Ast.Select (q, l) -> marked_query q || marked_lambda l
+  | Ast.Join j ->
+    marked_query j.Ast.left || marked_query j.Ast.right
+    || marked_lambda j.Ast.left_key || marked_lambda j.Ast.right_key
+    || marked_lambda j.Ast.result
+  | Ast.Group_by g -> (
+    marked_query g.Ast.group_source || marked_lambda g.Ast.key
+    ||
+    match g.Ast.group_result with None -> false | Some l -> marked_lambda l)
+  | Ast.Order_by (q, keys) ->
+    marked_query q || List.exists (fun (k : Ast.sort_key) -> marked_lambda k.Ast.by) keys
+  | Ast.Take (q, e) | Ast.Skip (q, e) -> marked_query q || marked_expr e
+  | Ast.Distinct q -> marked_query q
+
+(* --- small helpers -------------------------------------------------- *)
+
+let lambda_fv (l : Ast.lambda) =
+  List.filter (fun v -> not (List.mem v l.Ast.params)) (Ast.free_vars l.Ast.body)
+
+let sel_closed = function None -> true | Some l -> lambda_fv l = []
+
+(* A join/group key expression must be a plain scalar computation: no
+   aggregates or sub-queries smuggled into the hash key. *)
+let pure_key e =
+  not
+    (Ast.exists_expr
+       (function Ast.Agg _ | Ast.Subquery _ -> true | _ -> false)
+       e)
+
+let empty_group_value (kind : Ast.agg) =
+  match kind with
+  | Ast.Count | Ast.Sum -> Value.Int 0
+  | Ast.Min | Ast.Max | Ast.Avg -> Value.Null
+
+let kind_name (kind : Ast.agg) =
+  match kind with
+  | Ast.Count -> "count"
+  | Ast.Sum -> "sum"
+  | Ast.Min -> "min"
+  | Ast.Max -> "max"
+  | Ast.Avg -> "avg"
+
+(* Distinct correlated aggregate sub-queries of a conjunct, plus whether a
+   correlated sub-query occurs *outside* such an aggregate (a bare
+   collection value — never rewritable here). The matched aggregates are
+   treated as opaque: their insides are handled by [peel], not this scan. *)
+let collect_corr_aggs (c : Ast.expr) =
+  let aggs = ref [] in
+  let bare = ref false in
+  let rec go (e : Ast.expr) =
+    match e with
+    | Ast.Agg (_, Ast.Subquery q, _) when Ast.is_correlated q ->
+      if not (List.exists (Ast.equal_expr e) !aggs) then aggs := e :: !aggs
+    | Ast.Agg (_, src, sel) ->
+      go src;
+      Option.iter (fun (l : Ast.lambda) -> go l.Ast.body) sel
+    | Ast.Subquery q -> if Ast.is_correlated q then bare := true
+    | Ast.Const _ | Ast.Param _ | Ast.Var _ -> ()
+    | Ast.Member (e, _) | Ast.Unop (_, e) -> go e
+    | Ast.Binop (_, a, b) ->
+      go a;
+      go b
+    | Ast.If (a, b, c) ->
+      go a;
+      go b;
+      go c
+    | Ast.Call (_, args) -> List.iter go args
+    | Ast.Record_of fields -> List.iter (fun (_, e) -> go e) fields
+  in
+  go c;
+  (List.rev !aggs, !bare)
+
+(* Replace every occurrence (structurally) of [target] by [repl]. *)
+let rec replace_expr ~target ~repl (e : Ast.expr) : Ast.expr =
+  if Ast.equal_expr e target then repl
+  else
+    let r e = replace_expr ~target ~repl e in
+    match e with
+    | Ast.Const _ | Ast.Param _ | Ast.Var _ -> e
+    | Ast.Member (e, f) -> Ast.Member (r e, f)
+    | Ast.Unop (op, e) -> Ast.Unop (op, r e)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, r a, r b)
+    | Ast.If (a, b, c) -> Ast.If (r a, r b, r c)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map r args)
+    | Ast.Agg (k, src, sel) ->
+      Ast.Agg
+        (k, r src, Option.map (fun (l : Ast.lambda) -> { l with Ast.body = r l.Ast.body }) sel)
+    | Ast.Subquery _ -> e (* targets never live under an unrelated sub-query *)
+    | Ast.Record_of fields -> Ast.Record_of (List.map (fun (n, e) -> (n, r e)) fields)
+
+(* --- the inner-query analysis --------------------------------------- *)
+
+(* Peel the top [Where] chain of the correlated inner query, normalizing
+   every chain parameter to [x_var]. Classify each conjunct:
+   - free variables ⊆ {x_var}          → residual filter (stays inside);
+   - [Eq] with one pure side over the element and one pure side over the
+     outer variable                    → a correlation key pair;
+   - anything else mentioning [outer]  → refusal.
+   The base below the chain must itself be uncorrelated. *)
+let peel_inner ~outer ~xv (inner : Ast.query) =
+  let rec strip acc (q : Ast.query) =
+    match q with
+    | Ast.Where (src, l) when List.length l.Ast.params = 1 ->
+      let p0 = List.hd l.Ast.params in
+      let body = Ast.subst [ (p0, Ast.Var xv) ] l.Ast.body in
+      strip (acc @ Rewrite.conjuncts body) src
+    | q -> (acc, q)
+  in
+  let cs, base = strip [] inner in
+  if Ast.free_vars_query base <> [] then None
+  else
+    let only_of v fv = List.for_all (String.equal v) fv in
+    let classify c =
+      let fv = Ast.free_vars c in
+      if not (List.mem outer fv) then Some (`Residual c)
+      else
+        match c with
+        | Ast.Binop (Ast.Eq, a, b) -> (
+          let fa = Ast.free_vars a and fb = Ast.free_vars b in
+          match
+            ( only_of xv fa && only_of outer fb && List.mem outer fb,
+              only_of xv fb && only_of outer fa && List.mem outer fa )
+          with
+          | true, _ when pure_key a && pure_key b -> Some (`Pair (a, b))
+          | _, true when pure_key a && pure_key b -> Some (`Pair (b, a))
+          | _ -> None)
+        | _ -> None
+    in
+    let rec all acc = function
+      | [] -> Some (List.rev acc)
+      | c :: rest -> (
+        match classify c with None -> None | Some k -> all (k :: acc) rest)
+    in
+    match all [] cs with
+    | None -> None
+    | Some ks ->
+      let residual =
+        List.filter_map (function `Residual c -> Some c | _ -> None) ks
+      in
+      let pairs = List.filter_map (function `Pair p -> Some p | _ -> None) ks in
+      if pairs = [] then None else Some (base, residual, pairs)
+
+(* --- plan construction ---------------------------------------------- *)
+
+(* Outer-side key over [pairs]' outer expressions, optionally extended
+   with a guard expression joining against the aggregate value. *)
+let outer_key_body pairs guard =
+  match (pairs, guard) with
+  | [ (_, ok) ], None -> ok
+  | _ ->
+    Ast.Record_of
+      (List.mapi (fun i (_, ok) -> (key_field i, ok)) pairs
+      @ match guard with None -> [] | Some s -> [ (val_field, s) ])
+
+let group_key_body pairs =
+  match pairs with
+  | [ (ik, _) ] -> ik
+  | _ -> Ast.Record_of (List.mapi (fun i (ik, _) -> (key_field i, ik)) pairs)
+
+let probe_key_body n ~with_val =
+  let key i =
+    (key_field i, Ast.Member (Ast.Var m_var, key_field i))
+  in
+  match (n, with_val) with
+  | 1, false -> Ast.Member (Ast.Var m_var, key_field 0)
+  | _ ->
+    Ast.Record_of
+      (List.init n key
+      @ if with_val then [ (val_field, Ast.Member (Ast.Var m_var, val_field)) ] else [])
+
+(* The grouped sub-plan: residual-filtered base, grouped on the inner key
+   expressions, one row per key carrying the keys and the aggregate. *)
+let build_group ~rw ~xv ~kind ~sel ~base ~residual ~pairs =
+  let src =
+    match residual with
+    | [] -> base
+    | cs -> Ast.Where (base, Ast.lam [ xv ] (Rewrite.conjoin cs))
+  in
+  (* Depth-2: the residual inner query may itself hold correlated
+     sub-queries over its own element. *)
+  let src = rw src in
+  let n = List.length pairs in
+  let g_key = Ast.Member (Ast.Var g_var, Ast.group_key_field) in
+  let key_access i = if n = 1 then g_key else Ast.Member (g_key, key_field i) in
+  let fields =
+    List.mapi (fun i _ -> (key_field i, key_access i)) pairs
+    @ [ (val_field, Ast.Agg (kind, Ast.Var g_var, sel)) ]
+  in
+  Ast.Group_by
+    {
+      Ast.group_source = src;
+      key = Ast.lam [ xv ] (group_key_body pairs);
+      group_result = Some (Ast.lam [ g_var ] (Ast.Record_of fields));
+    }
+
+let join_back ~outer ~src ~right ~pairs ~guard =
+  Ast.Join
+    {
+      Ast.left = src;
+      right;
+      left_key = Ast.lam [ outer ] (outer_key_body pairs guard);
+      right_key =
+        Ast.lam [ m_var ]
+          (probe_key_body (List.length pairs) ~with_val:(guard <> None));
+      result = Ast.lam [ outer; m_var ] (Ast.Var outer);
+    }
+
+(* --- the rewrite ----------------------------------------------------- *)
+
+let rec rw_query (q : Ast.query) : Ast.query =
+  let q = Ast.map_query_children rw_query q in
+  match q with
+  | Ast.Where (src, pred) when List.length pred.Ast.params = 1 ->
+    let outer = List.hd pred.Ast.params in
+    let src', leftover, changed =
+      List.fold_left
+        (fun (src, leftover, changed) c ->
+          match try_conjunct ~outer ~src c with
+          | Some src' -> (src', leftover, true)
+          | None -> (src, leftover @ [ c ], changed))
+        (src, [], false)
+        (Rewrite.conjuncts pred.Ast.body)
+    in
+    if not changed then q
+    else if leftover = [] then src'
+    else Ast.Where (src', Ast.lam [ outer ] (Rewrite.conjoin leftover))
+  | q -> q
+
+and try_conjunct ~outer ~src (c : Ast.expr) : Ast.query option =
+  match collect_corr_aggs c with
+  | [ (Ast.Agg (kind, Ast.Subquery inner, sel) as a) ], false
+    when sel_closed sel && Ast.free_vars_query inner = [ outer ] -> (
+    (* At depth 2 the outer variable is the previous level's normalized
+       element; alternate so inner-only and outer-only conjuncts cannot be
+       confused by a name collision. *)
+    let xv = if String.equal outer x_var then x_var' else x_var in
+    match peel_inner ~outer ~xv inner with
+    | None -> None
+    | Some (base, residual, pairs) ->
+      let group () =
+        build_group ~rw:rw_query ~xv ~kind ~sel ~base ~residual ~pairs
+      in
+      (* EXISTS case: the conjunct depends on the outer row only through
+         the aggregate, and is provably false on an empty group. *)
+      let c_empty =
+        replace_expr ~target:a ~repl:(Ast.Const (empty_group_value kind)) c
+      in
+      if
+        Ast.free_vars c_empty = []
+        && Ast.equal_expr (Lq_expr.Fold.expr c_empty) (Ast.Const (Value.Bool false))
+      then
+        let pred =
+          replace_expr ~target:a
+            ~repl:(Ast.Member (Ast.Var m_var, val_field))
+            c
+        in
+        let right = Ast.Where (group (), Ast.lam [ m_var ] pred) in
+        Some (join_back ~outer ~src ~right ~pairs ~guard:None)
+      else
+        (* Scalar case: S = agg, folded into the join key. *)
+        let scalar s =
+          match kind with
+          | Ast.Min | Ast.Max | Ast.Avg
+            when (not (Ast.equal_expr s (Ast.Const Value.Null)))
+                 && List.for_all (String.equal outer) (Ast.free_vars s)
+                 && pure_key s ->
+            Some (join_back ~outer ~src ~right:(group ()) ~pairs ~guard:(Some s))
+          | _ -> None
+        in
+        (match c with
+        | Ast.Binop (Ast.Eq, s, a') when Ast.equal_expr a' a -> scalar s
+        | Ast.Binop (Ast.Eq, a', s) when Ast.equal_expr a' a -> scalar s
+        | _ -> None))
+  | _ -> None
+
+let rewrite (q : Ast.query) : Ast.query =
+  if marked_query q then q else rw_query q
+
+(* --- explain annotations -------------------------------------------- *)
+
+(* Recognize the rewrite's own output — a join whose right side is (a
+   filter of) a group keyed and valued through the reserved fields — and
+   render one note per site. [Plan.shape_key] never sees these: they are
+   prepended by [Plan.explain ?notes] only. *)
+let notes_of_query (q : Ast.query) : string list =
+  let notes = ref [] in
+  let add n = if not (List.mem n !notes) then notes := !notes @ [ n ] in
+  let expr_str e = Lq_expr.Pretty.expr_to_string e in
+  let group_of (q : Ast.query) =
+    match q with
+    | Ast.Group_by g -> Some g
+    | Ast.Where (Ast.Group_by g, _) -> Some g
+    | _ -> None
+  in
+  let note_of (j : Ast.join) =
+    match group_of j.Ast.right with
+    | Some { Ast.group_result = Some l; _ } -> (
+      match l.Ast.body with
+      | Ast.Record_of fields -> (
+        match List.assoc_opt val_field fields with
+        | Some (Ast.Agg (kind, Ast.Var gv, sel)) when String.equal gv g_var ->
+          let agg =
+            match sel with
+            | Some s -> Printf.sprintf "%s(%s)" (kind_name kind) (expr_str s.Ast.body)
+            | None -> Printf.sprintf "%s(*)" (kind_name kind)
+          in
+          let keys =
+            match j.Ast.left_key.Ast.body with
+            | Ast.Record_of fs -> List.map (fun (_, e) -> expr_str e) fs
+            | e -> [ expr_str e ]
+          in
+          add
+            (Printf.sprintf "decorrelated=%s on [%s]" agg (String.concat "; " keys))
+        | _ -> ())
+      | _ -> ())
+    | _ -> ()
+  in
+  let rec go_q (q : Ast.query) =
+    (match q with Ast.Join j -> note_of j | _ -> ());
+    match q with
+    | Ast.Source _ -> ()
+    | Ast.Where (q, l) | Ast.Select (q, l) ->
+      go_q q;
+      go_e l.Ast.body
+    | Ast.Join j ->
+      go_q j.Ast.left;
+      go_q j.Ast.right;
+      go_e j.Ast.left_key.Ast.body;
+      go_e j.Ast.right_key.Ast.body;
+      go_e j.Ast.result.Ast.body
+    | Ast.Group_by g ->
+      go_q g.Ast.group_source;
+      go_e g.Ast.key.Ast.body;
+      Option.iter (fun (l : Ast.lambda) -> go_e l.Ast.body) g.Ast.group_result
+    | Ast.Order_by (q, keys) ->
+      go_q q;
+      List.iter (fun (k : Ast.sort_key) -> go_e k.Ast.by.Ast.body) keys
+    | Ast.Take (q, e) | Ast.Skip (q, e) ->
+      go_q q;
+      go_e e
+    | Ast.Distinct q -> go_q q
+  and go_e (e : Ast.expr) =
+    ignore
+      (Ast.exists_expr
+         (function
+           | Ast.Subquery q ->
+             go_q q;
+             false
+           | _ -> false)
+         e)
+  in
+  go_q q;
+  !notes

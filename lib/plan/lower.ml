@@ -199,6 +199,11 @@ let rec demand annotate (wanted : string list option) (p : P.t) : P.t =
 (* --- lowering ------------------------------------------------------- *)
 
 let lower ?(options = Options.default) cat (q : Ast.query) : P.t =
+  (* Correlated sub-queries the rewrite can handle become grouped joins
+     before any lowering analysis; a query the provider's optimizer
+     already processed carries the reserved "__dc" names and passes
+     through unchanged. *)
+  let q = Decorrelate.rewrite q in
   let occ_counter = ref 0 in
   let scan name =
     incr occ_counter;

@@ -382,7 +382,12 @@ let render ~hide_consts ~with_rows (p : t) : string =
   go 0 p;
   Buffer.contents buf
 
-let explain p = render ~hide_consts:false ~with_rows:true p
+(* [notes] are advisory annotations (e.g. the decorrelation pass's
+   "decorrelated=…" lines) prepended to the rendering; they never reach
+   [shape_key], which must stay annotation-blind. *)
+let explain ?(notes = []) p =
+  String.concat "" (List.map (fun n -> n ^ "\n") notes)
+  ^ render ~hide_consts:false ~with_rows:true p
 
 (* The cache key: operator skeleton + constant-hidden scalar shapes. Two
    queries that differ only in literal constants lower — after

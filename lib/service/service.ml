@@ -284,6 +284,10 @@ let process t ((req, fut) : job) =
     (* The plan-level capability check routes around an engine that is
        guaranteed to refuse the query *before* any code generation is
        paid; analysis hiccups fall through to the normal attempt. *)
+    (match Provider.decorrelated t.provider req.Request.query with
+    | true -> Svc_metrics.note_decorrelated t.metrics
+    | false -> ()
+    | exception _ -> ());
     let verdict =
       match
         Provider.plan_check t.provider ~engine:req.Request.engine req.Request.query

@@ -31,6 +31,7 @@ let note_rejected t cause =
     | `Shutdown -> "service/rejected_shutdown")
 
 let note_unsupported t = Counters.incr t.counters "service/unsupported"
+let note_decorrelated t = Counters.incr t.counters "service/decorrelated"
 let note_retried t = Counters.incr t.counters "service/retried"
 let note_worker_crash t = Counters.incr t.counters "service/worker_crashes"
 
@@ -74,6 +75,7 @@ let timed_out t = Counters.count t.counters "service/timed_out"
 let shed t = Counters.count t.counters "service/shed"
 let degraded t = Counters.count t.counters "service/degraded"
 let unsupported t = Counters.count t.counters "service/unsupported"
+let decorrelated t = Counters.count t.counters "service/decorrelated"
 let failed t = Counters.count t.counters "service/failed"
 let retried t = Counters.count t.counters "service/retried"
 let worker_crashes t = Counters.count t.counters "service/worker_crashes"
@@ -104,6 +106,9 @@ let report t =
         worker crashes %d\n"
        (retried t) (breaker_opened t) (breaker_reclosed t) (breaker_fast_fails t)
        (worker_crashes t));
+  Buffer.add_string buf
+    (Printf.sprintf "routing:     decorrelated %d, unsupported %d\n" (decorrelated t)
+       (unsupported t));
   Buffer.add_string buf
     (Printf.sprintf "queue depth: peak %d, at admission %s\n" (queue_depth_peak t)
        (Histogram.summary t.depth_hist));

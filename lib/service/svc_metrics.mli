@@ -36,6 +36,10 @@ val note_unsupported : t -> unit
     code generation was paid (distinct from [degraded], which also counts
     prepare/execute-time failures absorbed by the ladder). *)
 
+val note_decorrelated : t -> unit
+(** The optimizer decorrelated a nested sub-query in the submitted query,
+    letting it route to a compiled engine instead of the interpreter. *)
+
 val note_retried : t -> unit
 (** One retry of a transient failure (per attempt beyond the first). *)
 
@@ -61,6 +65,7 @@ val timed_out : t -> int
 val shed : t -> int
 val degraded : t -> int
 val unsupported : t -> int
+val decorrelated : t -> int
 val failed : t -> int
 val retried : t -> int
 val worker_crashes : t -> int

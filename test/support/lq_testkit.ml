@@ -213,6 +213,123 @@ let gen_query_with_params :
 let query_print q = Lq_expr.Pretty.query_to_string q
 
 (* ------------------------------------------------------------------ *)
+(* Random correlated/nested queries over sales+shops, exercising the
+   decorrelation pass (lib/plan/decorrelate.ml) differentially.  Each
+   sample pairs the query with its expected routing: [`Rewritable]
+   shapes sit inside the documented rewrite subset (DESIGN.md §12), so
+   compiled engines must run them; [`Correlated] shapes must be refused
+   by the rewrite, leaving compiled engines to raise Unsupported while
+   the interpreting engines still answer. *)
+
+let gen_correlated_query :
+    (Ast.query * [ `Rewritable | `Correlated ]) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let open Lq_expr.Dsl in
+  (* Correlated inner sources; [ov] is the outer query variable. *)
+  let inner_sales ov =
+    let* extra = oneofl [ None; Some 10; Some 25; Some 40 ] in
+    let corr = v "y" $. "city" =: (v ov $. "city") in
+    let body =
+      match extra with
+      | None -> corr
+      | Some k -> corr &&: (v "y" $. "qty" >: int k)
+    in
+    return (source "sales" |> where "y" body)
+  in
+  (* Two correlation keys: forces the composite __dc_k0/__dc_k1 join key. *)
+  let inner_sales2 ov =
+    return
+      (source "sales"
+      |> where "y"
+           ((v "y" $. "city" =: (v ov $. "city"))
+           &&: (v "y" $. "vip" =: (v ov $. "vip"))))
+  in
+  let inner_shops ov =
+    let* extra = oneofl [ None; Some 1; Some 3 ] in
+    let corr = v "x" $. "city" =: (v ov $. "city") in
+    let body =
+      match extra with
+      | None -> corr
+      | Some r -> corr &&: (v "x" $. "rank" >=: int r)
+    in
+    return (source "shops" |> where "x" body)
+  in
+  (* Depth 2: a correlated aggregate whose inner filter itself holds a
+     correlated EXISTS over the inner element. *)
+  let depth2 ov =
+    return
+      (source "sales"
+      |> where "y"
+           ((v "y" $. "city" =: (v ov $. "city"))
+           &&: (count
+                  (subquery
+                     (source "shops"
+                     |> where "x" (v "x" $. "city" =: (v "y" $. "city"))))
+               >: int 0)))
+  in
+  let rewritable ov =
+    oneof
+      [
+        (let* q = inner_sales ov in
+         return (v ov $. "qty" =: min_of (subquery q) "z" (v "z" $. "qty")));
+        (let* q = inner_sales ov in
+         return (v ov $. "qty" =: max_of (subquery q) "z" (v "z" $. "qty")));
+        (let* q = inner_sales ov in
+         return (v ov $. "price" =: min_of (subquery q) "z" (v "z" $. "price")));
+        (let* q = inner_sales2 ov in
+         return (v ov $. "price" =: avg (subquery q) "z" (v "z" $. "price")));
+        (let* q = inner_shops ov in
+         return (count (subquery q) >: int 0));
+        (let* q = inner_sales ov in
+         return (count (subquery q) >=: int 1));
+        (let* q = inner_sales ov in
+         return (sum (subquery q) "z" (v "z" $. "qty") >: int 0));
+        (let* q = depth2 ov in
+         return (v ov $. "qty" =: min_of (subquery q) "z" (v "z" $. "qty")));
+      ]
+  in
+  let correlated_only ov =
+    oneof
+      [
+        (* inequality against a correlated aggregate *)
+        (let* q = inner_sales ov in
+         return (v ov $. "qty" <: max_of (subquery q) "z" (v "z" $. "qty")));
+        (* Eq with Count: empty groups would make 0 match, so refused *)
+        (let* q = inner_sales ov in
+         return (v ov $. "qty" =: count (subquery q)));
+        (* NOT EXISTS: empty groups must pass, a semijoin would drop them *)
+        (let* q = inner_shops ov in
+         return (not_ (count (subquery q) >: int 0)));
+      ]
+  in
+  let* kind = frequency [ (3, return `Rewritable); (1, return `Correlated) ] in
+  let* pred =
+    match kind with
+    | `Rewritable -> rewritable "s"
+    | `Correlated -> correlated_only "s"
+  in
+  let* plain =
+    oneofl [ None; Some (v "s" $. "qty" >: int 15); Some (v "s" $. "vip" =: bool true) ]
+  in
+  let body = match plain with None -> pred | Some p0 -> p0 &&: pred in
+  let base = source "sales" |> where "s" body in
+  let* q =
+    oneofl
+      [
+        base;
+        base |> select "s" (record [ ("id", v "s" $. "id"); ("qty", v "s" $. "qty") ]);
+        base |> order_by [ ("o", v "o" $. "id", asc) ] |> take 12;
+      ]
+  in
+  return (q, kind)
+
+let correlated_query_print (q, kind) =
+  (match kind with
+  | `Rewritable -> "[rewritable] "
+  | `Correlated -> "[correlated] ")
+  ^ query_print q
+
+(* ------------------------------------------------------------------ *)
 
 let rows_equal expected got =
   List.length expected = List.length got && List.for_all2 Value.equal expected got
@@ -248,6 +365,6 @@ let engine_agrees_with_reference ?(params = []) ?provider cat
   | got -> if rows_close expected got then `Agree else `Disagree (expected, got)
   | exception Lq_catalog.Engine_intf.Unsupported _ -> `Unsupported
 
-let qtest ?(count = 100) name gen prop =
+let qtest ?print ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~name ~count gen prop)
+    (QCheck2.Test.make ?print ~name ~count gen prop)

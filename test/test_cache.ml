@@ -236,6 +236,41 @@ let test_catalog_invalidation_hook () =
   let stats = Option.get (Provider.result_cache_stats prov) in
   check_int "u's entry survived (hit)" 1 stats.Result_cache.hits
 
+(* A table read *only* through a nested sub-query must still invalidate
+   the recycled result when it is reloaded (the access model used to stop
+   at [Ast.Subquery], leaving such tables invisible). *)
+let test_subquery_table_invalidation () =
+  let schema_t = Schema.make [ ("id", Vtype.Int) ] in
+  let schema_u = Schema.make [ ("uid", Vtype.Int) ] in
+  let mk schema n = List.init n (fun i -> Schema.row schema [ Value.Int i ]) in
+  let cat = Lq_catalog.Catalog.create () in
+  Lq_catalog.Catalog.add cat ~name:"t" ~schema:schema_t (mk schema_t 4);
+  Lq_catalog.Catalog.add cat ~name:"u" ~schema:schema_u (mk schema_u 2);
+  let prov = Provider.create ~recycle_results:true cat in
+  let engine = Lq_core.Engines.linq_to_objects in
+  (* t rows pass while id < count(u): u is touched only inside the
+     sub-query *)
+  let q =
+    source "t"
+    |> where "s"
+         (v "s" $. "id"
+         <: count (subquery (source "u" |> where "x" (v "x" $. "uid" >=: int 0))))
+  in
+  let names = Lq_catalog.Access_model.used_member_names q in
+  check_bool "sub-query field visible to the access model" true
+    (Hashtbl.mem names "uid");
+  check_int "cold" 2 (List.length (Provider.run prov ~engine q));
+  check_int "warm" 2 (List.length (Provider.run prov ~engine q));
+  let stats = Option.get (Provider.result_cache_stats prov) in
+  check_int "one hit before reload" 1 stats.Result_cache.hits;
+  (* grow u: the cached result depends on it only through the sub-query *)
+  Lq_catalog.Catalog.replace cat ~name:"u" ~schema:schema_u (mk schema_u 4);
+  let stats = Option.get (Provider.result_cache_stats prov) in
+  check_int "stale entry dropped" 0 stats.Result_cache.entries;
+  check_int "invalidation counted" 1 stats.Result_cache.invalidations;
+  check_int "reload visible through the sub-query" 4
+    (List.length (Provider.run prov ~engine q))
+
 (* --- counters registry --- *)
 
 let test_counters () =
@@ -295,7 +330,11 @@ let () =
           Alcotest.test_case "exact counters" `Quick test_result_cache_exact_counters;
         ] );
       ( "invalidation hooks",
-        [ Alcotest.test_case "catalog reload" `Quick test_catalog_invalidation_hook ] );
+        [
+          Alcotest.test_case "catalog reload" `Quick test_catalog_invalidation_hook;
+          Alcotest.test_case "sub-query-only table reload" `Quick
+            test_subquery_table_invalidation;
+        ] );
       ("counters", [ Alcotest.test_case "registry" `Quick test_counters ]);
       ("clock", [ Alcotest.test_case "monotonic now_ms" `Quick test_now_ms_monotonic ]);
     ]

@@ -199,11 +199,14 @@ let test_loop_segments () =
 (* --- unsupported boundaries --- *)
 
 let test_unsupported () =
+  (* An inequality against a correlated aggregate is outside the
+     decorrelation pass's rewritable subset (DESIGN.md §12), so the plan
+     stays correlated and compiled engines must still refuse it. *)
   let correlated =
     source "sales"
     |> where "s"
          (v "s" $. "qty"
-         =: max_of
+         <: max_of
               (subquery (source "sales" |> where "t" (v "t" $. "city" =: (v "s" $. "city"))))
               "z" (v "z" $. "qty"))
   in

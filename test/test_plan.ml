@@ -19,9 +19,26 @@ let cat = Lq_tpch.Dbgen.load ~sf ()
 let prov = Lq_core.Provider.create cat
 let params = Lq_tpch.Queries.extended_params
 
+(* EXISTS as naively written: parts with at least one cheap supply offer.
+   The decorrelation pass turns this into a filtered semijoin on the part
+   key (DESIGN.md §12, case 2), so the compiled engines run it too. *)
+let q_exists =
+  let open Lq_expr.Dsl in
+  source "part"
+  |> where "p"
+       (count
+          (subquery
+             (source "partsupp"
+             |> where "ps"
+                  ((v "ps" $. "ps_partkey" =: (v "p" $. "p_partkey"))
+                  &&: (v "ps" $. "ps_supplycost" <: float 500.0))))
+       >: int 0)
+  |> select "p" (record [ ("p_partkey", v "p" $. "p_partkey") ])
+  |> order_by [ ("r", v "r" $. "p_partkey", asc) ]
+
 let queries =
   Lq_tpch.Queries.all
-  @ [ ("Q2corr", Lq_tpch.Queries.q2_correlated) ]
+  @ [ ("Q2corr", Lq_tpch.Queries.q2_correlated); ("Qexists", q_exists) ]
   @ Lq_tpch.Queries.extended
 
 let engines = Lq_core.Engines.all
@@ -174,6 +191,47 @@ let test_explain_storage () =
   check_bool "Provider.explain shows Q6 column routing" true
     (has_sub "storage=column(" rendered_prov)
 
+(* --- decorrelation surfaces in explain, never in the shape key ------ *)
+
+let test_explain_decorrelated () =
+  let has_sub sub s = Lq_expr.Scalar.like_match ~pattern:("%" ^ sub ^ "%") s in
+  let compiled_c = Lq_core.Engines.compiled_c in
+  let rendered, verdict =
+    Lq_core.Provider.explain prov ~engine:compiled_c Lq_tpch.Queries.q2_correlated
+  in
+  (* The annotation names the rewritten aggregate and its correlation keys,
+     and the plan below it carries the grouped sub-plan joined back. *)
+  check_bool "Q2corr explain is annotated" true
+    (has_sub "decorrelated=min(iz.ps_supplycost)" rendered);
+  check_bool "Q2corr explain shows the grouped sub-plan" true
+    (has_sub "hash-aggregate" rendered);
+  check_bool "Q2corr explain carries the synthetic value column" true
+    (has_sub "__dc_val" rendered);
+  check_bool "Q2corr verdict flips to supported" true (Result.is_ok verdict);
+  (* EXISTS case: annotated too, and likewise supported. *)
+  let rendered_ex, verdict_ex =
+    Lq_core.Provider.explain prov ~engine:compiled_c q_exists
+  in
+  check_bool "Qexists explain is annotated" true (has_sub "decorrelated=" rendered_ex);
+  check_bool "Qexists verdict flips to supported" true (Result.is_ok verdict_ex);
+  (* A query the rewrite refuses keeps its refusal verdict. *)
+  let correlated_ineq =
+    let open Lq_expr.Dsl in
+    source "part"
+    |> where "p"
+         (v "p" $. "p_partkey"
+         <: count
+              (subquery
+                 (source "partsupp"
+                 |> where "ps" (v "ps" $. "ps_partkey" =: (v "p" $. "p_partkey")))))
+  in
+  let rendered_ineq, verdict_ineq =
+    Lq_core.Provider.explain prov ~engine:compiled_c correlated_ineq
+  in
+  check_bool "refused query carries no annotation" false
+    (has_sub "decorrelated=" rendered_ineq);
+  check_bool "refused query keeps its refusal" true (Result.is_error verdict_ineq)
+
 (* --- shape-key stability under parameter rebinding ------------------ *)
 
 (* Rewrites every literal constant to a different value of the same type:
@@ -249,6 +307,22 @@ let prop_shape_deterministic =
       String.equal (shape_of q) (shape_of q)
       && Plan.hash (Lower.lower test_cat q) = Plan.hash (Lower.lower test_cat q))
 
+(* The decorrelated Q2 must cache like any other plan: one shape across
+   literal rebindings, and the explain-only annotation never leaks in. *)
+let test_shape_decorrelated () =
+  let has_sub sub s = Lq_expr.Scalar.like_match ~pattern:("%" ^ sub ^ "%") s in
+  let shape q =
+    let parameterized, _bindings = Shape.parameterize q in
+    Plan.shape_key (Lower.lower cat parameterized)
+  in
+  let q = Lq_core.Optimizer.run Lq_tpch.Queries.q2_correlated in
+  let k = shape q in
+  check_bool "decorrelated shape is stable under rebinding" true
+    (String.equal k (shape (perturb_query q)));
+  check_bool "shape key is annotation-blind" false (has_sub "decorrelated=" k);
+  check_bool "decorrelated Q2 and hand-written Q2 still differ in shape" false
+    (String.equal k (shape (Lq_core.Optimizer.run (List.assoc "Q2" Lq_tpch.Queries.all))))
+
 let () =
   Alcotest.run "plan"
     [
@@ -258,7 +332,12 @@ let () =
           Alcotest.test_case "total over queries x engines" `Quick test_explain_total;
           Alcotest.test_case "lowering annotations" `Quick test_lowering_annotations;
           Alcotest.test_case "storage routing" `Quick test_explain_storage;
+          Alcotest.test_case "decorrelation routing" `Quick test_explain_decorrelated;
         ] );
       ( "shape key",
-        [ prop_shape_stable; prop_shape_deterministic ] );
+        [
+          prop_shape_stable;
+          prop_shape_deterministic;
+          Alcotest.test_case "decorrelated Q2" `Quick test_shape_decorrelated;
+        ] );
     ]

@@ -254,6 +254,36 @@ let test_capability_routing_skips_codegen () =
   Service.shutdown svc;
   check_bool "conserved" true (Svc_metrics.conserved m)
 
+(* A correlated query the optimizer decorrelates routes to the compiled
+   engine un-degraded, and the routing is counted. *)
+let test_decorrelated_routing_counted () =
+  let prov, svc = make_service ~domains:1 () in
+  let q_corr =
+    source "sales"
+    |> where "s"
+         (v "s" $. "qty"
+         =: min_of
+              (subquery
+                 (source "sales" |> where "t" (v "t" $. "city" =: (v "s" $. "city"))))
+              "z" (v "z" $. "qty"))
+  in
+  (match Service.run_sync svc ~engine:Lq_core.Engines.compiled_csharp q_corr with
+  | Ok { Request.outcome = Request.Completed { rows; engine; degraded }; _ } ->
+    check_bool "not degraded" false degraded;
+    check_string "compiled engine answered" "compiled-csharp" engine;
+    Lq_testkit.check_rows "rows match the oracle" (Provider.reference prov q_corr) rows
+  | Ok r ->
+    Alcotest.failf "expected completion, got %s" (Request.outcome_kind r.Request.outcome)
+  | Error _ -> Alcotest.fail "admission should succeed");
+  let m = Service.metrics svc in
+  check_int "decorrelated routing counted" 1 (Svc_metrics.decorrelated m);
+  (match Service.run_sync svc ~engine:Lq_core.Engines.compiled_csharp q_paris with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "admission should succeed");
+  check_int "plain queries do not count" 1 (Svc_metrics.decorrelated m);
+  Service.shutdown svc;
+  check_bool "conserved" true (Svc_metrics.conserved m)
+
 let test_fallback_disabled_fails_typed () =
   let _, svc = make_service ~domains:1 ~fallback:None () in
   (match Service.run_sync svc ~engine:always_unsupported q_all with
@@ -871,6 +901,8 @@ let () =
             test_engine_fallback_accounting;
           Alcotest.test_case "capability routing skips codegen" `Quick
             test_capability_routing_skips_codegen;
+          Alcotest.test_case "decorrelated routing counted" `Quick
+            test_decorrelated_routing_counted;
           Alcotest.test_case "fallback disabled fails typed" `Quick
             test_fallback_disabled_fails_typed;
         ] );
